@@ -1,0 +1,85 @@
+//! The adversary interface the simulation driver consults.
+
+use ices_coord::Coordinate;
+use serde::{Deserialize, Serialize};
+
+/// What an attacker presents to a victim instead of the truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TamperedSample {
+    /// The coordinate the attacker claims.
+    pub coord: Coordinate,
+    /// The confidence (local error) the attacker claims — typically very
+    /// low, to maximize its influence on the victim.
+    pub error: f64,
+    /// The RTT the victim ends up measuring. Attackers can only *add*
+    /// delay to a probe, so implementations must keep this ≥ the true
+    /// measured RTT.
+    pub rtt_ms: f64,
+}
+
+/// An adversary controlling a subset of nodes.
+///
+/// The simulation driver calls [`Adversary::intercept`] for every
+/// embedding interaction. Honest peers (or malicious peers choosing to
+/// behave, e.g. NPS conspirators before activation) return `None` and
+/// the true sample goes through. The driver uses the `Some`/`None`
+/// outcome as the ground-truth positive/negative label for the
+/// detection metrics of §5.1.
+pub trait Adversary {
+    /// Whether the adversary controls this node at all (used to keep
+    /// malicious nodes out of the honest-population metrics).
+    fn is_malicious(&self, node: usize) -> bool;
+
+    /// Possibly tamper with the interaction in which `victim` embeds
+    /// against `peer`.
+    ///
+    /// * `true_coord`, `true_error` — what an honest peer would report;
+    /// * `measured_rtt` — the RTT the probe actually measured;
+    /// * `victim_coord` — the victim's current coordinate (attackers can
+    ///   observe it; they are part of the system).
+    fn intercept(
+        &mut self,
+        peer: usize,
+        victim: usize,
+        true_coord: &Coordinate,
+        true_error: f64,
+        measured_rtt: f64,
+        victim_coord: &Coordinate,
+    ) -> Option<TamperedSample>;
+}
+
+/// The attack-free world: nobody ever lies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HonestWorld;
+
+impl Adversary for HonestWorld {
+    fn is_malicious(&self, _node: usize) -> bool {
+        false
+    }
+
+    fn intercept(
+        &mut self,
+        _peer: usize,
+        _victim: usize,
+        _true_coord: &Coordinate,
+        _true_error: f64,
+        _measured_rtt: f64,
+        _victim_coord: &Coordinate,
+    ) -> Option<TamperedSample> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ices_coord::Space;
+
+    #[test]
+    fn honest_world_never_tampers() {
+        let mut w = HonestWorld;
+        let c = Coordinate::origin(Space::with_height(2));
+        assert!(!w.is_malicious(3));
+        assert!(w.intercept(1, 2, &c, 0.5, 30.0, &c).is_none());
+    }
+}

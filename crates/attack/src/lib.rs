@@ -1,0 +1,34 @@
+//! Attack models against coordinate embedding systems.
+//!
+//! Implements the two strongest attacks of Kaafar et al.'s earlier study
+//! (*Virtual networks under attack*, CoNEXT 2006 — reference \[11\] of the
+//! paper), which the SIGCOMM'07 evaluation uses to stress the detector:
+//!
+//! * [`vivaldi_isolation`] — the **colluding isolation attack** on
+//!   Vivaldi (§5.2): attackers agree on an exclusion zone around a
+//!   target and consistently lie about their own coordinates (always the
+//!   same lie to a given victim) to attract honest nodes out of the
+//!   zone.
+//! * [`nps_collusion`] — the **colluding reference-point attack** on NPS
+//!   (§5.3): conspirators behave honestly until at least five of them
+//!   are reference points in a layer, then pretend to be clustered in a
+//!   remote part of the space and push half the normal nodes they serve
+//!   toward the opposite side — tampering probe RTTs so their lies stay
+//!   mutually consistent and evade NPS's built-in fit-error test
+//!   (the anti-detection technique of \[11\]).
+//!
+//! Both implement the [`Adversary`] interface the simulation driver
+//! consults on every embedding interaction; an honest interaction passes
+//! through untouched, a malicious one is replaced by the attacker's
+//! tampered view (coordinate lie, confidence lie, and/or probe delay).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod nps_collusion;
+pub mod vivaldi_isolation;
+
+pub use adversary::{Adversary, HonestWorld, TamperedSample};
+pub use nps_collusion::NpsCollusionAttack;
+pub use vivaldi_isolation::VivaldiIsolationAttack;

@@ -1,0 +1,42 @@
+//! Benchmarks of the EM calibration — the part the paper notes "incurs a
+//! number of iterations over N-dimensional vectors" and therefore runs
+//! on Surveyors only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ices_core::{calibrate, EmConfig, StateSpaceParams};
+use std::hint::black_box;
+
+fn params() -> StateSpaceParams {
+    StateSpaceParams {
+        beta: 0.8,
+        v_w: 0.004,
+        v_u: 0.002,
+        w_bar: 0.03,
+        w0: 0.5,
+        p0: 0.05,
+    }
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_calibration");
+    group.sample_size(20);
+    for n in [256usize, 1024, 4096] {
+        let trace: Vec<f64> = {
+            let mut rng = ices_stats::rng::stream_rng(1, 0);
+            params().simulate(n, &mut rng)
+        };
+        group.bench_with_input(BenchmarkId::new("paper_tolerance", n), &trace, |b, t| {
+            b.iter(|| {
+                black_box(calibrate(
+                    black_box(t),
+                    StateSpaceParams::em_initial_guess(),
+                    &EmConfig::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

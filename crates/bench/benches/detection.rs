@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the detection test: the full per-embedding-step
+//! overhead a secured node pays (threshold computation + hypothesis
+//! test + filter update).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ices_core::{Detector, StateSpaceParams};
+use ices_stats::q_inverse;
+use std::hint::black_box;
+
+fn params() -> StateSpaceParams {
+    StateSpaceParams {
+        beta: 0.8,
+        v_w: 0.004,
+        v_u: 0.002,
+        w_bar: 0.03,
+        w0: 0.5,
+        p0: 0.05,
+    }
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection");
+
+    group.bench_function("q_inverse", |b| {
+        b.iter(|| black_box(q_inverse(black_box(0.025))));
+    });
+
+    group.bench_function("evaluate", |b| {
+        let d = Detector::new(params(), 0.05);
+        b.iter(|| black_box(d.evaluate(black_box(0.4))));
+    });
+
+    group.bench_function("assess_accept", |b| {
+        b.iter_batched_ref(
+            || Detector::new(params(), 0.05),
+            |d| black_box(d.assess(black_box(0.16))),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("assess_reject", |b| {
+        b.iter_batched_ref(
+            || Detector::new(params(), 0.05),
+            |d| black_box(d.assess(black_box(50.0))),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

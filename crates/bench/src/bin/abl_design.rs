@@ -1,0 +1,52 @@
+//! Ablation harness — quantifies the design choices DESIGN.md calls out
+//! by re-running the standard detection workload (Vivaldi, 20% colluding
+//! attackers, α = 5%) with one piece changed at a time:
+//!
+//! * the EM-fitted AR coefficient β vs a white model vs a random walk;
+//! * the first-time-peer reprieve on vs off;
+//! * filter parameters from the closest Surveyor vs a random Surveyor;
+//! * freshly calibrated filters vs stale ones from another network.
+
+use ices_bench::{print_header, write_result, HarnessOptions};
+use ices_sim::experiments::ablations::{
+    ablate_beta, ablate_filter_source, ablate_recalibration, ablate_reprieve, AblationResult,
+};
+
+fn print_ablation(r: &AblationResult) {
+    println!("## ablation: {}", r.name);
+    println!(
+        "{:<44}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "variant", "TPR", "FPR", "FNR", "TPTF"
+    );
+    for arm in &r.arms {
+        let c = &arm.confusion;
+        println!(
+            "{:<44}  {:>8.4}  {:>8.4}  {:>8.4}  {:>8.4}",
+            arm.label,
+            c.tpr(),
+            c.fpr(),
+            c.fnr(),
+            c.tptf()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(
+        &options,
+        "Design ablations (Vivaldi, 20% malicious, α = 5%)",
+    );
+
+    let results = vec![
+        ablate_beta(&options.scale),
+        ablate_reprieve(&options.scale),
+        ablate_filter_source(&options.scale),
+        ablate_recalibration(&options.scale),
+    ];
+    for r in &results {
+        print_ablation(r);
+    }
+    write_result(&options, "abl_design", &results);
+}

@@ -1,0 +1,36 @@
+//! Fig 1 — QQ plots of innovation processes against the standard normal,
+//! plus the §3.1 Lilliefors normality census.
+
+use ices_bench::{print_header, write_result, HarnessOptions};
+use ices_sim::experiments::validation::fig1_innovation_gaussianity;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(
+        &options,
+        "Fig 1: innovation gaussianity (QQ + Lilliefors census)",
+    );
+    let result = fig1_innovation_gaussianity(&options.scale);
+
+    println!("Lilliefors rejections at the 5% level (paper: 14/1720 sim, 5/260 PlanetLab):");
+    for (combo, rejections, tested) in &result.lilliefors {
+        println!("  {:<24} {rejections:>5} / {tested}", combo.label());
+    }
+    println!();
+
+    for (name, qq) in [("Vivaldi", &result.qq_vivaldi), ("NPS", &result.qq_nps)] {
+        println!("## QQ plot, {name} (PlanetLab-like), median node");
+        println!("{:>14}  {:>14}", "normal quantile", "sample quantile");
+        let step = (qq.len() / 40).max(1);
+        for (i, p) in qq.iter().enumerate() {
+            if i % step == 0 || i + 1 == qq.len() {
+                println!("{:>14.4}  {:>14.4}", p.theoretical, p.sample);
+            }
+        }
+        let r2 = ices_stats::qq::qq_correlation(qq);
+        println!("(QQ correlation r² = {r2:.4})");
+        println!();
+    }
+
+    write_result(&options, "fig01_qq", &result);
+}

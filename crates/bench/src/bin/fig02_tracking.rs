@@ -1,0 +1,40 @@
+//! Fig 2 — measured vs predicted relative error over time for one node,
+//! plus the prediction error (their absolute difference).
+
+use ices_bench::{print_header, write_result, HarnessOptions};
+use ices_sim::experiments::validation::fig2_tracking;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(
+        &options,
+        "Fig 2: Kalman filter response — estimation vs actual",
+    );
+    let result = fig2_tracking(&options.scale);
+
+    println!("node {} re-embedding trace:", result.node);
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>12}",
+        "step", "measured", "predicted", "pred. error"
+    );
+    let step = (result.series.len() / 60).max(1);
+    for (i, (n, measured, predicted, err)) in result.series.iter().enumerate() {
+        if i % step == 0 || i + 1 == result.series.len() {
+            println!("{n:>6}  {measured:>10.4}  {predicted:>10.4}  {err:>12.4}");
+        }
+    }
+    let n = result.series.len() as f64;
+    let mean_err: f64 = result.series.iter().map(|(_, _, _, e)| *e).sum::<f64>() / n;
+    let mean_meas: f64 = result
+        .series
+        .iter()
+        .map(|(_, m, _, _)| m.abs())
+        .sum::<f64>()
+        / n;
+    println!();
+    println!("mean measured relative error: {mean_meas:.4}");
+    println!("mean prediction error:        {mean_err:.4}");
+    println!("(the paper's Fig 2 shows prediction errors far below the measured errors)");
+
+    write_result(&options, "fig02_tracking", &result);
+}

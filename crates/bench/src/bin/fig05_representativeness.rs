@@ -1,0 +1,22 @@
+//! Fig 5 — representativeness of an 8% random Surveyor deployment on
+//! both substrates.
+
+use ices_bench::{print_curve, print_header, write_result, HarnessOptions};
+use ices_sim::experiments::representativeness::fig5_representativeness;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(&options, "Fig 5: representativeness with 8% Surveyors");
+    let result = fig5_representativeness(&options.scale);
+
+    for curve in &result.curves {
+        print_curve(curve, 25);
+    }
+    println!(
+        "KS distances: King {:.4}, PlanetLab {:.4}",
+        result.ks_king, result.ks_planetlab
+    );
+    println!("(paper: the Surveyor CDFs closely track the normal-node CDFs on both)");
+
+    write_result(&options, "fig05_representativeness", &result);
+}

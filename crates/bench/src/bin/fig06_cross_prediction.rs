@@ -1,0 +1,49 @@
+//! Fig 6 — maximum prediction error for every (normal node, Surveyor)
+//! pair: the full cross-prediction matrix.
+
+use ices_bench::{print_header, write_result, HarnessOptions};
+use ices_sim::experiments::cross_prediction::fig678_cross_prediction;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(
+        &options,
+        "Fig 6: max prediction errors with Surveyor filter parameters",
+    );
+    let result = fig678_cross_prediction(&options.scale);
+
+    println!(
+        "{} normal nodes × {} Surveyors = {} cells",
+        result.node_count,
+        result.surveyor_count,
+        result.cells.len()
+    );
+    println!();
+    println!(
+        "{:>6}  {:>8}  {:>10}  {:>10}  {:>10}",
+        "node", "surveyor", "rtt (ms)", "max err", "mean err"
+    );
+    let step = (result.cells.len() / 60).max(1);
+    for (i, c) in result.cells.iter().enumerate() {
+        if i % step == 0 {
+            println!(
+                "{:>6}  {:>8}  {:>10.1}  {:>10.4}  {:>10.4}",
+                c.node, c.surveyor, c.rtt_ms, c.max_error, c.mean_error
+            );
+        }
+    }
+    println!();
+    let per_node_best: f64 = {
+        let mut best: std::collections::BTreeMap<usize, f64> = Default::default();
+        for c in &result.cells {
+            let e = best.entry(c.node).or_insert(f64::INFINITY);
+            *e = e.min(c.max_error);
+        }
+        best.values().sum::<f64>() / best.len().max(1) as f64
+    };
+    println!("mean over nodes of their BEST Surveyor's max prediction error: {per_node_best:.4}");
+    println!("(paper: every node can find at least one Surveyor with very low errors,");
+    println!(" but not every Surveyor is a good representative for a given node)");
+
+    write_result(&options, "fig06_cross_prediction", &result);
+}

@@ -1,0 +1,47 @@
+//! Fig 7 — correlation between node↔Surveyor RTT and prediction
+//! accuracy: locality makes a Surveyor's filter a better representative.
+
+use ices_bench::{print_header, write_result, HarnessOptions};
+use ices_sim::experiments::cross_prediction::fig678_cross_prediction;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(&options, "Fig 7: node-Surveyor RTT vs prediction accuracy");
+    let result = fig678_cross_prediction(&options.scale);
+
+    // Bucket the scatter into RTT bands for a readable trend table.
+    let max_rtt = result.cells.iter().map(|c| c.rtt_ms).fold(0.0f64, f64::max);
+    const BANDS: usize = 12;
+    let width = (max_rtt / BANDS as f64).max(1.0);
+    let mut sums = [0.0f64; BANDS];
+    let mut counts = [0usize; BANDS];
+    for c in &result.cells {
+        let b = ((c.rtt_ms / width) as usize).min(BANDS - 1);
+        sums[b] += c.mean_error;
+        counts[b] += 1;
+    }
+    println!(
+        "{:>16}  {:>8}  {:>22}",
+        "RTT band (ms)", "pairs", "mean prediction error"
+    );
+    for b in 0..BANDS {
+        if counts[b] == 0 {
+            continue;
+        }
+        println!(
+            "{:>7.0} - {:>6.0}  {:>8}  {:>22.4}",
+            b as f64 * width,
+            (b + 1) as f64 * width,
+            counts[b],
+            sums[b] / counts[b] as f64
+        );
+    }
+    println!();
+    println!(
+        "Pearson correlation(RTT, mean prediction error) = {:.4}",
+        result.rtt_error_correlation()
+    );
+    println!("(paper: positive — better locality yields more accurate predictions)");
+
+    write_result(&options, "fig07_rtt_correlation", &result);
+}

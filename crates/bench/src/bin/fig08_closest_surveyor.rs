@@ -1,0 +1,45 @@
+//! Fig 8 — maximum prediction error per node when each node adopts its
+//! *closest* Surveyor's filter parameters.
+
+use ices_bench::{print_header, write_result, HarnessOptions};
+use ices_sim::experiments::cross_prediction::fig678_cross_prediction;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(
+        &options,
+        "Fig 8: max prediction errors with the closest Surveyor",
+    );
+    let result = fig678_cross_prediction(&options.scale);
+
+    println!(
+        "{} Surveyors, {} normal nodes",
+        result.surveyor_count, result.node_count
+    );
+    println!();
+    println!(
+        "{:>6}  {:>16}  {:>10}",
+        "node", "closest surveyor", "max err"
+    );
+    let step = (result.closest.len() / 60).max(1);
+    for (i, (node, surveyor, err)) in result.closest.iter().enumerate() {
+        if i % step == 0 || i + 1 == result.closest.len() {
+            println!("{node:>6}  {surveyor:>16}  {err:>10.4}");
+        }
+    }
+    let errors: Vec<f64> = result.closest.iter().map(|(_, _, e)| *e).collect();
+    if !errors.is_empty() {
+        let ecdf = ices_stats::Ecdf::new(errors);
+        println!();
+        println!(
+            "max-prediction-error percentiles over nodes: p50 {:.4}, p90 {:.4}, p99 {:.4}",
+            ecdf.percentile(50.0),
+            ecdf.percentile(90.0),
+            ecdf.percentile(99.0)
+        );
+    }
+    println!("(paper's Fig 8 shows max prediction errors mostly below ~0.16 when each");
+    println!(" node uses its closest Surveyor)");
+
+    write_result(&options, "fig08_closest_surveyor", &result);
+}

@@ -1,0 +1,33 @@
+//! Fig 9 — ROC curves of the detection test securing Vivaldi under the
+//! colluding isolation attack, one curve per malicious-population size,
+//! one tick per significance level.
+
+use ices_bench::{load_or_run_sweep, print_header, HarnessOptions};
+use ices_sim::experiments::detection::{fig9_12_vivaldi_sweep, PAPER_ALPHAS, PAPER_FRACTIONS};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(
+        &options,
+        "Fig 9: ROC curves (Vivaldi, colluding isolation attack)",
+    );
+    let sweep = load_or_run_sweep(&options, "sweep_vivaldi", || {
+        fig9_12_vivaldi_sweep(&options.scale, &PAPER_FRACTIONS, &PAPER_ALPHAS)
+    });
+
+    for &fraction in &PAPER_FRACTIONS {
+        let roc = sweep.roc_for(fraction);
+        if roc.points.is_empty() {
+            continue;
+        }
+        println!("## {}% malicious nodes", (fraction * 100.0).round());
+        println!("{:>8}  {:>10}  {:>10}", "alpha", "FPR", "TPR");
+        for p in &roc.points {
+            println!("{:>8.2}  {:>10.4}  {:>10.4}", p.alpha, p.fpr, p.tpr);
+        }
+        println!("AUC = {:.4}", roc.auc());
+        println!();
+    }
+    println!("(paper: excellent for ≤20% malicious, still good at ~30%, degrading");
+    println!(" gracefully beyond; the 5% significance level sits in the ROC elbow)");
+}

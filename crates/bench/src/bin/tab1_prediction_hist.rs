@@ -1,0 +1,38 @@
+//! Table 1 — prediction-error histogram: per interval, the number of
+//! contributing nodes and the occurrence counts of the smallest/largest
+//! error observed in the interval.
+
+use ices_bench::{print_header, write_result, HarnessOptions};
+use ices_sim::experiments::validation::fig3_prediction_cdf;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(&options, "Table 1: prediction-error histogram");
+    let result = fig3_prediction_cdf(&options.scale);
+
+    for (name, table) in [
+        ("Vivaldi (PlanetLab-like)", &result.table_vivaldi),
+        ("NPS (PlanetLab-like)", &result.table_nps),
+    ] {
+        println!("## {name}");
+        println!(
+            "{:<14}  {:>6}  {:>16}  {:>16}  {:>8}",
+            "interval", "nodes", "min-err occurs", "max-err occurs", "total"
+        );
+        for bin in table {
+            let interval = if bin.hi.is_finite() {
+                format!("{:.2}-{:.2}", bin.lo, bin.hi)
+            } else {
+                format!("{:.2}+", bin.lo)
+            };
+            println!(
+                "{:<14}  {:>6}  {:>16}  {:>16}  {:>8}",
+                interval, bin.node_count, bin.min_occurrences, bin.max_occurrences, bin.total
+            );
+        }
+        println!();
+    }
+    println!("(paper's Table 1 format: nodes / occurrences of min error / occurrences of max)");
+
+    write_result(&options, "tab1_prediction_hist", &result);
+}

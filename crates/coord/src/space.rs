@@ -1,0 +1,93 @@
+//! Geometric-space descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of the geometric space an embedding system operates in.
+///
+/// The paper's Vivaldi experiments use `Space::with_height(2)` (a
+/// 2-dimensional Euclidean space augmented with a height vector) and the
+/// NPS experiments use `Space::euclidean(8)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Space {
+    dims: usize,
+    height: bool,
+}
+
+impl Space {
+    /// A plain Euclidean space of `dims` dimensions.
+    ///
+    /// # Panics
+    /// Panics if `dims` is zero.
+    pub fn euclidean(dims: usize) -> Self {
+        assert!(dims > 0, "a space needs at least one dimension");
+        Self {
+            dims,
+            height: false,
+        }
+    }
+
+    /// A Euclidean space of `dims` dimensions augmented with a height
+    /// vector (Vivaldi's model of the access-link delay).
+    ///
+    /// # Panics
+    /// Panics if `dims` is zero.
+    pub fn with_height(dims: usize) -> Self {
+        assert!(dims > 0, "a space needs at least one dimension");
+        Self { dims, height: true }
+    }
+
+    /// Number of Euclidean dimensions (excluding the height component).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Whether coordinates carry a height component.
+    pub fn uses_height(&self) -> bool {
+        self.height
+    }
+
+    /// The paper's Vivaldi configuration: 2-d + height.
+    pub fn vivaldi_default() -> Self {
+        Self::with_height(2)
+    }
+
+    /// The paper's NPS configuration: 8-d Euclidean.
+    pub fn nps_default() -> Self {
+        Self::euclidean(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = Space::euclidean(8);
+        assert_eq!(e.dims(), 8);
+        assert!(!e.uses_height());
+        let h = Space::with_height(2);
+        assert_eq!(h.dims(), 2);
+        assert!(h.uses_height());
+    }
+
+    #[test]
+    fn paper_defaults() {
+        assert_eq!(Space::vivaldi_default(), Space::with_height(2));
+        assert_eq!(Space::nps_default(), Space::euclidean(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn rejects_zero_dims() {
+        Space::euclidean(0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Space::with_height(3);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: Space = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain Euclidean vector helpers over `&[f64]` / `Vec<f64>`.
+//!
+//! These free functions back [`crate::Coordinate`] and are also used
+//! directly by the NPS downhill-simplex solver, which optimizes raw
+//! position vectors.
+
+/// Euclidean norm `‖v‖`.
+pub fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Euclidean distance `‖a − b‖`.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector dimensionality mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Component-wise `a − b`.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector dimensionality mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Component-wise `a + b`.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector dimensionality mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Scale `v` by `s`.
+pub fn scale(v: &[f64], s: f64) -> Vec<f64> {
+    v.iter().map(|x| x * s).collect()
+}
+
+/// Add `s * other` into `acc` in place.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn axpy(acc: &mut [f64], s: f64, other: &[f64]) {
+    assert_eq!(acc.len(), other.len(), "vector dimensionality mismatch");
+    for (a, &o) in acc.iter_mut().zip(other) {
+        *a += s * o;
+    }
+}
+
+/// Dot product.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector dimensionality mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Unit vector in the direction of `v`, or `None` for the zero vector.
+pub fn unit(v: &[f64]) -> Option<Vec<f64>> {
+    let n = norm(v);
+    if n == 0.0 {
+        None
+    } else {
+        Some(scale(v, 1.0 / n))
+    }
+}
+
+/// Centroid (component-wise mean) of a set of equal-length vectors.
+///
+/// # Panics
+/// Panics if `vs` is empty or dimensions are inconsistent.
+pub fn centroid(vs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!vs.is_empty(), "centroid of an empty set");
+    let dim = vs[0].len();
+    let mut acc = vec![0.0; dim];
+    for v in vs {
+        assert_eq!(v.len(), dim, "vector dimensionality mismatch");
+        for (a, &x) in acc.iter_mut().zip(v) {
+            *a += x;
+        }
+    }
+    scale(&acc, 1.0 / vs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn distance_matches_norm_of_difference() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert_eq!(distance(&a, &b), 5.0);
+        assert_eq!(distance(&a, &b), norm(&sub(&a, &b)));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [1.5, -2.0, 0.25];
+        let b = [0.5, 3.0, -1.25];
+        assert_eq!(add(&sub(&a, &b), &b), a.to_vec());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut acc = vec![1.0, 1.0];
+        axpy(&mut acc, 2.0, &[3.0, -1.0]);
+        assert_eq!(acc, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn unit_has_norm_one() {
+        let u = unit(&[3.0, 4.0]).expect("nonzero");
+        assert!((norm(&u) - 1.0).abs() < 1e-12);
+        assert_eq!(unit(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let c = centroid(&[
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![2.0, 2.0],
+            vec![0.0, 2.0],
+        ]);
+        assert_eq!(c, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn distance_rejects_mismatched_dims() {
+        distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(-100f64..100.0, 3),
+            b in proptest::collection::vec(-100f64..100.0, 3),
+            c in proptest::collection::vec(-100f64..100.0, 3),
+        ) {
+            prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c) + 1e-9);
+        }
+
+        #[test]
+        fn distance_symmetric_nonnegative(
+            a in proptest::collection::vec(-100f64..100.0, 4),
+            b in proptest::collection::vec(-100f64..100.0, 4),
+        ) {
+            prop_assert!((distance(&a, &b) - distance(&b, &a)).abs() < 1e-12);
+            prop_assert!(distance(&a, &b) >= 0.0);
+            prop_assert!(distance(&a, &a) == 0.0);
+        }
+
+        #[test]
+        fn scale_scales_norm(v in proptest::collection::vec(-100f64..100.0, 3), s in -10f64..10.0) {
+            let scaled = scale(&v, s);
+            prop_assert!((norm(&scaled) - s.abs() * norm(&v)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cauchy_schwarz(
+            a in proptest::collection::vec(-50f64..50.0, 5),
+            b in proptest::collection::vec(-50f64..50.0, 5),
+        ) {
+            prop_assert!(dot(&a, &b).abs() <= norm(&a) * norm(&b) + 1e-9);
+        }
+    }
+}

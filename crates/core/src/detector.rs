@@ -1,0 +1,313 @@
+//! The innovation-based hypothesis test (§4.1 of the paper).
+//!
+//! At each embedding step the node observes a measured relative error
+//! `D_n` and the Kalman filter supplies the prediction `Δ̂_{n|n−1}` with
+//! innovation variance `v_η,n`. Under hypothesis `H₀` ("the peer is
+//! honest") the innovation `η_n = D_n − Δ̂_{n|n−1}` is zero-mean gaussian
+//! with variance `v_η,n`, so for significance level `α` the step is
+//! flagged as suspicious when
+//!
+//! ```text
+//! |D_n − Δ̂_{n|n−1}| ≥ t_n = √v_η,n · Q⁻¹(α/2)            (Eq. 5)
+//! ```
+//!
+//! On rejection the step is aborted and `D_n` is **discarded** — it never
+//! updates the filter state — so a malicious stream cannot drag the
+//! filter toward itself.
+
+use crate::kalman::KalmanFilter;
+use crate::model::StateSpaceParams;
+use ices_stats::q_inverse;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of testing one embedding step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Whether the step was flagged as suspicious (and therefore aborted).
+    pub suspicious: bool,
+    /// The innovation `η_n` the test evaluated.
+    pub innovation: f64,
+    /// The threshold `t_n` the innovation was compared against.
+    pub threshold: f64,
+    /// The predicted relative error `Δ̂_{n|n−1}`.
+    pub predicted: f64,
+    /// The innovation variance `v_η,n`.
+    pub innovation_variance: f64,
+}
+
+/// A Kalman filter armed with the significance-level test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detector {
+    filter: KalmanFilter,
+    alpha: f64,
+}
+
+impl Detector {
+    /// Build a detector from calibrated parameters and a significance
+    /// level `α ∈ (0, 1)` (the paper settles on 5%).
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1)` or the parameters are
+    /// invalid.
+    pub fn new(params: StateSpaceParams, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "significance level must be in (0, 1), got {alpha}"
+        );
+        Self {
+            filter: KalmanFilter::new(params),
+            alpha,
+        }
+    }
+
+    /// The configured significance level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The underlying filter (read access for diagnostics).
+    pub fn filter(&self) -> &KalmanFilter {
+        &self.filter
+    }
+
+    /// The threshold `t_n` for an arbitrary significance level given the
+    /// current prediction state (used by the reprieve mechanism, which
+    /// re-tests at level `e_l·α`).
+    pub fn threshold_at(&self, alpha: f64) -> f64 {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "significance level must be in (0, 1), got {alpha}"
+        );
+        let pred = self.filter.predict();
+        pred.innovation_variance.sqrt() * q_inverse(alpha / 2.0)
+    }
+
+    /// Evaluate a measured relative error *without* updating the filter.
+    ///
+    /// Exposed separately so the reprieve logic can inspect a verdict,
+    /// apply a second test, and only then decide whether to accept.
+    pub fn evaluate(&self, observation: f64) -> Verdict {
+        assert!(
+            observation.is_finite(),
+            "observation must be finite, got {observation}"
+        );
+        let pred = self.filter.predict();
+        let innovation = observation - pred.predicted;
+        let threshold = pred.innovation_variance.sqrt() * q_inverse(self.alpha / 2.0);
+        Verdict {
+            suspicious: innovation.abs() >= threshold,
+            innovation,
+            threshold,
+            predicted: pred.predicted,
+            innovation_variance: pred.innovation_variance,
+        }
+    }
+
+    /// Accept an observation: incorporate `D_n` into the filter state.
+    /// Call only for steps that passed the test (or were reprieved) —
+    /// rejected observations must stay out of the filter.
+    pub fn accept(&mut self, observation: f64) {
+        self.filter.update(observation);
+    }
+
+    /// Test-and-update in one call: evaluates, and feeds the filter only
+    /// if the step is *not* suspicious.
+    pub fn assess(&mut self, observation: f64) -> Verdict {
+        let verdict = self.evaluate(observation);
+        if !verdict.suspicious {
+            self.filter.update(observation);
+        }
+        verdict
+    }
+
+    /// Whether the filter has hit the paper's recalibration condition.
+    pub fn needs_recalibration(&self) -> bool {
+        self.filter.needs_recalibration()
+    }
+
+    /// Install freshly calibrated parameters (from a Surveyor).
+    pub fn recalibrate(&mut self, params: StateSpaceParams) {
+        self.filter.recalibrate(params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ices_stats::rng::stream_rng;
+
+    fn params() -> StateSpaceParams {
+        StateSpaceParams {
+            beta: 0.85,
+            v_w: 0.003,
+            v_u: 0.002,
+            w_bar: 0.015,
+            w0: 0.3,
+            p0: 0.02,
+        }
+    }
+
+    #[test]
+    fn threshold_matches_equation_five() {
+        let d = Detector::new(params(), 0.05);
+        let verdict = d.evaluate(0.3);
+        let want = verdict.innovation_variance.sqrt() * q_inverse(0.025);
+        assert!((verdict.threshold - want).abs() < 1e-12);
+        // For α = 5%, Q⁻¹(0.025) ≈ 1.96.
+        assert!(
+            (verdict.threshold / verdict.innovation_variance.sqrt() - 1.959_963_984_540_054).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn flag_rate_on_clean_data_matches_alpha_without_censoring() {
+        // With every observation fed to the filter (no censoring), the
+        // fraction of innovations beyond the threshold must equal α.
+        let p = params();
+        let mut rng = stream_rng(20, 0);
+        let trace = p.simulate(20_000, &mut rng);
+        let mut d = Detector::new(p, 0.05);
+        let mut flagged = 0usize;
+        for &obs in &trace {
+            if d.evaluate(obs).suspicious {
+                flagged += 1;
+            }
+            d.accept(obs);
+        }
+        let rate = flagged as f64 / trace.len() as f64;
+        assert!(
+            (rate - 0.05).abs() < 0.01,
+            "uncensored flag rate {rate} should be ≈ 0.05"
+        );
+    }
+
+    #[test]
+    fn censored_operation_inflates_false_positives_only_mildly() {
+        // The protocol discards rejected observations (they never update
+        // the filter), which slightly raises the false-positive rate
+        // above α on clean data — the cost the paper's Fig 11 quantifies.
+        let p = params();
+        let mut rng = stream_rng(20, 1);
+        let trace = p.simulate(20_000, &mut rng);
+        let mut d = Detector::new(p, 0.05);
+        let mut flagged = 0usize;
+        for &obs in &trace {
+            if d.assess(obs).suspicious {
+                flagged += 1;
+            }
+        }
+        let fpr = flagged as f64 / trace.len() as f64;
+        assert!(
+            (0.04..0.13).contains(&fpr),
+            "censored clean-data rejection rate {fpr} out of expected band"
+        );
+    }
+
+    #[test]
+    fn flags_large_deviations() {
+        let p = params();
+        let mut d = Detector::new(p, 0.05);
+        // Warm the filter with nominal data.
+        for _ in 0..50 {
+            d.accept(p.stationary_mean());
+        }
+        // A blatant lie: relative error far beyond anything nominal.
+        let verdict = d.evaluate(5.0);
+        assert!(verdict.suspicious);
+    }
+
+    #[test]
+    fn rejected_observations_do_not_move_the_filter() {
+        let p = params();
+        let mut d = Detector::new(p, 0.05);
+        for _ in 0..50 {
+            d.accept(p.stationary_mean());
+        }
+        let before = d.filter().clone();
+        let verdict = d.assess(10.0);
+        assert!(verdict.suspicious);
+        assert_eq!(
+            d.filter(),
+            &before,
+            "a rejected step must not update filter state"
+        );
+    }
+
+    #[test]
+    fn smaller_alpha_is_more_lenient() {
+        let d1 = Detector::new(params(), 0.01);
+        let d5 = Detector::new(params(), 0.05);
+        let t1 = d1.evaluate(0.0).threshold;
+        let t5 = d5.evaluate(0.0).threshold;
+        assert!(
+            t1 > t5,
+            "a stricter significance level has a larger threshold: {t1} vs {t5}"
+        );
+    }
+
+    #[test]
+    fn threshold_at_is_monotone_decreasing_in_alpha() {
+        let d = Detector::new(params(), 0.05);
+        let mut prev = f64::INFINITY;
+        for alpha in [0.001, 0.01, 0.03, 0.05, 0.1, 0.3] {
+            let t = d.threshold_at(alpha);
+            assert!(t < prev, "threshold must shrink as α grows");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn detection_power_grows_with_attack_magnitude() {
+        let p = params();
+        let mut rng = stream_rng(21, 0);
+        let clean = p.simulate(2000, &mut rng);
+        let mut rates = Vec::new();
+        for shift in [0.05, 0.2, 0.8] {
+            let mut d = Detector::new(p, 0.05);
+            let mut caught = 0usize;
+            for &obs in &clean {
+                // Every observation tampered upward by `shift`.
+                if d.assess(obs + shift).suspicious {
+                    caught += 1;
+                }
+            }
+            rates.push(caught as f64 / clean.len() as f64);
+        }
+        assert!(
+            rates[0] < rates[1] && rates[1] < rates[2],
+            "rates {rates:?}"
+        );
+        assert!(
+            rates[2] > 0.95,
+            "large attacks must be nearly always caught"
+        );
+    }
+
+    #[test]
+    fn recalibration_signal_propagates() {
+        let p = params();
+        let mut d = Detector::new(p, 0.05);
+        for _ in 0..10 {
+            d.accept(1e3);
+        }
+        assert!(d.needs_recalibration());
+        d.recalibrate(p);
+        assert!(!d.needs_recalibration());
+    }
+
+    #[test]
+    #[should_panic(expected = "significance level must be in (0, 1)")]
+    fn rejects_alpha_of_one() {
+        Detector::new(params(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut d = Detector::new(params(), 0.05);
+        d.accept(0.3);
+        let json = serde_json::to_string(&d).expect("serialize");
+        let back: Detector = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,494 @@
+//! The generic detection protocol (§4.2 of the paper).
+//!
+//! [`SecureNode`] wraps any embedding node (Vivaldi, NPS, …) and vets
+//! every embedding step with the innovation test before letting it touch
+//! the coordinate:
+//!
+//! * **Accepted** steps update both the filter and the embedding.
+//! * **Rejected** steps are aborted, the observation discarded, and the
+//!   peer flagged for replacement (a new neighbor in Vivaldi, a new
+//!   reference point in NPS).
+//! * **First-time peers** get one chance at a reprieve: a second,
+//!   stricter hypothesis test at significance `e_l·α` (scaled by the
+//!   node's own confidence). A converged node (`e_l` small → wide
+//!   threshold) affords a joining peer time to converge; an unconverged
+//!   node grants few reprieves because it cannot afford aborted steps.
+//! * When **half the node's peers get rejected within one embedding
+//!   round**, the filter parameters are presumed stale and the node asks
+//!   the Surveyor infrastructure for fresh ones ([`SecureStep`] callers
+//!   observe this through [`SecureNode::end_round`]).
+
+use crate::detector::{Detector, Verdict};
+use crate::model::StateSpaceParams;
+use ices_coord::{Embedding, PeerSample, StepOutcome};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Knobs of the detection protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SecurityConfig {
+    /// Significance level `α` of the primary test (the paper: 5%).
+    pub alpha: f64,
+    /// Whether first-time peers may be reprieved (ablation switch).
+    pub reprieve_enabled: bool,
+    /// Fraction of a round's peers whose rejection triggers a filter
+    /// refresh (the paper: half).
+    pub refresh_fraction: f64,
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl SecurityConfig {
+    /// The paper's protocol: α = 5%, reprieves on, refresh at half.
+    pub fn paper_default() -> Self {
+        Self {
+            alpha: 0.05,
+            reprieve_enabled: true,
+            refresh_fraction: 0.5,
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics if `alpha ∉ (0,1)` or `refresh_fraction ∉ (0,1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "alpha must be in (0,1), got {}",
+            self.alpha
+        );
+        assert!(
+            self.refresh_fraction > 0.0 && self.refresh_fraction <= 1.0,
+            "refresh_fraction must be in (0,1], got {}",
+            self.refresh_fraction
+        );
+    }
+}
+
+/// The vetted outcome of one embedding step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SecureStep {
+    /// The step passed the test and was applied to the embedding.
+    Accepted {
+        /// What the embedding did with the sample.
+        outcome: StepOutcome,
+        /// The test's verdict (not suspicious).
+        verdict: Verdict,
+    },
+    /// The step was flagged, but the peer — seen for the first time —
+    /// passed the secondary `e_l·α` test: the step is aborted but the
+    /// peer is kept for a later retry.
+    Reprieved {
+        /// The primary test's verdict (suspicious).
+        verdict: Verdict,
+        /// The secondary threshold the innovation stayed under.
+        reprieve_threshold: f64,
+    },
+    /// The step was flagged and the peer should be replaced.
+    Rejected {
+        /// The test's verdict (suspicious).
+        verdict: Verdict,
+    },
+}
+
+impl SecureStep {
+    /// Whether the embedding step was completed.
+    pub fn accepted(&self) -> bool {
+        matches!(self, SecureStep::Accepted { .. })
+    }
+
+    /// Whether the caller should replace this peer.
+    pub fn replace_peer(&self) -> bool {
+        matches!(self, SecureStep::Rejected { .. })
+    }
+
+    /// The primary verdict regardless of outcome.
+    pub fn verdict(&self) -> &Verdict {
+        match self {
+            SecureStep::Accepted { verdict, .. }
+            | SecureStep::Reprieved { verdict, .. }
+            | SecureStep::Rejected { verdict } => verdict,
+        }
+    }
+}
+
+/// What a completed round tells the node to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundAction {
+    /// Keep going with the current filter.
+    Continue,
+    /// Too many rejections this round: fetch fresh filter parameters
+    /// from the (coordinate-)closest Surveyor.
+    RefreshFilter,
+}
+
+/// An embedding node protected by the detection protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SecureNode<E> {
+    inner: E,
+    detector: Detector,
+    config: SecurityConfig,
+    /// Surveyor whose parameters currently drive the filter.
+    filter_source: usize,
+    /// Peers this node has embedded against at least once.
+    seen_peers: BTreeSet<usize>,
+    /// Distinct peers tested in the current round.
+    round_peers: BTreeSet<usize>,
+    /// Distinct peers rejected in the current round.
+    round_rejections: BTreeSet<usize>,
+    /// Lifetime counts, for diagnostics.
+    accepted: u64,
+    reprieved: u64,
+    rejected: u64,
+}
+
+impl<E: Embedding> SecureNode<E> {
+    /// Wrap an embedding node with a detector calibrated from
+    /// `params` (obtained from Surveyor `filter_source`).
+    pub fn new(
+        inner: E,
+        params: StateSpaceParams,
+        filter_source: usize,
+        config: SecurityConfig,
+    ) -> Self {
+        config.validate();
+        Self {
+            inner,
+            detector: Detector::new(params, config.alpha),
+            config,
+            filter_source,
+            seen_peers: BTreeSet::new(),
+            round_peers: BTreeSet::new(),
+            round_rejections: BTreeSet::new(),
+            accepted: 0,
+            reprieved: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The wrapped embedding node.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped node (NPS round completion etc.).
+    pub fn inner_mut(&mut self) -> &mut E {
+        &mut self.inner
+    }
+
+    /// The detector (diagnostics).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Surveyor id whose parameters the filter currently runs on.
+    pub fn filter_source(&self) -> usize {
+        self.filter_source
+    }
+
+    /// Lifetime `(accepted, reprieved, rejected)` step counts.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.accepted, self.reprieved, self.rejected)
+    }
+
+    /// Prime the freshly installed filter with the node's own recent
+    /// *clean* relative-error history (no testing — the samples predate
+    /// the filter).
+    ///
+    /// The calibrated `(w₀, p₀)` describe the state at the start of an
+    /// embedding from scratch; a node that adopts a filter mid-life is
+    /// already converged, and without priming the filter would spend its
+    /// first tens of steps flagging perfectly normal observations while
+    /// `β`-decay catches up.
+    pub fn prime(&mut self, recent_clean: &[f64]) {
+        for &d in recent_clean {
+            self.detector.accept(d);
+        }
+    }
+
+    /// Vet one embedding step and apply it if it passes (§4.1–4.2).
+    pub fn step(&mut self, sample: &PeerSample) -> SecureStep {
+        let d = self.inner.probe(sample);
+        let verdict = self.detector.evaluate(d);
+        self.round_peers.insert(sample.peer);
+        let first_time = self.seen_peers.insert(sample.peer);
+
+        if !verdict.suspicious {
+            self.detector.accept(d);
+            let outcome = self.inner.apply_step(sample);
+            self.accepted += 1;
+            return SecureStep::Accepted { outcome, verdict };
+        }
+
+        // Suspicious. First-time peers may earn a reprieve at the
+        // stricter significance e_l·α (a *smaller* α gives a *larger*
+        // threshold, i.e. more leniency — and a confident node with a
+        // small e_l is the most lenient).
+        if self.config.reprieve_enabled && first_time {
+            let el = self.inner.local_error().clamp(1e-6, 1.0);
+            let alpha2 = (el * self.config.alpha).clamp(1e-9, 1.0 - 1e-9);
+            let reprieve_threshold = self.detector.threshold_at(alpha2);
+            if verdict.innovation.abs() < reprieve_threshold {
+                self.reprieved += 1;
+                return SecureStep::Reprieved {
+                    verdict,
+                    reprieve_threshold,
+                };
+            }
+        }
+
+        self.round_rejections.insert(sample.peer);
+        self.rejected += 1;
+        SecureStep::Rejected { verdict }
+    }
+
+    /// Close the current embedding round. Returns
+    /// [`RoundAction::RefreshFilter`] when at least `refresh_fraction`
+    /// of the round's distinct peers were rejected — the signal that the
+    /// filter parameters have gone stale.
+    pub fn end_round(&mut self) -> RoundAction {
+        let peers = self.round_peers.len();
+        let rejected = self.round_rejections.len();
+        self.round_peers.clear();
+        self.round_rejections.clear();
+        if peers > 0 && (rejected as f64) >= (peers as f64) * self.config.refresh_fraction {
+            RoundAction::RefreshFilter
+        } else {
+            RoundAction::Continue
+        }
+    }
+
+    /// Install fresh filter parameters obtained from Surveyor
+    /// `source`.
+    pub fn refresh_filter(&mut self, params: StateSpaceParams, source: usize) {
+        self.detector.recalibrate(params);
+        self.filter_source = source;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ices_coord::{Coordinate, Space};
+
+    /// A minimal embedding: fixed coordinate, configurable local error;
+    /// lets the tests isolate protocol behavior from geometry.
+    #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+    struct StubEmbedding {
+        coordinate: Coordinate,
+        local_error: f64,
+        applied: Vec<usize>,
+    }
+
+    impl StubEmbedding {
+        fn new(local_error: f64) -> Self {
+            Self {
+                coordinate: Coordinate::origin(Space::with_height(2)),
+                local_error,
+                applied: Vec::new(),
+            }
+        }
+    }
+
+    impl Embedding for StubEmbedding {
+        fn coordinate(&self) -> &Coordinate {
+            &self.coordinate
+        }
+        fn local_error(&self) -> f64 {
+            self.local_error
+        }
+        fn apply_step(&mut self, sample: &PeerSample) -> StepOutcome {
+            self.applied.push(sample.peer);
+            StepOutcome {
+                relative_error: 0.0,
+                local_error: self.local_error,
+                moved: true,
+            }
+        }
+    }
+
+    fn params() -> StateSpaceParams {
+        StateSpaceParams {
+            beta: 0.8,
+            v_w: 0.001,
+            v_u: 0.001,
+            w_bar: 0.02,
+            w0: 0.1,
+            p0: 0.01,
+        }
+    }
+
+    /// A sample whose probe yields relative error ≈ `d` against the stub
+    /// at the origin: put the peer at distance `est` with rtt chosen so
+    /// |est − rtt|/rtt = d (overestimation form: est = rtt(1+d)).
+    fn sample_with_error(peer: usize, d: f64) -> PeerSample {
+        let rtt = 50.0;
+        let est = rtt * (1.0 + d);
+        PeerSample {
+            peer,
+            peer_coord: Coordinate::new(vec![est, 0.0], 0.0),
+            peer_error: 0.2,
+            rtt_ms: rtt,
+        }
+    }
+
+    fn secure(local_error: f64) -> SecureNode<StubEmbedding> {
+        SecureNode::new(
+            StubEmbedding::new(local_error),
+            params(),
+            0,
+            SecurityConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn nominal_steps_are_accepted_and_applied() {
+        let mut node = secure(0.1);
+        let s = sample_with_error(1, 0.1); // close to the filter's state
+        let step = node.step(&s);
+        assert!(step.accepted(), "verdict: {:?}", step.verdict());
+        assert_eq!(node.inner().applied, vec![1]);
+        assert_eq!(node.counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn wild_steps_from_known_peers_are_rejected() {
+        let mut node = secure(0.1);
+        // Make peer 2 known with a good step first.
+        node.step(&sample_with_error(2, 0.1));
+        let step = node.step(&sample_with_error(2, 5.0));
+        assert!(step.replace_peer());
+        assert_eq!(node.inner().applied, vec![2], "bad step must not apply");
+        assert_eq!(node.counts().2, 1);
+    }
+
+    #[test]
+    fn first_time_peer_with_moderate_deviation_gets_reprieved() {
+        // A converged node (tiny e_l) is lenient with joining peers: the
+        // secondary threshold at e_l·α is much wider.
+        let mut node = secure(0.01);
+        // Suspicious at α = 5% but inside the (e_l·α)-threshold.
+        let primary_t = node.detector().evaluate(0.0).threshold;
+        let secondary_t = node.detector().threshold_at(0.01 * 0.05);
+        assert!(secondary_t > primary_t);
+        // Find a deviation between the two thresholds: innovation is
+        // (d − predicted); predicted starts at w0-ish. Use d = predicted
+        // + 1.5·primary_t.
+        let predicted = node.detector().evaluate(0.0).predicted;
+        let d = predicted + (primary_t + secondary_t) / 2.0;
+        let step = node.step(&sample_with_error(7, d));
+        match step {
+            SecureStep::Reprieved { .. } => {}
+            other => panic!("expected reprieve, got {other:?}"),
+        }
+        assert!(node.inner().applied.is_empty(), "reprieve still aborts");
+        assert_eq!(node.counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn reprieve_only_granted_once_per_peer() {
+        let mut node = secure(0.01);
+        let predicted = node.detector().evaluate(0.0).predicted;
+        let primary_t = node.detector().evaluate(0.0).threshold;
+        let secondary_t = node.detector().threshold_at(0.01 * 0.05);
+        let d = predicted + (primary_t + secondary_t) / 2.0;
+        let first = node.step(&sample_with_error(7, d));
+        assert!(matches!(first, SecureStep::Reprieved { .. }));
+        let second = node.step(&sample_with_error(7, d));
+        assert!(
+            second.replace_peer(),
+            "second suspicious step from the same peer must reject"
+        );
+    }
+
+    #[test]
+    fn unconfident_node_grants_fewer_reprieves() {
+        // With e_l = 1 the secondary test equals the primary test, so a
+        // step that failed the primary also fails the reprieve.
+        let mut node = secure(1.0);
+        let predicted = node.detector().evaluate(0.0).predicted;
+        let primary_t = node.detector().evaluate(0.0).threshold;
+        let d = predicted + primary_t * 1.5;
+        let step = node.step(&sample_with_error(3, d));
+        assert!(step.replace_peer(), "e_l = 1 leaves no reprieve headroom");
+    }
+
+    #[test]
+    fn blatant_lies_are_rejected_even_first_time() {
+        let mut node = secure(0.01);
+        let step = node.step(&sample_with_error(4, 50.0));
+        assert!(step.replace_peer());
+    }
+
+    #[test]
+    fn reprieve_can_be_disabled() {
+        let mut config = SecurityConfig::paper_default();
+        config.reprieve_enabled = false;
+        let mut node = SecureNode::new(StubEmbedding::new(0.01), params(), 0, config);
+        let predicted = node.detector().evaluate(0.0).predicted;
+        let primary_t = node.detector().evaluate(0.0).threshold;
+        let secondary_t = node.detector().threshold_at(0.01 * 0.05);
+        let d = predicted + (primary_t + secondary_t) / 2.0;
+        let step = node.step(&sample_with_error(7, d));
+        assert!(step.replace_peer(), "no reprieve when disabled");
+    }
+
+    #[test]
+    fn round_with_majority_rejections_triggers_refresh() {
+        let mut node = secure(1.0);
+        // Two peers accepted, two rejected → exactly half → refresh.
+        node.step(&sample_with_error(1, 0.1));
+        node.step(&sample_with_error(2, 0.1));
+        node.step(&sample_with_error(3, 50.0));
+        node.step(&sample_with_error(4, 50.0));
+        assert_eq!(node.end_round(), RoundAction::RefreshFilter);
+        // Counters reset for the next round.
+        node.step(&sample_with_error(5, 0.1));
+        assert_eq!(node.end_round(), RoundAction::Continue);
+    }
+
+    #[test]
+    fn quiet_round_continues() {
+        let mut node = secure(1.0);
+        for peer in 0..6 {
+            node.step(&sample_with_error(peer, 0.1));
+        }
+        node.step(&sample_with_error(99, 50.0)); // 1 of 7 rejected
+        assert_eq!(node.end_round(), RoundAction::Continue);
+    }
+
+    #[test]
+    fn refresh_filter_swaps_source_and_state() {
+        let mut node = secure(1.0);
+        for _ in 0..5 {
+            node.step(&sample_with_error(1, 0.1));
+        }
+        assert_eq!(node.filter_source(), 0);
+        node.refresh_filter(params(), 42);
+        assert_eq!(node.filter_source(), 42);
+        assert_eq!(node.detector().filter().updates(), 0);
+    }
+
+    #[test]
+    fn accepted_fraction_on_clean_stream_is_high() {
+        // End-to-end sanity: a stream of nominal errors drawn from the
+        // model itself should be overwhelmingly accepted.
+        let p = params();
+        let mut rng = ices_stats::rng::stream_rng(30, 0);
+        let trace = p.simulate(2000, &mut rng);
+        let mut node = secure(0.3);
+        let mut accepted = 0usize;
+        for (i, &d) in trace.iter().enumerate() {
+            if node.step(&sample_with_error(i % 64, d.max(0.0))).accepted() {
+                accepted += 1;
+            }
+        }
+        let rate = accepted as f64 / trace.len() as f64;
+        assert!(rate > 0.9, "acceptance rate {rate}");
+    }
+}

@@ -1,0 +1,289 @@
+//! RTT fluctuation models.
+//!
+//! §2 of the paper isolates two noise sources on top of the nominal RTT:
+//! transient network congestion and operating-system scheduling in the
+//! measuring hosts. Following the constancy results of Zhang et al. the
+//! process is *stationary* at the timescales embedding operates on. A
+//! measurement is modeled as
+//!
+//! ```text
+//! measured = base · C + J + S
+//! ```
+//!
+//! where `C` is a lognormal congestion factor with median 1 (queueing
+//! along the path scales with path length), `J` is zero-mean gaussian
+//! jitter from timestamping, and `S` is a rare heavy-tailed Pareto spike
+//! (an OS scheduling stall — overwhelmingly common on busy PlanetLab
+//! hosts, rare in the King measurements). Negative outcomes are clamped
+//! to a physical floor.
+
+use ices_stats::sample;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the stationary measurement-noise process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluctuationModel {
+    /// σ of the lognormal congestion factor (median factor is 1).
+    pub congestion_sigma: f64,
+    /// Standard deviation of additive gaussian jitter, in ms.
+    pub jitter_ms: f64,
+    /// Probability that a probe hits a scheduling spike.
+    pub spike_probability: f64,
+    /// Pareto scale (minimum spike size), in ms.
+    pub spike_scale_ms: f64,
+    /// Pareto shape; smaller is heavier-tailed. Must exceed 1 for the
+    /// spikes to have finite mean.
+    pub spike_shape: f64,
+    /// Smallest RTT a measurement can report, in ms.
+    pub floor_ms: f64,
+}
+
+impl FluctuationModel {
+    /// Noise typical of the King measurements: mild congestion spread,
+    /// sub-millisecond timestamp jitter, spikes effectively absent.
+    pub fn king_default() -> Self {
+        Self {
+            congestion_sigma: 0.05,
+            jitter_ms: 0.3,
+            spike_probability: 0.0005,
+            spike_scale_ms: 10.0,
+            spike_shape: 2.5,
+            floor_ms: 0.1,
+        }
+    }
+
+    /// Noise typical of PlanetLab hosts: visibly noisier timestamps and
+    /// frequent scheduling stalls on oversubscribed machines.
+    pub fn planetlab_default() -> Self {
+        Self {
+            congestion_sigma: 0.08,
+            jitter_ms: 1.0,
+            spike_probability: 0.002,
+            spike_scale_ms: 20.0,
+            spike_shape: 2.0,
+            floor_ms: 0.1,
+        }
+    }
+
+    /// A noise-free model (measurements return the base RTT exactly);
+    /// useful for tests that need determinism of the *embedding* alone.
+    pub fn noiseless() -> Self {
+        Self {
+            congestion_sigma: 0.0,
+            jitter_ms: 0.0,
+            spike_probability: 0.0,
+            spike_scale_ms: 1.0,
+            spike_shape: 2.0,
+            floor_ms: 0.01,
+        }
+    }
+
+    /// Validate parameter sanity.
+    ///
+    /// # Panics
+    /// Panics on negative variances/probabilities or a non-positive floor.
+    pub fn validate(&self) {
+        assert!(self.congestion_sigma >= 0.0, "congestion_sigma < 0");
+        assert!(self.jitter_ms >= 0.0, "jitter_ms < 0");
+        assert!(
+            (0.0..=1.0).contains(&self.spike_probability),
+            "spike_probability outside [0,1]"
+        );
+        assert!(self.spike_scale_ms > 0.0, "spike_scale_ms <= 0");
+        assert!(self.spike_shape > 1.0, "spike_shape must exceed 1");
+        assert!(self.floor_ms > 0.0, "floor_ms <= 0");
+    }
+
+    /// Draw one measured RTT for a path with the given nominal RTT,
+    /// with per-endpoint noise amplification `profile`.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        base_rtt_ms: f64,
+        profile: &NoiseProfile,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(
+            base_rtt_ms > 0.0 && base_rtt_ms.is_finite(),
+            "base RTT must be positive, got {base_rtt_ms}"
+        );
+        let sigma = self.congestion_sigma * profile.congestion_mult;
+        let congestion = if sigma > 0.0 {
+            sample::lognormal(rng, 0.0, sigma)
+        } else {
+            1.0
+        };
+        let jitter_sd = self.jitter_ms * profile.jitter_mult;
+        let jitter = if jitter_sd > 0.0 {
+            sample::normal(rng, 0.0, jitter_sd)
+        } else {
+            0.0
+        };
+        let spike_p = (self.spike_probability * profile.spike_mult).min(1.0);
+        let spike = if spike_p > 0.0 && rng.random::<f64>() < spike_p {
+            sample::pareto(rng, self.spike_scale_ms, self.spike_shape)
+        } else {
+            0.0
+        };
+        (base_rtt_ms * congestion + jitter + spike).max(self.floor_ms)
+    }
+}
+
+/// Per-node noise amplification.
+///
+/// The fluctuation a probe experiences depends on *both* endpoints (each
+/// contributes its own OS scheduling and access congestion); profiles
+/// combine multiplicatively-on-average via [`NoiseProfile::combine`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseProfile {
+    /// Multiplier on the congestion σ.
+    pub congestion_mult: f64,
+    /// Multiplier on the jitter standard deviation.
+    pub jitter_mult: f64,
+    /// Multiplier on the spike probability.
+    pub spike_mult: f64,
+}
+
+impl Default for NoiseProfile {
+    fn default() -> Self {
+        Self::clean()
+    }
+}
+
+impl NoiseProfile {
+    /// A well-behaved host: the model's base noise, unamplified.
+    pub fn clean() -> Self {
+        Self {
+            congestion_mult: 1.0,
+            jitter_mult: 1.0,
+            spike_mult: 1.0,
+        }
+    }
+
+    /// A pathologically noisy host (the paper's "nodes in India" with
+    /// adverse network conditions and >0.75 average relative errors).
+    pub fn pathological() -> Self {
+        Self {
+            congestion_mult: 6.0,
+            jitter_mult: 10.0,
+            spike_mult: 25.0,
+        }
+    }
+
+    /// Combine the two endpoints' profiles into a per-path profile. The
+    /// average of the endpoint multipliers: each endpoint contributes its
+    /// own measurement machinery to the probe.
+    pub fn combine(&self, other: &NoiseProfile) -> NoiseProfile {
+        NoiseProfile {
+            congestion_mult: 0.5 * (self.congestion_mult + other.congestion_mult),
+            jitter_mult: 0.5 * (self.jitter_mult + other.jitter_mult),
+            spike_mult: 0.5 * (self.spike_mult + other.spike_mult),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ices_stats::rng::stream_rng;
+    use ices_stats::OnlineStats;
+
+    fn stats_for(model: &FluctuationModel, profile: &NoiseProfile, base: f64) -> OnlineStats {
+        let mut rng = stream_rng(7, 0);
+        let mut s = OnlineStats::new();
+        for _ in 0..50_000 {
+            s.push(model.measure(base, profile, &mut rng));
+        }
+        s
+    }
+
+    #[test]
+    fn noiseless_returns_base_exactly() {
+        let m = FluctuationModel::noiseless();
+        let mut rng = stream_rng(1, 0);
+        for base in [1.0, 50.0, 300.0] {
+            assert_eq!(m.measure(base, &NoiseProfile::clean(), &mut rng), base);
+        }
+    }
+
+    #[test]
+    fn king_noise_is_centered_on_base() {
+        let m = FluctuationModel::king_default();
+        let s = stats_for(&m, &NoiseProfile::clean(), 100.0);
+        // Lognormal(0, 0.04) has mean ≈ 1.0008; spikes add ~0.017 on average.
+        assert!((s.mean() - 100.0).abs() < 1.0, "mean = {}", s.mean());
+        assert!(s.min() >= m.floor_ms);
+    }
+
+    #[test]
+    fn planetlab_noisier_than_king() {
+        let king = stats_for(
+            &FluctuationModel::king_default(),
+            &NoiseProfile::clean(),
+            100.0,
+        );
+        let pl = stats_for(
+            &FluctuationModel::planetlab_default(),
+            &NoiseProfile::clean(),
+            100.0,
+        );
+        assert!(
+            pl.variance() > 1.3 * king.variance(),
+            "planetlab var {} should dominate king var {}",
+            pl.variance(),
+            king.variance()
+        );
+    }
+
+    #[test]
+    fn pathological_profile_amplifies() {
+        let m = FluctuationModel::planetlab_default();
+        let clean = stats_for(&m, &NoiseProfile::clean(), 100.0);
+        let path = stats_for(&m, &NoiseProfile::pathological(), 100.0);
+        assert!(
+            path.variance() > 4.0 * clean.variance(),
+            "pathological var {} vs clean var {}",
+            path.variance(),
+            clean.variance()
+        );
+    }
+
+    #[test]
+    fn measurements_never_below_floor() {
+        let mut m = FluctuationModel::planetlab_default();
+        m.jitter_ms = 50.0; // jitter often exceeds a 1 ms base
+        let s = stats_for(&m, &NoiseProfile::clean(), 1.0);
+        assert!(s.min() >= m.floor_ms);
+    }
+
+    #[test]
+    fn combine_averages_multipliers() {
+        let c = NoiseProfile::clean().combine(&NoiseProfile::pathological());
+        assert!((c.jitter_mult - 5.5).abs() < 1e-12);
+        assert!((c.congestion_mult - 3.5).abs() < 1e-12);
+        assert!((c.spike_mult - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        FluctuationModel::king_default().validate();
+        FluctuationModel::planetlab_default().validate();
+        FluctuationModel::noiseless().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "spike_shape must exceed 1")]
+    fn validate_rejects_infinite_mean_spikes() {
+        let mut m = FluctuationModel::king_default();
+        m.spike_shape = 0.9;
+        m.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "base RTT must be positive")]
+    fn measure_rejects_zero_base() {
+        let m = FluctuationModel::king_default();
+        let mut rng = stream_rng(2, 0);
+        m.measure(0.0, &NoiseProfile::clean(), &mut rng);
+    }
+}

@@ -1,0 +1,313 @@
+//! Synthetic King-like topology generation.
+//!
+//! The King dataset the paper simulates on is a 1740×1740 RTT matrix
+//! between Internet DNS servers. We reproduce its *structure* rather than
+//! its numbers, because the detection model depends on the dynamics that
+//! structure induces in the embedding:
+//!
+//! 1. **Regional clustering** — hosts group into continents; intra-region
+//!    RTTs are tens of ms, inter-region RTTs are set by the region
+//!    centers' separation in a latent plane (≈ real inter-continent RTTs).
+//! 2. **Access-link heights** — every host pays a last-mile delay on each
+//!    probe regardless of destination; drawn lognormal so a minority of
+//!    hosts have large heights. This is the component Vivaldi's height
+//!    vector exists to capture.
+//! 3. **Route distortion** — real Internet routing is not shortest-path,
+//!    producing triangle-inequality violations. A multiplicative
+//!    lognormal factor per pair reproduces TIVs at King-like rates
+//!    (roughly 5–10% of triples).
+
+use crate::topology::RttMatrix;
+use ices_stats::rng::{stream_rng, stream_rng2};
+use ices_stats::sample;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Placement of regions in the latent delay plane.
+///
+/// Coordinates are in milliseconds: the planar distance between two
+/// region centers is the nominal inter-region path delay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionLayout {
+    /// `(x_ms, y_ms, weight)` per region; weights set the share of nodes.
+    pub regions: Vec<(f64, f64, f64)>,
+}
+
+impl RegionLayout {
+    /// Five regions with separations approximating observed
+    /// inter-continental RTTs (NA-East, NA-West, Europe, East Asia,
+    /// South America).
+    pub fn continental() -> Self {
+        Self {
+            regions: vec![
+                (0.0, 0.0, 0.30),    // North America East
+                (35.0, 25.0, 0.20),  // North America West
+                (45.0, -75.0, 0.28), // Europe
+                (150.0, 60.0, 0.15), // East Asia
+                (65.0, 95.0, 0.07),  // South America
+            ],
+        }
+    }
+
+    /// Total of the region weights.
+    pub fn total_weight(&self) -> f64 {
+        self.regions.iter().map(|r| r.2).sum()
+    }
+}
+
+/// Configuration of the synthetic King-like generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KingConfig {
+    /// Number of nodes (the real King dataset has 1740).
+    pub nodes: usize,
+    /// Region placement.
+    pub layout: RegionLayout,
+    /// σ (ms) of the gaussian scatter of hosts around their region center.
+    pub scatter_ms: f64,
+    /// μ of the lognormal access-link height (ln-ms).
+    pub height_mu: f64,
+    /// σ of the lognormal access-link height.
+    pub height_sigma: f64,
+    /// σ of the multiplicative lognormal route distortion; 0 disables it
+    /// (yielding a near-perfectly embeddable metric).
+    pub distortion_sigma: f64,
+    /// Characteristic magnitude of per-pair route distortion, in
+    /// log-space. Each pair's distortion is `exp(±(bias + N(0, σ)))`
+    /// with a random sign: real Internet paths always deviate from the
+    /// metric optimum by *some* detour (routing-policy inflation), so
+    /// residual unembeddability has a typical magnitude rather than
+    /// piling up at zero. This is what gives the embedding's converged
+    /// per-neighbor relative errors the bell shape (away from zero)
+    /// observed in deployments.
+    pub distortion_bias: f64,
+    /// Minimum base RTT between distinct nodes, in ms.
+    pub min_rtt_ms: f64,
+}
+
+impl Default for KingConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+impl KingConfig {
+    /// The paper's simulation scale: 1740 nodes.
+    pub fn paper_scale() -> Self {
+        Self {
+            nodes: 1740,
+            layout: RegionLayout::continental(),
+            scatter_ms: 18.0,
+            height_mu: 1.0,    // median height e^1 ≈ 2.7 ms
+            height_sigma: 0.8, // a tail of hosts with 15–40 ms access links
+            distortion_sigma: 0.03,
+            distortion_bias: 0.08,
+            min_rtt_ms: 5.0,
+        }
+    }
+
+    /// A smaller topology with identical structure, for tests and quick
+    /// experiments.
+    pub fn small(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// Generate the node placements and the base-RTT matrix.
+    ///
+    /// Deterministic in `seed`. Returns the full [`Topology`] including
+    /// ground-truth latent positions (useful for evaluating embeddings
+    /// against truth, and for the k-means Surveyor placement which the
+    /// paper runs on coordinates).
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 nodes are requested or the layout is empty.
+    pub fn generate(&self, seed: u64) -> Topology {
+        assert!(self.nodes >= 2, "need at least 2 nodes");
+        assert!(
+            !self.layout.regions.is_empty(),
+            "layout needs at least one region"
+        );
+        let total_w = self.layout.total_weight();
+        assert!(total_w > 0.0, "region weights must be positive");
+
+        let mut place_rng = stream_rng(seed, 0x504C_4143); // "PLAC"
+        let mut regions = Vec::with_capacity(self.nodes);
+        let mut positions = Vec::with_capacity(self.nodes);
+        let mut heights = Vec::with_capacity(self.nodes);
+        for _ in 0..self.nodes {
+            // Weighted region choice.
+            let mut target = sample::uniform(&mut place_rng, 0.0, total_w);
+            let mut chosen = self.layout.regions.len() - 1;
+            for (r, &(_, _, w)) in self.layout.regions.iter().enumerate() {
+                if target < w {
+                    chosen = r;
+                    break;
+                }
+                target -= w;
+            }
+            let (cx, cy, _) = self.layout.regions[chosen];
+            let x = sample::normal(&mut place_rng, cx, self.scatter_ms);
+            let y = sample::normal(&mut place_rng, cy, self.scatter_ms);
+            let h = sample::lognormal(&mut place_rng, self.height_mu, self.height_sigma);
+            regions.push(chosen);
+            positions.push((x, y));
+            heights.push(h);
+        }
+
+        let matrix = RttMatrix::from_fn(self.nodes, |i, j| {
+            let (xi, yi) = positions[i];
+            let (xj, yj) = positions[j];
+            let planar = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+            let distortion = if self.distortion_sigma > 0.0 || self.distortion_bias > 0.0 {
+                // Per-pair deterministic stream so the matrix does not
+                // depend on construction order.
+                let mut pair_rng = stream_rng2(seed, i as u64, j as u64);
+                let sign = if pair_rng.random::<f64>() < 0.5 {
+                    -1.0
+                } else {
+                    1.0
+                };
+                let magnitude = self.distortion_bias
+                    + sample::normal(&mut pair_rng, 0.0, self.distortion_sigma);
+                (sign * magnitude).exp()
+            } else {
+                1.0
+            };
+            // Distortion models transit-path inflation, so it applies to
+            // the planar (routed) component only; the access links are
+            // physical constants of each endpoint.
+            (planar * distortion + heights[i] + heights[j]).max(self.min_rtt_ms)
+        });
+
+        Topology {
+            matrix,
+            positions,
+            heights,
+            regions,
+        }
+    }
+}
+
+/// A generated topology: the base-RTT matrix plus ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Pairwise base RTTs.
+    pub matrix: RttMatrix,
+    /// Latent planar positions (ms), per node.
+    pub positions: Vec<(f64, f64)>,
+    /// Access-link heights (ms), per node.
+    pub heights: Vec<f64>,
+    /// Region index, per node.
+    pub regions: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ices_stats::OnlineStats;
+
+    fn small_topology() -> Topology {
+        KingConfig::small(120).generate(42)
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let t = small_topology();
+        assert_eq!(t.matrix.len(), 120);
+        assert_eq!(t.positions.len(), 120);
+        assert_eq!(t.heights.len(), 120);
+        assert_eq!(t.regions.len(), 120);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = KingConfig::small(60).generate(7);
+        let b = KingConfig::small(60).generate(7);
+        assert_eq!(a, b);
+        let c = KingConfig::small(60).generate(8);
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn intra_region_shorter_than_inter_region() {
+        let t = small_topology();
+        let mut intra = OnlineStats::new();
+        let mut inter = OnlineStats::new();
+        for i in 0..t.matrix.len() {
+            for j in (i + 1)..t.matrix.len() {
+                if t.regions[i] == t.regions[j] {
+                    intra.push(t.matrix.get(i, j));
+                } else {
+                    inter.push(t.matrix.get(i, j));
+                }
+            }
+        }
+        assert!(intra.count() > 0 && inter.count() > 0);
+        assert!(
+            intra.mean() * 2.0 < inter.mean(),
+            "intra {} vs inter {}",
+            intra.mean(),
+            inter.mean()
+        );
+    }
+
+    #[test]
+    fn rtts_in_realistic_range() {
+        let t = small_topology();
+        let mut s = OnlineStats::new();
+        for i in 0..t.matrix.len() {
+            for j in (i + 1)..t.matrix.len() {
+                s.push(t.matrix.get(i, j));
+            }
+        }
+        assert!(s.min() >= 1.0, "min RTT {}", s.min());
+        assert!(s.max() < 1000.0, "max RTT {}", s.max());
+        // Median should be tens-to-hundreds of ms like real King data.
+        assert!(s.mean() > 20.0 && s.mean() < 400.0, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn distortion_produces_king_like_tivs() {
+        let t = small_topology();
+        let f = t.matrix.tiv_fraction(0.0, 30_000);
+        assert!(
+            f > 0.01 && f < 0.25,
+            "TIV fraction {f} out of the King-like band"
+        );
+    }
+
+    #[test]
+    fn no_distortion_means_almost_no_tivs() {
+        let mut cfg = KingConfig::small(100);
+        cfg.distortion_sigma = 0.0;
+        cfg.distortion_bias = 0.0;
+        let t = cfg.generate(11);
+        let f = t.matrix.tiv_fraction(0.0, 30_000);
+        // Heights only ever help the triangle inequality; the metric is
+        // embeddable by construction.
+        assert_eq!(f, 0.0, "TIV fraction {f}");
+    }
+
+    #[test]
+    fn heights_are_positive_with_a_tail() {
+        let t = small_topology();
+        let mut s = OnlineStats::new();
+        for &h in &t.heights {
+            assert!(h > 0.0);
+            s.push(h);
+        }
+        assert!(
+            s.mean() > 1.0 && s.mean() < 15.0,
+            "mean height {}",
+            s.mean()
+        );
+        assert!(s.max() > 3.0 * s.mean(), "height tail missing");
+    }
+
+    #[test]
+    fn paper_scale_config_is_1740_nodes() {
+        assert_eq!(KingConfig::paper_scale().nodes, 1740);
+    }
+}

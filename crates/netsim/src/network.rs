@@ -1,0 +1,282 @@
+//! The measurable network: topology + stationary noise, seeded.
+//!
+//! A [`Network`] answers the single question every embedding protocol
+//! asks: *what RTT do I measure to that node right now?* Measurements are
+//! pure functions of `(seed, a, b, nonce)`: repeating a probe with the
+//! same nonce reproduces the same value, and experiment results never
+//! depend on the order in which nodes happen to probe.
+
+use crate::fluctuation::{FluctuationModel, NoiseProfile};
+use crate::kinggen::Topology;
+use crate::planetlab::PlanetLab;
+use crate::topology::RttMatrix;
+use ices_stats::rng::{derive, stream_rng2};
+use serde::{Deserialize, Serialize};
+
+/// A simulated network that serves noisy RTT measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    matrix: RttMatrix,
+    profiles: Vec<NoiseProfile>,
+    noise: FluctuationModel,
+    seed: u64,
+}
+
+impl Network {
+    /// Build a network from explicit parts.
+    ///
+    /// # Panics
+    /// Panics if the profile count does not match the matrix size or the
+    /// noise model is invalid.
+    pub fn new(
+        matrix: RttMatrix,
+        profiles: Vec<NoiseProfile>,
+        noise: FluctuationModel,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            profiles.len(),
+            matrix.len(),
+            "one noise profile per node required"
+        );
+        noise.validate();
+        Self {
+            matrix,
+            profiles,
+            noise,
+            seed,
+        }
+    }
+
+    /// A network over a King-like topology with uniform clean profiles
+    /// and King-grade measurement noise.
+    pub fn from_king(topology: &Topology, seed: u64) -> Self {
+        Self::new(
+            topology.matrix.clone(),
+            vec![NoiseProfile::clean(); topology.matrix.len()],
+            FluctuationModel::king_default(),
+            seed,
+        )
+    }
+
+    /// A network over a generated PlanetLab deployment (per-node
+    /// profiles, PlanetLab-grade noise).
+    pub fn from_planetlab(pl: &PlanetLab, seed: u64) -> Self {
+        Self::new(
+            pl.topology.matrix.clone(),
+            pl.profiles.clone(),
+            pl.noise,
+            seed,
+        )
+    }
+
+    /// A noiseless network over an arbitrary matrix (tests, baselines).
+    pub fn noiseless(matrix: RttMatrix, seed: u64) -> Self {
+        let n = matrix.len();
+        Self::new(
+            matrix,
+            vec![NoiseProfile::clean(); n],
+            FluctuationModel::noiseless(),
+            seed,
+        )
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Always false (matrices hold ≥ 2 nodes).
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// Nominal (fluctuation-free) RTT between two nodes, ms.
+    pub fn base_rtt(&self, a: usize, b: usize) -> f64 {
+        self.matrix.get(a, b)
+    }
+
+    /// The base matrix.
+    pub fn matrix(&self) -> &RttMatrix {
+        &self.matrix
+    }
+
+    /// Measure the RTT from `a` to `b` with probe nonce `nonce`.
+    ///
+    /// The nonce makes repeated probes between the same pair independent:
+    /// callers advance it per probe (the simulation driver uses its global
+    /// step counter). The same `(a, b, nonce)` — in either direction —
+    /// always reproduces the same measurement.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn measure_rtt(&self, a: usize, b: usize, nonce: u64) -> f64 {
+        assert!(a != b, "a node cannot probe itself");
+        let base = self.matrix.get(a, b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let pair_key = derive((lo as u64) << 32 | hi as u64, 0x5052_4F42); // "PROB"
+        let mut rng = stream_rng2(self.seed, pair_key, nonce);
+        let profile = self.profiles[a].combine(&self.profiles[b]);
+        self.noise.measure(base, &profile, &mut rng)
+    }
+
+    /// The node's noise profile.
+    pub fn profile(&self, node: usize) -> &NoiseProfile {
+        &self.profiles[node]
+    }
+
+    /// Measure the RTT as deployed coordinate systems do: the **median of
+    /// three back-to-back probes**. Probe smoothing is universal in
+    /// practice (the King method takes the best of repeated queries;
+    /// Vivaldi implementations filter per-neighbor RTTs), and it is what
+    /// keeps a single OS-scheduling spike from polluting an embedding
+    /// step. Deterministic in `(a, b, nonce)` like
+    /// [`Network::measure_rtt`]; consumes nonces `3·nonce .. 3·nonce+3`
+    /// of the pair's probe stream.
+    pub fn measure_rtt_smoothed(&self, a: usize, b: usize, nonce: u64) -> f64 {
+        let mut probes = [
+            self.measure_rtt(a, b, nonce.wrapping_mul(3)),
+            self.measure_rtt(a, b, nonce.wrapping_mul(3).wrapping_add(1)),
+            self.measure_rtt(a, b, nonce.wrapping_mul(3).wrapping_add(2)),
+        ];
+        probes.sort_by(f64::total_cmp);
+        probes[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinggen::KingConfig;
+    use crate::planetlab::PlanetLabConfig;
+    use ices_stats::OnlineStats;
+
+    fn network() -> Network {
+        let topo = KingConfig::small(40).generate(9);
+        Network::from_king(&topo, 9)
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_nonce() {
+        let net = network();
+        assert_eq!(net.measure_rtt(3, 17, 5), net.measure_rtt(3, 17, 5));
+        assert_ne!(net.measure_rtt(3, 17, 5), net.measure_rtt(3, 17, 6));
+    }
+
+    #[test]
+    fn measurement_symmetric_in_direction() {
+        let net = network();
+        assert_eq!(net.measure_rtt(3, 17, 5), net.measure_rtt(17, 3, 5));
+    }
+
+    #[test]
+    fn measurements_track_base_rtt() {
+        let net = network();
+        let base = net.base_rtt(1, 2);
+        let mut s = OnlineStats::new();
+        for nonce in 0..5000 {
+            s.push(net.measure_rtt(1, 2, nonce));
+        }
+        assert!(
+            (s.mean() - base).abs() / base < 0.05,
+            "mean {} vs base {base}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn noiseless_network_returns_base() {
+        let topo = KingConfig::small(10).generate(4);
+        let net = Network::noiseless(topo.matrix.clone(), 4);
+        for nonce in 0..10 {
+            assert_eq!(net.measure_rtt(0, 5, nonce), net.base_rtt(0, 5));
+        }
+    }
+
+    #[test]
+    fn planetlab_network_uses_profiles() {
+        let pl = PlanetLabConfig::small(50).generate(2);
+        let net = Network::from_planetlab(&pl, 2);
+        let p = pl.pathological[0];
+        let normal = (0..50)
+            .find(|&i| !pl.pathological.contains(&i))
+            .expect("normal node");
+        let partner = (0..50)
+            .find(|&i| i != p && i != normal && !pl.pathological.contains(&i))
+            .expect("partner");
+
+        let mut s_path = OnlineStats::new();
+        let mut s_norm = OnlineStats::new();
+        for nonce in 0..4000 {
+            let b = net.base_rtt(p, partner);
+            s_path.push((net.measure_rtt(p, partner, nonce) - b) / b);
+            let b = net.base_rtt(normal, partner);
+            s_norm.push((net.measure_rtt(normal, partner, nonce) - b) / b);
+        }
+        assert!(
+            s_path.variance() > 2.0 * s_norm.variance(),
+            "pathological rel-var {} vs normal {}",
+            s_path.variance(),
+            s_norm.variance()
+        );
+    }
+
+    #[test]
+    fn smoothed_probe_is_median_and_deterministic() {
+        let net = network();
+        let m = net.measure_rtt_smoothed(3, 17, 9);
+        assert_eq!(m, net.measure_rtt_smoothed(3, 17, 9));
+        let mut probes = [
+            net.measure_rtt(3, 17, 27),
+            net.measure_rtt(3, 17, 28),
+            net.measure_rtt(3, 17, 29),
+        ];
+        probes.sort_by(f64::total_cmp);
+        assert_eq!(m, probes[1]);
+    }
+
+    #[test]
+    fn smoothed_probe_suppresses_spikes() {
+        // With a spiky model, the median-of-3 variance must be well below
+        // the single-probe variance.
+        let pl = PlanetLabConfig::small(40).generate(8);
+        let mut noisy = pl.noise;
+        noisy.spike_probability = 0.05;
+        let net = Network::new(
+            pl.topology.matrix.clone(),
+            vec![crate::fluctuation::NoiseProfile::clean(); 40],
+            noisy,
+            8,
+        );
+        let mut raw = OnlineStats::new();
+        let mut smoothed = OnlineStats::new();
+        for nonce in 0..4000 {
+            raw.push(net.measure_rtt(0, 1, nonce + 100_000));
+            smoothed.push(net.measure_rtt_smoothed(0, 1, nonce));
+        }
+        assert!(
+            smoothed.variance() < raw.variance() / 2.0,
+            "smoothed var {} vs raw var {}",
+            smoothed.variance(),
+            raw.variance()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot probe itself")]
+    fn rejects_self_probe() {
+        network().measure_rtt(4, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one noise profile per node")]
+    fn rejects_profile_count_mismatch() {
+        let topo = KingConfig::small(10).generate(1);
+        Network::new(
+            topo.matrix,
+            vec![NoiseProfile::clean(); 9],
+            FluctuationModel::king_default(),
+            1,
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! NPS tuning parameters.
+
+use ices_coord::Space;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the NPS system and its built-in security test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NpsConfig {
+    /// The geometric space (the paper: 8-d Euclidean).
+    pub space: Space,
+    /// Number of hierarchy layers (the paper: 4).
+    pub layers: usize,
+    /// Permanent landmarks in the top layer (the paper: 20).
+    pub landmarks: usize,
+    /// Fraction of each layer's nodes serving as reference points for the
+    /// layer below (the paper: 20%).
+    pub rp_fraction: f64,
+    /// Reference points a node positions against per round.
+    pub rps_per_node: usize,
+    /// Minimum reference points needed before a round can reposition.
+    pub min_rps: usize,
+    /// Sensitivity constant of NPS's built-in malicious-landmark filter
+    /// (the paper turns it on with sensitivity 4).
+    pub sensitivity: f64,
+    /// Whether the built-in filter is active.
+    pub basic_security: bool,
+    /// Simplex iteration cap per repositioning.
+    pub solver_max_iter: usize,
+    /// Random restarts per repositioning (GNP solves from several
+    /// random initial points and keeps the best, because the squared
+    /// relative-error objective has mirror-fold local minima).
+    pub solver_restarts: usize,
+    /// Simplex convergence tolerance.
+    pub solver_tol: f64,
+    /// Initial local error for a fresh node.
+    pub initial_error: f64,
+    /// EWMA smoothing for the local error estimate.
+    pub error_smoothing: f64,
+}
+
+impl Default for NpsConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl NpsConfig {
+    /// The configuration used throughout the paper's evaluation.
+    pub fn paper_default() -> Self {
+        Self {
+            space: Space::nps_default(),
+            layers: 4,
+            landmarks: 20,
+            rp_fraction: 0.2,
+            rps_per_node: 20,
+            min_rps: 9, // need dims+1 anchors to pin 8 dimensions
+            sensitivity: 4.0,
+            basic_security: true,
+            solver_max_iter: 600,
+            solver_restarts: 2,
+            solver_tol: 1e-8,
+            initial_error: 1.0,
+            error_smoothing: 0.25,
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on inconsistent parameters.
+    pub fn validate(&self) {
+        assert!(self.layers >= 2, "NPS needs at least landmarks + one layer");
+        assert!(
+            self.landmarks > self.space.dims(),
+            "need more landmarks than dimensions to pin the space"
+        );
+        assert!(
+            self.rp_fraction > 0.0 && self.rp_fraction <= 1.0,
+            "rp_fraction outside (0, 1]"
+        );
+        assert!(self.rps_per_node >= self.min_rps, "rps_per_node < min_rps");
+        assert!(
+            self.min_rps > self.space.dims(),
+            "min_rps must exceed the dimensionality"
+        );
+        assert!(self.sensitivity > 1.0, "sensitivity must exceed 1");
+        assert!(self.solver_max_iter > 0, "solver needs iterations");
+        assert!(self.solver_restarts >= 1, "solver needs at least one start");
+        assert!(self.solver_tol > 0.0, "solver_tol must be positive");
+        assert!(self.initial_error > 0.0, "initial_error must be positive");
+        assert!(
+            self.error_smoothing > 0.0 && self.error_smoothing <= 1.0,
+            "error_smoothing outside (0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_evaluation_setup() {
+        let c = NpsConfig::paper_default();
+        assert_eq!(c.space, Space::euclidean(8));
+        assert_eq!(c.layers, 4);
+        assert_eq!(c.landmarks, 20);
+        assert_eq!(c.rp_fraction, 0.2);
+        assert_eq!(c.sensitivity, 4.0);
+        assert!(c.basic_security);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "more landmarks than dimensions")]
+    fn rejects_underdetermined_landmarks() {
+        let mut c = NpsConfig::paper_default();
+        c.landmarks = 5;
+        c.validate();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = NpsConfig::paper_default();
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: NpsConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,286 @@
+//! Nelder–Mead downhill simplex minimization.
+//!
+//! NPS (like GNP before it) computes a node's coordinate by minimizing
+//! the sum of squared relative errors against its reference points with
+//! the downhill simplex method — derivative-free, robust to the
+//! non-smooth objective that absolute values and RTT noise produce.
+//!
+//! Standard coefficients: reflection 1, expansion 2, contraction ½,
+//! shrink ½.
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadResult {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the simplex diameter converged below tolerance (as
+    /// opposed to hitting the iteration cap).
+    pub converged: bool,
+}
+
+const ALPHA: f64 = 1.0; // reflection
+const GAMMA: f64 = 2.0; // expansion
+const RHO: f64 = 0.5; // contraction
+const SIGMA: f64 = 0.5; // shrink
+
+/// Minimize `f` starting from `x0`, building the initial simplex by
+/// stepping `initial_step` along each axis.
+///
+/// Stops when the simplex's objective spread and diameter fall below
+/// `tol`, or after `max_iter` iterations.
+///
+/// # Panics
+/// Panics if `x0` is empty, `initial_step` is not positive, `tol` is not
+/// positive, or `f` returns NaN at the starting point.
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    initial_step: f64,
+    max_iter: usize,
+    tol: f64,
+) -> NelderMeadResult {
+    assert!(!x0.is_empty(), "cannot optimize a zero-dimensional point");
+    assert!(initial_step > 0.0, "initial_step must be positive");
+    assert!(tol > 0.0, "tol must be positive");
+    let n = x0.len();
+
+    // Initial simplex: x0 plus one axis-step vertex per dimension.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for d in 0..n {
+        let mut v = x0.to_vec();
+        v[d] += initial_step;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+    assert!(
+        !values[0].is_nan(),
+        "objective is NaN at the starting point"
+    );
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iter {
+        iterations += 1;
+
+        // Order vertices by objective.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence: objective spread and simplex diameter.
+        let spread = values[worst] - values[best];
+        let diameter = simplex
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(&simplex[best])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        if spread.abs() < tol && diameter < tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (i, v) in simplex.iter().enumerate() {
+            if i != worst {
+                for (c, &x) in centroid.iter_mut().zip(v) {
+                    *c += x;
+                }
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&simplex[worst])
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        let f_reflect = f(&reflect);
+
+        if f_reflect < values[best] {
+            // Try expanding further.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + GAMMA * (c - w))
+                .collect();
+            let f_expand = f(&expand);
+            if f_expand < f_reflect {
+                simplex[worst] = expand;
+                values[worst] = f_expand;
+            } else {
+                simplex[worst] = reflect;
+                values[worst] = f_reflect;
+            }
+        } else if f_reflect < values[second_worst] {
+            simplex[worst] = reflect;
+            values[worst] = f_reflect;
+        } else {
+            // Contract toward the centroid.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + RHO * (w - c))
+                .collect();
+            let f_contract = f(&contract);
+            if f_contract < values[worst] {
+                simplex[worst] = contract;
+                values[worst] = f_contract;
+            } else {
+                // Shrink everything toward the best vertex.
+                let best_point = simplex[best].clone();
+                for (i, v) in simplex.iter_mut().enumerate() {
+                    if i != best {
+                        for (x, &b) in v.iter_mut().zip(&best_point) {
+                            *x = b + SIGMA * (*x - b);
+                        }
+                        values[i] = f(v);
+                    }
+                }
+            }
+        }
+    }
+
+    let best = (0..=n)
+        .min_by(|&a, &b| values[a].total_cmp(&values[b]))
+        .expect("simplex non-empty");
+    NelderMeadResult {
+        x: simplex[best].clone(),
+        value: values[best],
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| (v - 3.0) * (v - 3.0)).sum(),
+            &[0.0, 0.0, 0.0],
+            1.0,
+            2000,
+            1e-10,
+        );
+        assert!(r.converged);
+        for v in &r.x {
+            assert!((v - 3.0).abs() < 1e-4, "x = {:?}", r.x);
+        }
+        assert!(r.value < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen = |x: &[f64]| {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let r = nelder_mead(rosen, &[-1.2, 1.0], 0.5, 5000, 1e-12);
+        assert!(
+            (r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3,
+            "x = {:?}",
+            r.x
+        );
+    }
+
+    #[test]
+    fn handles_non_smooth_objective() {
+        // |x| + |y| has a kink at the optimum; simplex should still land
+        // close.
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v.abs()).sum(),
+            &[5.0, -7.0],
+            1.0,
+            2000,
+            1e-10,
+        );
+        assert!(r.value < 1e-4, "value = {}", r.value);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = nelder_mead(|x| (x[0] + 2.0).powi(2) + 1.0, &[10.0], 1.0, 1000, 1e-12);
+        assert!((r.x[0] + 2.0).abs() < 1e-4);
+        assert!((r.value - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[100.0; 8],
+            1.0,
+            3,
+            1e-16,
+        );
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn gnp_style_objective_recovers_position() {
+        // Place 5 anchors in 2-d; recover an unknown point from exact
+        // distances by minimizing squared relative error — the exact
+        // computation an NPS node performs.
+        let anchors = [
+            [0.0, 0.0],
+            [100.0, 0.0],
+            [0.0, 100.0],
+            [100.0, 100.0],
+            [50.0, 120.0],
+        ];
+        let truth = [37.0, 61.0];
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let rtts: Vec<f64> = anchors.iter().map(|a| dist(a, &truth)).collect();
+        let objective = |x: &[f64]| -> f64 {
+            anchors
+                .iter()
+                .zip(&rtts)
+                .map(|(a, &rtt)| {
+                    let est = dist(a, x);
+                    ((est - rtt) / rtt).powi(2)
+                })
+                .sum()
+        };
+        let r = nelder_mead(objective, &[0.0, 0.0], 10.0, 5000, 1e-14);
+        assert!(
+            (r.x[0] - truth[0]).abs() < 0.01 && (r.x[1] - truth[1]).abs() < 0.01,
+            "recovered {:?}",
+            r.x
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_step must be positive")]
+    fn rejects_zero_step() {
+        nelder_mead(|x| x[0], &[0.0], 0.0, 10, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn rejects_empty_start() {
+        nelder_mead(|_| 0.0, &[], 1.0, 10, 1e-6);
+    }
+}

@@ -1,0 +1,106 @@
+use ices_sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use ices_sim::NpsSimulation;
+
+fn main() {
+    let cfg = ScenarioConfig {
+        seed: 2007,
+        topology: TopologyKind::small_planetlab(280),
+        surveyors: SurveyorPlacement::Random { fraction: 0.08 },
+        malicious_fraction: 0.2,
+        alpha: 0.05,
+        detection: true,
+        clean_cycles: 12,
+        attack_cycles: 8,
+        embed_against_surveyors_only: false,
+    };
+    let mut sim = NpsSimulation::new(cfg);
+    for round in [4usize, 8, 12] {
+        sim.run_clean(4);
+        print!("after {round} rounds:");
+        for layer in 0..4 {
+            let members: Vec<usize> = (0..sim.len())
+                .filter(|&i| sim.hierarchy().layer[i] == layer)
+                .collect();
+            let mut s = ices_stats::OnlineStats::new();
+            for (k, &i) in members.iter().enumerate() {
+                for &j in &members[k + 1..] {
+                    let est = sim.coordinate(i).distance(&sim.coordinate(j));
+                    let rtt = sim.network().base_rtt(i, j);
+                    s.push((est - rtt).abs() / rtt);
+                }
+            }
+            print!("  L{layer} {:.3}", s.mean());
+        }
+        println!();
+    }
+    // Layer-3 excluding pathological-adjacent pairs.
+    {
+        let members: Vec<usize> = (0..sim.len())
+            .filter(|&i| sim.hierarchy().layer[i] == 3)
+            .collect();
+        // Identify high-noise nodes by their profile-driven base RTT inflation:
+        // just recompute the layer error excluding the worst 3 nodes by mean error.
+        let mut per_node: Vec<(f64, usize)> = members
+            .iter()
+            .map(|&i| {
+                let mut s = ices_stats::OnlineStats::new();
+                for &j in &members {
+                    if i != j {
+                        let est = sim.coordinate(i).distance(&sim.coordinate(j));
+                        let rtt = sim.network().base_rtt(i, j);
+                        s.push((est - rtt).abs() / rtt);
+                    }
+                }
+                (s.mean(), i)
+            })
+            .collect();
+        per_node.sort_by(|a, b| b.0.total_cmp(&a.0));
+        println!(
+            "worst L3 nodes: {:?}",
+            &per_node[..5]
+                .iter()
+                .map(|(e, i)| (format!("{e:.2}"), *i))
+                .collect::<Vec<_>>()
+        );
+        let keep: Vec<usize> = per_node[3..].iter().map(|&(_, i)| i).collect();
+        let mut s = ices_stats::OnlineStats::new();
+        for (k, &i) in keep.iter().enumerate() {
+            for &j in &keep[k + 1..] {
+                let est = sim.coordinate(i).distance(&sim.coordinate(j));
+                let rtt = sim.network().base_rtt(i, j);
+                s.push((est - rtt).abs() / rtt);
+            }
+        }
+        println!("L3 excluding worst 3: {:.3}", s.mean());
+    }
+    // D-trace tightness per layer: std of stationary window.
+    for layer in 1..4 {
+        let node = (0..sim.len())
+            .find(|&i| sim.hierarchy().layer[i] == layer && !sim.surveyors().contains(&i))
+            .unwrap();
+        let t = &sim.traces()[node];
+        let tail = &t[t.len() * 3 / 4..];
+        let mut s = ices_stats::OnlineStats::new();
+        for &d in tail {
+            s.push(d);
+        }
+        println!(
+            "layer {layer} node {node}: stationary D mean {:.3} sd {:.3}",
+            s.mean(),
+            s.std_dev()
+        );
+    }
+    // Landmark comparison.
+    let lm = sim.hierarchy().landmarks()[0];
+    let t = &sim.traces()[lm];
+    let tail = &t[t.len() * 3 / 4..];
+    let mut s = ices_stats::OnlineStats::new();
+    for &d in tail {
+        s.push(d);
+    }
+    println!(
+        "landmark {lm}: stationary D mean {:.3} sd {:.3}",
+        s.mean(),
+        s.std_dev()
+    );
+}

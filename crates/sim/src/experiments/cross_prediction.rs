@@ -1,0 +1,224 @@
+//! §3.3 cross-prediction experiments: Figs 6, 7 and 8.
+//!
+//! Every normal node's clean trace is replayed through every Surveyor's
+//! calibrated filter. Fig 6 shows the full (node × Surveyor) matrix of
+//! maximum prediction errors; Fig 7 correlates a pair's prediction
+//! accuracy with the node↔Surveyor RTT; Fig 8 shows the maximum
+//! prediction error when each node adopts its *closest* Surveyor.
+
+use super::Scale;
+use crate::replay::prediction_errors;
+use crate::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use crate::vivaldi_driver::VivaldiSimulation;
+use ices_core::EmConfig;
+use serde::{Deserialize, Serialize};
+
+/// Transient samples skipped before measuring prediction errors.
+const BURN_IN: usize = 10;
+
+/// One (node, Surveyor) cell of the cross-prediction study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossCell {
+    /// The normal node whose trace was replayed.
+    pub node: usize,
+    /// The Surveyor whose filter parameters were used.
+    pub surveyor: usize,
+    /// Base RTT between the two, ms.
+    pub rtt_ms: f64,
+    /// Maximum prediction error over the node's trace (Fig 6's z-axis).
+    pub max_error: f64,
+    /// Mean prediction error (Fig 7's y-axis).
+    pub mean_error: f64,
+}
+
+/// Result of the Figs 6–8 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossPredictionResult {
+    /// All (node × Surveyor) cells.
+    pub cells: Vec<CrossCell>,
+    /// Fig 8 series: per node, `(node, closest surveyor, max error)`.
+    pub closest: Vec<(usize, usize, f64)>,
+    /// Number of Surveyors deployed.
+    pub surveyor_count: usize,
+    /// Number of normal nodes measured.
+    pub node_count: usize,
+}
+
+impl CrossPredictionResult {
+    /// Pearson correlation between RTT and mean prediction error over
+    /// all cells — the trend Fig 7 plots (positive: farther Surveyors
+    /// predict worse).
+    pub fn rtt_error_correlation(&self) -> f64 {
+        let n = self.cells.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mx = self.cells.iter().map(|c| c.rtt_ms).sum::<f64>() / n;
+        let my = self.cells.iter().map(|c| c.mean_error).sum::<f64>() / n;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for c in &self.cells {
+            let dx = c.rtt_ms - mx;
+            let dy = c.mean_error - my;
+            sxy += dx * dy;
+            sxx += dx * dx;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 || syy == 0.0 {
+            0.0
+        } else {
+            sxy / (sxx * syy).sqrt()
+        }
+    }
+
+    /// For each node, whether at least one Surveyor's filter yields a
+    /// max prediction error below `threshold` (the paper: every node can
+    /// find *some* good Surveyor).
+    pub fn fraction_with_good_surveyor(&self, threshold: f64) -> f64 {
+        if self.node_count == 0 {
+            return 0.0;
+        }
+        let mut good = std::collections::BTreeSet::new();
+        for c in &self.cells {
+            if c.max_error < threshold {
+                good.insert(c.node);
+            }
+        }
+        good.len() as f64 / self.node_count as f64
+    }
+}
+
+/// Run the cross-prediction experiment (Vivaldi on the PlanetLab-like
+/// deployment, ~20 Surveyors as in the paper's Fig 8).
+pub fn fig678_cross_prediction(scale: &Scale) -> CrossPredictionResult {
+    let fraction = (20.0 / scale.planetlab_nodes as f64).clamp(0.05, 0.3);
+    let config = ScenarioConfig {
+        seed: scale.seed,
+        topology: TopologyKind::small_planetlab(scale.planetlab_nodes),
+        surveyors: SurveyorPlacement::Random { fraction },
+        malicious_fraction: 0.0,
+        alpha: 0.05,
+        detection: false,
+        clean_cycles: scale.clean_passes,
+        attack_cycles: 0,
+        embed_against_surveyors_only: false,
+    };
+    let mut sim = VivaldiSimulation::new(config);
+    sim.run_clean(scale.clean_passes);
+    sim.calibrate_surveyors(&EmConfig::default());
+    // Fresh measurement phase for the traces being replayed.
+    sim.clear_traces();
+    sim.run_clean(scale.measure_passes);
+
+    let normal = sim.normal_nodes();
+    let surveyors: Vec<usize> = sim.surveyors().iter().copied().collect();
+    let mut cells = Vec::with_capacity(normal.len() * surveyors.len());
+    let mut closest = Vec::with_capacity(normal.len());
+    for &node in &normal {
+        let trace = &sim.traces()[node];
+        if trace.len() <= BURN_IN + 5 {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for &s in &surveyors {
+            let params = sim.registry().get(s).expect("calibrated").params;
+            let errors = prediction_errors(params, trace);
+            let tail = &errors[BURN_IN..];
+            let max_error = tail.iter().cloned().fold(0.0, f64::max);
+            let mean_error = tail.iter().sum::<f64>() / tail.len() as f64;
+            let rtt_ms = sim.network().base_rtt(node, s);
+            cells.push(CrossCell {
+                node,
+                surveyor: s,
+                rtt_ms,
+                max_error,
+                mean_error,
+            });
+            if best.map(|(_, d)| rtt_ms < d).unwrap_or(true) {
+                best = Some((s, rtt_ms));
+            }
+        }
+        if let Some((s, _)) = best {
+            let max_err = cells
+                .iter()
+                .rev()
+                .find(|c| c.node == node && c.surveyor == s)
+                .expect("cell just pushed")
+                .max_error;
+            closest.push((node, s, max_err));
+        }
+    }
+    CrossPredictionResult {
+        cells,
+        closest,
+        surveyor_count: surveyors.len(),
+        node_count: normal.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> CrossPredictionResult {
+        fig678_cross_prediction(&Scale::test())
+    }
+
+    #[test]
+    fn produces_full_matrix() {
+        let r = result();
+        assert!(r.surveyor_count >= 2);
+        assert!(r.node_count > 10);
+        assert_eq!(r.closest.len(), r.node_count);
+        // One cell per (node, surveyor) pair with a usable trace.
+        assert_eq!(r.cells.len(), r.node_count * r.surveyor_count);
+    }
+
+    #[test]
+    fn most_nodes_find_a_good_surveyor() {
+        let r = result();
+        // Paper: "each normal node can find at least one Surveyor whose
+        // filter yields very low prediction errors". Judge by the mean
+        // prediction error (the max is dominated by single outliers at
+        // toy scale).
+        let mut good = std::collections::BTreeSet::new();
+        for c in &r.cells {
+            if c.mean_error < 0.25 {
+                good.insert(c.node);
+            }
+        }
+        let frac = good.len() as f64 / r.node_count as f64;
+        assert!(frac > 0.8, "only {frac} of nodes have a good surveyor");
+    }
+
+    #[test]
+    fn closest_surveyor_errors_beat_worst_case() {
+        let r = result();
+        let mean_closest: f64 =
+            r.closest.iter().map(|(_, _, e)| *e).sum::<f64>() / r.closest.len() as f64;
+        let mean_worst: f64 = {
+            let mut per_node: std::collections::BTreeMap<usize, f64> = Default::default();
+            for c in &r.cells {
+                let e = per_node.entry(c.node).or_insert(0.0);
+                *e = e.max(c.max_error);
+            }
+            per_node.values().sum::<f64>() / per_node.len() as f64
+        };
+        assert!(
+            mean_closest <= mean_worst,
+            "closest {mean_closest} vs worst {mean_worst}"
+        );
+    }
+
+    #[test]
+    fn cells_are_finite_and_nonnegative() {
+        let r = result();
+        for c in &r.cells {
+            assert!(c.max_error.is_finite() && c.max_error >= 0.0);
+            assert!(c.mean_error.is_finite() && c.mean_error >= 0.0);
+            assert!(c.mean_error <= c.max_error + 1e-12);
+            assert!(c.rtt_ms > 0.0);
+        }
+    }
+}

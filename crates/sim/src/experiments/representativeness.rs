@@ -1,0 +1,161 @@
+//! §3.3 Surveyor-representativeness experiments: Fig 4 (population size
+//! and placement) and Fig 5 (8% Surveyors on both substrates).
+//!
+//! The metric is the CDF of per-node 95th-percentile relative errors: a
+//! Surveyor deployment is representative when the distribution observed
+//! over Surveyors matches the one observed over the full normal-node
+//! population.
+
+use super::{Curve, Scale};
+use crate::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use crate::vivaldi_driver::VivaldiSimulation;
+use serde::{Deserialize, Serialize};
+
+fn scenario(scale: &Scale, topology: TopologyKind, placement: SurveyorPlacement) -> ScenarioConfig {
+    ScenarioConfig {
+        seed: scale.seed,
+        topology,
+        surveyors: placement,
+        malicious_fraction: 0.0,
+        alpha: 0.05,
+        detection: false,
+        clean_cycles: scale.clean_passes,
+        attack_cycles: 0,
+        embed_against_surveyors_only: false,
+    }
+}
+
+/// Run one clean Vivaldi system and return `(normal-node p95 samples,
+/// surveyor p95 samples, KS distance between the two)`.
+fn one_system(
+    scale: &Scale,
+    topology: TopologyKind,
+    placement: SurveyorPlacement,
+) -> (Vec<f64>, Vec<f64>, f64) {
+    let mut sim = VivaldiSimulation::new(scenario(scale, topology, placement));
+    sim.run_clean(scale.clean_passes);
+    let normal = sim.accuracy_report(scale.pairs_per_node).p95_per_node;
+    let surveyor_ids: Vec<usize> = sim.surveyors().iter().copied().collect();
+    let surveyors = sim.p95_for_subset(&surveyor_ids, scale.pairs_per_node);
+    let ks = ices_stats::Ecdf::new(normal.clone())
+        .ks_distance(&ices_stats::Ecdf::new(surveyors.clone()));
+    (normal, surveyors, ks)
+}
+
+/// Fig 4 result: representativeness vs Surveyor population size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// CDF curves: normal population plus each Surveyor deployment.
+    pub curves: Vec<Curve>,
+    /// `(label, KS distance to the normal-node distribution)` per
+    /// deployment — the scalar representativeness summary.
+    pub ks: Vec<(String, f64)>,
+}
+
+/// Run the Fig 4 experiment on the King-like topology.
+pub fn fig4_surveyor_population(scale: &Scale) -> Fig4Result {
+    let mut curves = Vec::new();
+    let mut ks = Vec::new();
+    let deployments = [
+        ("random 10%", SurveyorPlacement::Random { fraction: 0.10 }),
+        ("random 8%", SurveyorPlacement::Random { fraction: 0.08 }),
+        ("random 5%", SurveyorPlacement::Random { fraction: 0.05 }),
+        ("random 1%", SurveyorPlacement::Random { fraction: 0.01 }),
+        (
+            "k-means heads 1%",
+            SurveyorPlacement::KMeansHeads { fraction: 0.01 },
+        ),
+    ];
+    let mut normal_curve_done = false;
+    for (label, placement) in deployments {
+        let (normal, surveyors, d) =
+            one_system(scale, TopologyKind::small_king(scale.king_nodes), placement);
+        if !normal_curve_done {
+            curves.push(Curve::from_samples(
+                "95th percentile of normal nodes",
+                normal,
+                150,
+            ));
+            normal_curve_done = true;
+        }
+        curves.push(Curve::from_samples(
+            format!("95th percentile of Surveyors: {label}"),
+            surveyors,
+            150,
+        ));
+        ks.push((label.to_string(), d));
+    }
+    Fig4Result { curves, ks }
+}
+
+/// Fig 5 result: 8% random Surveyors on both substrates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// Four curves: normal/surveyor × King/PlanetLab.
+    pub curves: Vec<Curve>,
+    /// KS distances per substrate.
+    pub ks_king: f64,
+    /// KS distance on the PlanetLab-like deployment.
+    pub ks_planetlab: f64,
+}
+
+/// Run the Fig 5 experiment.
+pub fn fig5_representativeness(scale: &Scale) -> Fig5Result {
+    let placement = SurveyorPlacement::Random { fraction: 0.08 };
+    let (nk, sk, ks_king) =
+        one_system(scale, TopologyKind::small_king(scale.king_nodes), placement);
+    let (np, sp, ks_planetlab) = one_system(
+        scale,
+        TopologyKind::small_planetlab(scale.planetlab_nodes),
+        placement,
+    );
+    Fig5Result {
+        curves: vec![
+            Curve::from_samples("normal nodes: King", nk, 150),
+            Curve::from_samples("Surveyors: King", sk, 150),
+            Curve::from_samples("normal nodes: PlanetLab", np, 150),
+            Curve::from_samples("Surveyors: PlanetLab", sp, 150),
+        ],
+        ks_king,
+        ks_planetlab,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_larger_random_populations_are_more_representative() {
+        let r = fig4_surveyor_population(&Scale::test());
+        assert_eq!(r.curves.len(), 6);
+        assert_eq!(r.ks.len(), 5);
+        for (_, d) in &r.ks {
+            assert!((0.0..=1.0).contains(d));
+        }
+        // At toy scale the 1% deployments hold only 2 Surveyors, so the
+        // KS ordering is statistically meaningless; shape comparisons
+        // happen at harness scale (see EXPERIMENTS.md). Here we only
+        // check that every deployment produced a usable comparison.
+        for (label, d) in &r.ks {
+            assert!(d.is_finite(), "{label} produced no KS distance");
+        }
+    }
+
+    #[test]
+    fn fig5_eight_percent_tracks_population() {
+        let r = fig5_representativeness(&Scale::test());
+        assert_eq!(r.curves.len(), 4);
+        // At test scale 8% is only ~5 Surveyors, each with ~4 Surveyor
+        // neighbors — their positioning degrades and the KS distance is
+        // dominated by that artifact. Representativeness proper is
+        // checked at harness scale (see EXPERIMENTS.md); here we only
+        // require well-formed output.
+        assert!((0.0..=1.0).contains(&r.ks_king), "King KS {}", r.ks_king);
+        assert!(
+            (0.0..=1.0).contains(&r.ks_planetlab),
+            "PlanetLab KS {}",
+            r.ks_planetlab
+        );
+    }
+}

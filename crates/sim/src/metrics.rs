@@ -1,0 +1,91 @@
+//! Metric containers the experiments fill in.
+
+use ices_stats::{Confusion, Ecdf};
+use serde::{Deserialize, Serialize};
+
+/// Detection-quality report for one run (§5.1 metrics).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Aggregate confusion over all vetted embedding steps of honest
+    /// nodes.
+    pub confusion: Confusion,
+    /// Number of peer replacements honest nodes performed.
+    pub replacements: u64,
+    /// Number of reprieves granted to first-time peers.
+    pub reprieves: u64,
+    /// Number of filter refreshes (half-round-rejected rule).
+    pub filter_refreshes: u64,
+}
+
+impl DetectionReport {
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &DetectionReport) {
+        self.confusion.merge(&other.confusion);
+        self.replacements += other.replacements;
+        self.reprieves += other.reprieves;
+        self.filter_refreshes += other.filter_refreshes;
+    }
+}
+
+/// System-accuracy report: how well final coordinates predict base RTTs
+/// between honest nodes (the quantity Figs 13/15 plot CDFs of).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Relative estimation errors over sampled honest pairs.
+    pub relative_errors: Vec<f64>,
+    /// Per-node 95th percentile of relative errors (Figs 4/5 plot the
+    /// CDF of these).
+    pub p95_per_node: Vec<f64>,
+}
+
+impl AccuracyReport {
+    /// ECDF over all sampled relative errors.
+    ///
+    /// # Panics
+    /// Panics if the report is empty.
+    pub fn ecdf(&self) -> Ecdf {
+        Ecdf::new(self.relative_errors.clone())
+    }
+
+    /// ECDF over the per-node 95th percentiles.
+    ///
+    /// # Panics
+    /// Panics if the report is empty.
+    pub fn p95_ecdf(&self) -> Ecdf {
+        Ecdf::new(self.p95_per_node.clone())
+    }
+
+    /// Median relative error — the headline accuracy number.
+    pub fn median(&self) -> f64 {
+        self.ecdf().median()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_report_merges() {
+        let mut a = DetectionReport::default();
+        a.confusion.record(true, true);
+        a.replacements = 2;
+        let mut b = DetectionReport::default();
+        b.confusion.record(false, false);
+        b.reprieves = 3;
+        a.merge(&b);
+        assert_eq!(a.confusion.total(), 2);
+        assert_eq!(a.replacements, 2);
+        assert_eq!(a.reprieves, 3);
+    }
+
+    #[test]
+    fn accuracy_report_statistics() {
+        let r = AccuracyReport {
+            relative_errors: vec![0.1, 0.2, 0.3, 0.4],
+            p95_per_node: vec![0.35, 0.45],
+        };
+        assert_eq!(r.median(), 0.2);
+        assert_eq!(r.p95_ecdf().len(), 2);
+    }
+}

@@ -1,0 +1,739 @@
+//! Full-system NPS simulation driver.
+//!
+//! Runs the paper's NPS setup: the 4-layer hierarchy with 20 permanent
+//! landmarks, per-round downhill-simplex positioning against reference
+//! points, NPS's built-in sensitivity-4 filter, Surveyors (all landmarks
+//! plus promoted reference points) embedding against trusted nodes only,
+//! and the colluding reference-point adversary.
+
+use crate::metrics::{AccuracyReport, DetectionReport};
+use crate::scenario::{ScenarioConfig, TopologyKind};
+use ices_attack::Adversary;
+use ices_coord::{Coordinate, Embedding, PeerSample};
+use ices_core::{
+    calibrate, EmConfig, SecureNode, SecurityConfig, StateSpaceParams, SurveyorInfo,
+    SurveyorRegistry,
+};
+use ices_netsim::Network;
+use ices_nps::{Hierarchy, NpsConfig, NpsNode, Role};
+use ices_stats::rng::SimRng;
+use ices_stats::sample::sample_indices;
+use rand::RngExt;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many random Surveyors a joining node probes before adopting the
+/// closest one's filter.
+const JOIN_PROBE_CANDIDATES: usize = 8;
+
+/// Cap on per-node trace length.
+const TRACE_CAP: usize = 8192;
+
+/// Recent clean samples used to prime a freshly adopted filter.
+const PRIME_SAMPLES: usize = 64;
+
+#[allow(clippy::large_enum_variant)] // Plain is the common case; boxing it would cost an alloc per node
+enum Participant {
+    Plain(NpsNode),
+    Secured(Box<SecureNode<NpsNode>>),
+}
+
+impl Participant {
+    fn coordinate(&self) -> Coordinate {
+        match self {
+            Participant::Plain(n) => n.coordinate().clone(),
+            Participant::Secured(s) => s.inner().coordinate().clone(),
+        }
+    }
+
+    fn local_error(&self) -> f64 {
+        match self {
+            Participant::Plain(n) => n.local_error(),
+            Participant::Secured(s) => s.inner().local_error(),
+        }
+    }
+}
+
+/// The NPS system simulation.
+pub struct NpsSimulation {
+    config: ScenarioConfig,
+    nps: NpsConfig,
+    security: SecurityConfig,
+    network: Network,
+    hierarchy: Hierarchy,
+    /// Effective per-node reference-point sets (Surveyors' sets are
+    /// restricted to trusted nodes).
+    reference_points: Vec<Vec<usize>>,
+    surveyors: BTreeSet<usize>,
+    malicious: BTreeSet<usize>,
+    participants: Vec<Participant>,
+    registry: SurveyorRegistry,
+    traces: Vec<Vec<f64>>,
+    probe_nonce: u64,
+    report: DetectionReport,
+    rng: SimRng,
+}
+
+impl NpsSimulation {
+    /// Build the system with the paper's NPS configuration.
+    pub fn new(config: ScenarioConfig) -> Self {
+        Self::with_nps_config(config, NpsConfig::paper_default())
+    }
+
+    /// Build with explicit NPS parameters (tests use small 2-d spaces).
+    ///
+    /// # Panics
+    /// Panics on invalid configuration or a population too small for the
+    /// hierarchy.
+    pub fn with_nps_config(config: ScenarioConfig, nps: NpsConfig) -> Self {
+        config.validate();
+        nps.validate();
+        let seed = config.seed;
+        let network = match &config.topology {
+            TopologyKind::King(kc) => {
+                let topo = kc.generate(seed);
+                Network::from_king(&topo, seed)
+            }
+            TopologyKind::PlanetLab(pc) => {
+                let pl = pc.generate(seed);
+                Network::from_planetlab(&pl, seed)
+            }
+        };
+        let n = network.len();
+        let hierarchy = Hierarchy::build(n, &nps, seed);
+        let mut rng = SimRng::from_stream(seed, 0x4E50_5344, 0); // "NPSD"
+
+        // Surveyors: every landmark, plus promoted reference points until
+        // the configured fraction is met.
+        let mut surveyors: BTreeSet<usize> = hierarchy.landmarks().into_iter().collect();
+        let want = ((n as f64) * config.surveyors.fraction()).round() as usize;
+        let rp_pool: Vec<usize> = (0..n)
+            .filter(|&i| hierarchy.role[i] == Role::ReferencePoint)
+            .collect();
+        if want > surveyors.len() && !rp_pool.is_empty() {
+            let extra = (want - surveyors.len()).min(rp_pool.len());
+            for idx in sample_indices(&mut rng, rp_pool.len(), extra) {
+                surveyors.insert(rp_pool[idx]);
+            }
+        }
+
+        // Malicious among the rest. The paper's conspirators "behave in a
+        // correct and honest way until enough of them become reference
+        // points" — their campaign targets the *activation threshold*
+        // (5 malicious RPs per layer), not a takeover of every serving
+        // slot: place up to threshold+1 malicious nodes into each middle
+        // layer's RP slots (budget permitting) and the rest among
+        // regular nodes, as in the paper's evaluation.
+        let civilians_total = (0..n).filter(|i| !surveyors.contains(i)).count();
+        let mal_count =
+            (((n as f64) * config.malicious_fraction).round() as usize).min(civilians_total);
+        let infiltration_per_layer = ices_attack::nps_collusion::DEFAULT_ACTIVATION_THRESHOLD + 1;
+        let mut malicious: BTreeSet<usize> = BTreeSet::new();
+        let mut budget = mal_count;
+        for l in 1..nps.layers - 1 {
+            if budget == 0 {
+                break;
+            }
+            let rp_civilians: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    !surveyors.contains(&i)
+                        && hierarchy.layer[i] == l
+                        && hierarchy.role[i] == Role::ReferencePoint
+                })
+                .collect();
+            let take = infiltration_per_layer.min(rp_civilians.len()).min(budget);
+            for idx in sample_indices(&mut rng, rp_civilians.len(), take) {
+                malicious.insert(rp_civilians[idx]);
+            }
+            budget -= take;
+        }
+        let other_civilians: Vec<usize> = (0..n)
+            .filter(|i| !surveyors.contains(i) && !malicious.contains(i))
+            .collect();
+        for idx in sample_indices(
+            &mut rng,
+            other_civilians.len(),
+            budget.min(other_civilians.len()),
+        ) {
+            malicious.insert(other_civilians[idx]);
+        }
+
+        // Effective RP sets: Surveyors position against trusted nodes
+        // only — Surveyor reference points from the layer above, topped
+        // up with landmarks when short (landmarks are the root of trust).
+        let landmarks = hierarchy.landmarks();
+        let mut reference_points = hierarchy.reference_points.clone();
+        for &s in &surveyors {
+            if hierarchy.role[s] == Role::Landmark {
+                continue; // already landmarks-only
+            }
+            let layer = hierarchy.layer[s];
+            let mut trusted: Vec<usize> = (0..n)
+                .filter(|&i| surveyors.contains(&i) && i != s && hierarchy.layer[i] == layer - 1)
+                .collect();
+            if trusted.len() < nps.min_rps {
+                for &l in &landmarks {
+                    if l != s && !trusted.contains(&l) {
+                        trusted.push(l);
+                    }
+                }
+            }
+            trusted.truncate(nps.rps_per_node);
+            reference_points[s] = trusted;
+        }
+
+        // §6 variant: normal nodes also position exclusively against
+        // Surveyors (a GNP/NPS hybrid, trading accuracy for immunity).
+        if config.embed_against_surveyors_only {
+            #[allow(clippy::needless_range_loop)] // node is an id, not just an index
+            for node in 0..n {
+                if surveyors.contains(&node) {
+                    continue;
+                }
+                let layer = hierarchy.layer[node];
+                let mut trusted: Vec<usize> = (0..n)
+                    .filter(|&i| surveyors.contains(&i) && hierarchy.layer[i] + 1 == layer)
+                    .collect();
+                if trusted.len() < nps.min_rps {
+                    for &l in &landmarks {
+                        if !trusted.contains(&l) {
+                            trusted.push(l);
+                        }
+                    }
+                }
+                trusted.truncate(nps.rps_per_node);
+                reference_points[node] = trusted;
+            }
+        }
+
+        let participants = (0..n)
+            .map(|id| Participant::Plain(NpsNode::new(id, nps, seed)))
+            .collect();
+
+        Self {
+            security: SecurityConfig {
+                alpha: config.alpha,
+                ..SecurityConfig::paper_default()
+            },
+            config,
+            nps,
+            network,
+            hierarchy,
+            reference_points,
+            surveyors,
+            malicious,
+            participants,
+            registry: SurveyorRegistry::new(),
+            traces: vec![Vec::new(); n],
+            probe_nonce: 0,
+            report: DetectionReport::default(),
+            rng,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        self.participants.is_empty()
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The positioning hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Surveyor ids (landmarks plus promoted reference points).
+    pub fn surveyors(&self) -> &BTreeSet<usize> {
+        &self.surveyors
+    }
+
+    /// Malicious node ids.
+    pub fn malicious(&self) -> &BTreeSet<usize> {
+        &self.malicious
+    }
+
+    /// Honest non-Surveyor node ids.
+    pub fn normal_nodes(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|i| !self.surveyors.contains(i) && !self.malicious.contains(i))
+            .collect()
+    }
+
+    /// Per-node traces of measured relative errors.
+    pub fn traces(&self) -> &[Vec<f64>] {
+        &self.traces
+    }
+
+    /// Clear collected traces.
+    pub fn clear_traces(&mut self) {
+        for t in &mut self.traces {
+            t.clear();
+        }
+    }
+
+    /// The Surveyor registry.
+    pub fn registry(&self) -> &SurveyorRegistry {
+        &self.registry
+    }
+
+    /// A node's current effective reference-point set.
+    pub fn reference_points_of(&self, node: usize) -> &[usize] {
+        &self.reference_points[node]
+    }
+
+    /// Diagnostic: the node's current filter estimate and α-threshold
+    /// (NaN for unsecured nodes).
+    pub fn detector_state(&self, node: usize) -> (f64, f64) {
+        match &self.participants[node] {
+            Participant::Secured(s) => {
+                let v = s.detector().evaluate(0.0);
+                (v.predicted, v.threshold)
+            }
+            Participant::Plain(_) => (f64::NAN, f64::NAN),
+        }
+    }
+
+    /// Detection metrics accumulated so far.
+    pub fn report(&self) -> &DetectionReport {
+        &self.report
+    }
+
+    /// A node's current coordinate.
+    pub fn coordinate(&self, node: usize) -> Coordinate {
+        self.participants[node].coordinate()
+    }
+
+    /// The serving map the adversary observes: each landmark/reference
+    /// point mapped to its own layer.
+    pub fn serving_map(&self) -> BTreeMap<usize, usize> {
+        (0..self.len())
+            .filter(|&i| {
+                matches!(
+                    self.hierarchy.role[i],
+                    Role::Landmark | Role::ReferencePoint
+                )
+            })
+            .map(|i| (i, self.hierarchy.layer[i]))
+            .collect()
+    }
+
+    /// Layer membership of non-serving (normal) nodes, as the adversary
+    /// observes it.
+    pub fn layer_members(&self) -> BTreeMap<usize, Vec<usize>> {
+        let mut m: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..self.len() {
+            if self.hierarchy.role[i] == Role::Regular {
+                m.entry(self.hierarchy.layer[i]).or_default().push(i);
+            }
+        }
+        m
+    }
+
+    fn record_trace(&mut self, node: usize, d: f64) {
+        let t = &mut self.traces[node];
+        if t.len() >= TRACE_CAP {
+            t.remove(0);
+        }
+        t.push(d);
+    }
+
+    /// One positioning round of one node: sample every reference point
+    /// (through the adversary), then reposition.
+    fn node_round(&mut self, node: usize, adversary: &mut dyn Adversary, collect: bool) {
+        let rps = self.reference_points[node].clone();
+        for rp in rps {
+            let rtt = self
+                .network
+                .measure_rtt_smoothed(node, rp, self.probe_nonce);
+            self.probe_nonce += 1;
+            let rp_coord = self.participants[rp].coordinate();
+            let rp_error = self.participants[rp].local_error();
+            let node_coord = self.participants[node].coordinate();
+            let tampered = adversary.intercept(rp, node, &rp_coord, rp_error, rtt, &node_coord);
+            let label_malicious = tampered.is_some();
+            let sample = match tampered {
+                Some(t) => PeerSample {
+                    peer: rp,
+                    peer_coord: t.coord,
+                    peer_error: t.error,
+                    rtt_ms: t.rtt_ms,
+                },
+                None => PeerSample {
+                    peer: rp,
+                    peer_coord: rp_coord,
+                    peer_error: rp_error,
+                    rtt_ms: rtt,
+                },
+            };
+            let mut recorded = None;
+            match &mut self.participants[node] {
+                Participant::Plain(n) => {
+                    let out = n.apply_step(&sample);
+                    recorded = Some(out.relative_error);
+                }
+                Participant::Secured(s) => {
+                    let step = s.step(&sample);
+                    self.report
+                        .confusion
+                        .record(label_malicious, !step.accepted());
+                    match &step {
+                        ices_core::SecureStep::Accepted { outcome, .. } => {
+                            recorded = Some(outcome.relative_error);
+                        }
+                        ices_core::SecureStep::Reprieved { .. } => {
+                            self.report.reprieves += 1;
+                        }
+                        ices_core::SecureStep::Rejected { .. } => {
+                            self.replace_reference_point(node, rp);
+                            self.report.replacements += 1;
+                        }
+                    }
+                }
+            }
+            if let (true, Some(d)) = (collect, recorded) {
+                self.record_trace(node, d);
+            }
+        }
+        // Reposition from whatever was accepted.
+        match &mut self.participants[node] {
+            Participant::Plain(n) => {
+                n.finish_round();
+            }
+            Participant::Secured(s) => {
+                s.inner_mut().finish_round();
+                let coord = s.inner().coordinate().clone();
+                if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
+                    if let Some(info) = self.registry.closest_by_coordinate(&coord) {
+                        let (params, id) = (info.params, info.id);
+                        s.refresh_filter(params, id);
+                        self.report.filter_refreshes += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Swap a rejected reference point for another serving node of the
+    /// same layer (or keep it if none is available).
+    fn replace_reference_point(&mut self, node: usize, rejected: usize) {
+        let above = self.hierarchy.layer[node].wrapping_sub(1);
+        let current: BTreeSet<usize> = self.reference_points[node].iter().copied().collect();
+        let candidates: Vec<usize> = (0..self.len())
+            .filter(|&i| {
+                self.hierarchy.layer[i] == above
+                    && matches!(
+                        self.hierarchy.role[i],
+                        Role::Landmark | Role::ReferencePoint
+                    )
+                    && !current.contains(&i)
+                    && i != node
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let replacement = candidates[self.rng.random_range(0..candidates.len())];
+        if let Some(slot) = self.reference_points[node]
+            .iter_mut()
+            .find(|p| **p == rejected)
+        {
+            *slot = replacement;
+        }
+    }
+
+    /// Run `rounds` full positioning rounds: landmarks first, then each
+    /// layer in order (so reference points are positioned before the
+    /// nodes that depend on them).
+    pub fn run(&mut self, rounds: usize, adversary: &mut dyn Adversary, collect: bool) {
+        let order: Vec<usize> = {
+            let mut ids: Vec<usize> = (0..self.len()).collect();
+            ids.sort_by_key(|&i| self.hierarchy.layer[i]);
+            ids
+        };
+        for _ in 0..rounds {
+            for &node in &order {
+                self.node_round(node, adversary, collect);
+            }
+            self.refresh_registry_coordinates();
+        }
+    }
+
+    /// Run attack-free rounds, collecting traces.
+    pub fn run_clean(&mut self, rounds: usize) {
+        let mut honest = ices_attack::HonestWorld;
+        self.run(rounds, &mut honest, true);
+    }
+
+    fn refresh_registry_coordinates(&mut self) {
+        let updates: Vec<(usize, Coordinate)> = self
+            .registry
+            .all()
+            .iter()
+            .map(|s| (s.id, self.participants[s.id].coordinate()))
+            .collect();
+        for (id, coordinate) in updates {
+            let params = self.registry.get(id).expect("registered").params;
+            self.registry.register(SurveyorInfo {
+                id,
+                coordinate,
+                params,
+            });
+        }
+    }
+
+    /// Reset every node's positioning state (the §3.2 "forget and
+    /// rejoin" protocol). Traces and calibration are kept.
+    pub fn forget_coordinates(&mut self) {
+        for p in &mut self.participants {
+            match p {
+                Participant::Plain(n) => n.reset(),
+                Participant::Secured(s) => s.inner_mut().reset(),
+            }
+        }
+    }
+
+    /// EM-calibrate *every* node on its own trace (for the §3.2
+    /// validation experiments). Returns outcomes indexed by node.
+    pub fn calibrate_all_traces(&self, em: &EmConfig) -> Vec<ices_core::CalibrationOutcome> {
+        self.traces
+            .iter()
+            .map(|t| calibrate(t, StateSpaceParams::em_initial_guess(), em))
+            .collect()
+    }
+
+    /// EM-calibrate every Surveyor and publish to the registry.
+    pub fn calibrate_surveyors(&mut self, em: &EmConfig) {
+        let ids: Vec<usize> = self.surveyors.iter().copied().collect();
+        for id in ids {
+            let outcome = calibrate(&self.traces[id], StateSpaceParams::em_initial_guess(), em);
+            self.registry.register(SurveyorInfo {
+                id,
+                coordinate: self.participants[id].coordinate(),
+                params: outcome.params,
+            });
+        }
+    }
+
+    /// Arm detection on every honest non-Surveyor node (closest-of-k
+    /// random Surveyor join, as in §4.2). No-op when the scenario
+    /// disables detection.
+    ///
+    /// # Panics
+    /// Panics if the registry is empty.
+    pub fn arm_detection(&mut self) {
+        if !self.config.detection {
+            return;
+        }
+        assert!(
+            !self.registry.is_empty(),
+            "calibrate Surveyors before arming detection"
+        );
+        for node in self.normal_nodes() {
+            let candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
+            let mut best: Option<(usize, f64)> = None;
+            for s in &candidates {
+                let rtt = self
+                    .network
+                    .measure_rtt_smoothed(node, s.id, self.probe_nonce);
+                self.probe_nonce += 1;
+                if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                    best = Some((s.id, rtt));
+                }
+            }
+            let (source, _) = best.expect("registry non-empty");
+            let params = self
+                .registry
+                .get(source)
+                .expect("sampled from registry")
+                .params;
+            let placeholder = Participant::Plain(NpsNode::new(node, self.nps, 0));
+            let old = std::mem::replace(&mut self.participants[node], placeholder);
+            let inner = match old {
+                Participant::Plain(v) => v,
+                Participant::Secured(_) => panic!("node {node} already secured"),
+            };
+            let mut secured = SecureNode::new(inner, params, source, self.security);
+            // Prime the filter with the node's recent clean history so a
+            // converged node is not mistaken for a freshly joining one.
+            let trace = &self.traces[node];
+            let tail = &trace[trace.len().saturating_sub(PRIME_SAMPLES)..];
+            secured.prime(tail);
+            self.participants[node] = Participant::Secured(Box::new(secured));
+        }
+    }
+
+    /// System-accuracy report over honest normal nodes (Fig 15's CDF).
+    pub fn accuracy_report(&mut self, pairs_per_node: usize) -> AccuracyReport {
+        let nodes = self.normal_nodes();
+        let mut all = Vec::new();
+        let mut p95 = Vec::new();
+        for &node in &nodes {
+            let mut errors = Vec::with_capacity(pairs_per_node);
+            for _ in 0..pairs_per_node {
+                let other = nodes[self.rng.random_range(0..nodes.len())];
+                if other == node {
+                    continue;
+                }
+                let est = self.participants[node]
+                    .coordinate()
+                    .distance(&self.participants[other].coordinate());
+                let truth = self.network.base_rtt(node, other);
+                errors.push((est - truth).abs() / truth);
+            }
+            if errors.is_empty() {
+                continue;
+            }
+            all.extend_from_slice(&errors);
+            p95.push(ices_stats::ecdf::percentile(&errors, 95.0));
+        }
+        AccuracyReport {
+            relative_errors: all,
+            p95_per_node: p95,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SurveyorPlacement;
+    use ices_attack::NpsCollusionAttack;
+    use ices_coord::Space;
+
+    fn small_nps() -> NpsConfig {
+        NpsConfig {
+            space: Space::euclidean(2),
+            landmarks: 8,
+            rps_per_node: 8,
+            min_rps: 4,
+            solver_max_iter: 200,
+            ..NpsConfig::paper_default()
+        }
+    }
+
+    fn scenario(seed: u64, nodes: usize) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            topology: TopologyKind::small_king(nodes),
+            surveyors: SurveyorPlacement::Random { fraction: 0.15 },
+            malicious_fraction: 0.25,
+            alpha: 0.05,
+            detection: true,
+            clean_cycles: 4,
+            attack_cycles: 3,
+            embed_against_surveyors_only: false,
+        }
+    }
+
+    fn build(seed: u64) -> NpsSimulation {
+        NpsSimulation::with_nps_config(scenario(seed, 80), small_nps())
+    }
+
+    #[test]
+    fn construction_partitions_population() {
+        let sim = build(1);
+        assert_eq!(sim.len(), 80);
+        // All landmarks are surveyors.
+        for l in sim.hierarchy().landmarks() {
+            assert!(sim.surveyors().contains(&l));
+        }
+        for m in sim.malicious() {
+            assert!(!sim.surveyors().contains(m));
+        }
+    }
+
+    #[test]
+    fn surveyor_rps_are_trusted() {
+        let sim = build(2);
+        for &s in sim.surveyors() {
+            for &rp in &sim.reference_points[s] {
+                assert!(
+                    sim.surveyors().contains(&rp),
+                    "surveyor {s} positions against untrusted {rp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_converges() {
+        let mut sim = build(3);
+        sim.run_clean(6);
+        let report = sim.accuracy_report(20);
+        assert!(
+            report.median() < 0.3,
+            "median accuracy after clean NPS run: {}",
+            report.median()
+        );
+    }
+
+    #[test]
+    fn traces_accumulate_per_round() {
+        let mut sim = build(4);
+        sim.run_clean(2);
+        for node in 0..sim.len() {
+            assert_eq!(
+                sim.traces()[node].len(),
+                sim.reference_points[node].len() * 2,
+                "node {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrate_and_arm() {
+        let mut sim = build(5);
+        sim.run_clean(4);
+        sim.calibrate_surveyors(&EmConfig::default());
+        assert_eq!(sim.registry().len(), sim.surveyors().len());
+        sim.arm_detection();
+        for node in sim.normal_nodes() {
+            assert!(matches!(sim.participants[node], Participant::Secured(_)));
+        }
+    }
+
+    #[test]
+    fn collusion_attack_is_mostly_detected() {
+        let mut sim = build(6);
+        sim.run_clean(5);
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection();
+        let mut attack = NpsCollusionAttack::new(
+            sim.malicious().iter().copied(),
+            2,   // dims of the test space
+            3.0, // drag strength
+            0.5,
+            9,
+        );
+        attack.observe_hierarchy(&sim.serving_map(), &sim.layer_members());
+        sim.run(3, &mut attack, false);
+        let c = &sim.report().confusion;
+        if attack.is_active() && c.positives() > 0 {
+            assert!(
+                c.tpr() > 0.5,
+                "consistent-lie collusion should still be caught: tpr = {}",
+                c.tpr()
+            );
+        }
+        // Whether or not the conspiracy activated, honest steps must flow.
+        assert!(c.negatives() > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut sim = build(7);
+            sim.run_clean(3);
+            sim.accuracy_report(10).median()
+        };
+        assert_eq!(run(), run());
+    }
+}

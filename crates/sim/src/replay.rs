@@ -1,0 +1,104 @@
+//! Offline replay of filters over collected traces.
+//!
+//! The Kalman filter consumes nothing but the scalar sequence of
+//! measured relative errors, so validation experiments can collect the
+//! traces once and replay them through any filter afterwards. This is
+//! how the paper's §3.2–3.3 experiments evaluate *one node's* trace
+//! under *another node's* (a Surveyor's) calibrated parameters.
+
+use ices_core::kalman::{KalmanFilter, Prediction};
+use ices_core::StateSpaceParams;
+
+/// Run a filter with the given parameters over a trace, returning each
+/// step's one-step-ahead prediction and innovation.
+pub fn replay_filter(params: StateSpaceParams, trace: &[f64]) -> Vec<(Prediction, f64)> {
+    KalmanFilter::run_trace(params, trace)
+}
+
+/// Prediction errors `|Δ̂_{n|n−1} − D_n|` of a filter over a trace — the
+/// quantity Figs 2, 3, 6, 7 and 8 of the paper report.
+pub fn prediction_errors(params: StateSpaceParams, trace: &[f64]) -> Vec<f64> {
+    replay_filter(params, trace)
+        .into_iter()
+        .map(|(pred, innovation)| {
+            debug_assert!((pred.predicted + innovation).is_finite());
+            innovation.abs()
+        })
+        .collect()
+}
+
+/// Standardized innovations `η_n / √v_η,n` — the series whose
+/// gaussianity Fig 1 and the Lilliefors census of §3.1 check.
+pub fn standardized_innovations(params: StateSpaceParams, trace: &[f64]) -> Vec<f64> {
+    replay_filter(params, trace)
+        .into_iter()
+        .map(|(pred, innovation)| innovation / pred.innovation_variance.sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ices_stats::rng::stream_rng;
+
+    fn params() -> StateSpaceParams {
+        StateSpaceParams {
+            beta: 0.8,
+            v_w: 0.004,
+            v_u: 0.002,
+            w_bar: 0.03,
+            w0: 0.4,
+            p0: 0.05,
+        }
+    }
+
+    #[test]
+    fn prediction_errors_match_innovations() {
+        let p = params();
+        let mut rng = stream_rng(1, 0);
+        let trace = p.simulate(200, &mut rng);
+        let errors = prediction_errors(p, &trace);
+        let replayed = replay_filter(p, &trace);
+        assert_eq!(errors.len(), trace.len());
+        for (e, (_, innovation)) in errors.iter().zip(&replayed) {
+            assert_eq!(*e, innovation.abs());
+        }
+    }
+
+    #[test]
+    fn own_model_predicts_well() {
+        let p = params();
+        let mut rng = stream_rng(2, 0);
+        let trace = p.simulate(2000, &mut rng);
+        let errors = prediction_errors(p, &trace);
+        let mean: f64 = errors[100..].iter().sum::<f64>() / (errors.len() - 100) as f64;
+        // Mean |innovation| for a gaussian is √(2v/π); v_η ≈ v_U + steady P.
+        assert!(mean < 0.1, "mean prediction error {mean}");
+    }
+
+    #[test]
+    fn mismatched_model_predicts_worse() {
+        let p = params();
+        let mut rng = stream_rng(3, 0);
+        let trace = p.simulate(2000, &mut rng);
+        let good: f64 = prediction_errors(p, &trace)[100..].iter().sum();
+        let mut wrong = p;
+        wrong.w_bar = 0.5; // predicts a stationary mean of 2.5 instead of 0.15
+        let bad: f64 = prediction_errors(wrong, &trace)[100..].iter().sum();
+        assert!(bad > 2.0 * good, "good {good} vs bad {bad}");
+    }
+
+    #[test]
+    fn standardized_innovations_have_unit_scale() {
+        let p = params();
+        let mut rng = stream_rng(4, 0);
+        let trace = p.simulate(5000, &mut rng);
+        let z = standardized_innovations(p, &trace);
+        let mut s = ices_stats::OnlineStats::new();
+        for &x in &z[100..] {
+            s.push(x);
+        }
+        assert!(s.mean().abs() < 0.06, "mean {}", s.mean());
+        assert!((s.variance() - 1.0).abs() < 0.1, "var {}", s.variance());
+    }
+}

@@ -1,0 +1,792 @@
+//! Full-system Vivaldi simulation driver.
+//!
+//! Runs the paper's Vivaldi setup end to end: the synthetic topology,
+//! 64-neighbor spring relaxation, Surveyors embedding exclusively among
+//! themselves, EM calibration, the detection protocol in front of every
+//! honest node, and the colluding-isolation adversary.
+
+use crate::metrics::{AccuracyReport, DetectionReport};
+use crate::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use ices_attack::Adversary;
+use ices_coord::{Coordinate, Embedding, PeerSample};
+use ices_core::{
+    calibrate, CalibrationOutcome, EmConfig, SecureNode, SecurityConfig, StateSpaceParams,
+    SurveyorInfo, SurveyorRegistry,
+};
+use ices_netsim::Network;
+use ices_stats::kmeans::kmeans;
+use ices_stats::rng::SimRng;
+use ices_stats::sample::sample_indices;
+use ices_vivaldi::{select_neighbors, VivaldiConfig, VivaldiNode};
+use rand::RngExt;
+use std::collections::BTreeSet;
+
+/// How many random Surveyors a joining node probes before adopting the
+/// closest one's filter (§4.2's join protocol).
+const JOIN_PROBE_CANDIDATES: usize = 8;
+
+/// Cap on the per-node trace length kept for calibration and replay.
+const TRACE_CAP: usize = 8192;
+
+/// Recent clean samples used to prime a freshly adopted filter.
+const PRIME_SAMPLES: usize = 64;
+
+enum Participant {
+    /// No detection in front of the embedding (Surveyors, malicious
+    /// nodes, and every node in detection-off baselines).
+    Plain(VivaldiNode),
+    /// Vetted by the detection protocol.
+    Secured(Box<SecureNode<VivaldiNode>>),
+}
+
+impl Participant {
+    fn coordinate(&self) -> Coordinate {
+        match self {
+            Participant::Plain(n) => n.coordinate().clone(),
+            Participant::Secured(s) => s.inner().coordinate().clone(),
+        }
+    }
+
+    fn local_error(&self) -> f64 {
+        match self {
+            Participant::Plain(n) => n.local_error(),
+            Participant::Secured(s) => s.inner().local_error(),
+        }
+    }
+}
+
+/// The Vivaldi system simulation.
+pub struct VivaldiSimulation {
+    config: ScenarioConfig,
+    vivaldi: VivaldiConfig,
+    security: SecurityConfig,
+    network: Network,
+    /// Ground-truth latent positions (for k-means Surveyor placement).
+    latent: Vec<(f64, f64)>,
+    surveyors: BTreeSet<usize>,
+    malicious: BTreeSet<usize>,
+    neighbors: Vec<Vec<usize>>,
+    participants: Vec<Participant>,
+    registry: SurveyorRegistry,
+    traces: Vec<Vec<f64>>,
+    probe_nonce: u64,
+    report: DetectionReport,
+    rng: SimRng,
+}
+
+impl VivaldiSimulation {
+    /// Build the system: topology, Surveyor/malicious assignment, and
+    /// neighbor sets. All nodes start at the origin, unconverged.
+    ///
+    /// # Panics
+    /// Panics on invalid scenario configuration or if the Surveyor
+    /// budget rounds to fewer than 2 nodes (Surveyors need each other).
+    pub fn new(config: ScenarioConfig) -> Self {
+        Self::with_vivaldi_config(config, VivaldiConfig::paper_default())
+    }
+
+    /// Like [`VivaldiSimulation::new`] with explicit Vivaldi parameters.
+    pub fn with_vivaldi_config(config: ScenarioConfig, vivaldi: VivaldiConfig) -> Self {
+        config.validate();
+        vivaldi.validate();
+        let seed = config.seed;
+        let (network, latent) = match &config.topology {
+            TopologyKind::King(kc) => {
+                let topo = kc.generate(seed);
+                let net = Network::from_king(&topo, seed);
+                (net, topo.positions)
+            }
+            TopologyKind::PlanetLab(pc) => {
+                let pl = pc.generate(seed);
+                let net = Network::from_planetlab(&pl, seed);
+                (net, pl.topology.positions)
+            }
+        };
+        let n = network.len();
+        let mut rng = SimRng::from_stream(seed, 0x5649_5644, 0); // "VIVD"
+
+        // Surveyor deployment.
+        let want = ((n as f64) * config.surveyors.fraction()).round().max(2.0) as usize;
+        let surveyors: BTreeSet<usize> = match config.surveyors {
+            SurveyorPlacement::Random { .. } => sample_indices(&mut rng, n, want.min(n))
+                .into_iter()
+                .collect(),
+            SurveyorPlacement::KMeansHeads { .. } => {
+                let points: Vec<Vec<f64>> = latent.iter().map(|&(x, y)| vec![x, y]).collect();
+                let mut heads: BTreeSet<usize> = kmeans(&points, want.min(n), seed, 100)
+                    .heads
+                    .into_iter()
+                    .collect();
+                // Top up with random nodes if clusters shared heads.
+                while heads.len() < want.min(n) {
+                    heads.insert(rng.random_range(0..n));
+                }
+                heads
+            }
+        };
+        assert!(
+            surveyors.len() >= 2,
+            "need at least 2 Surveyors so they can position each other"
+        );
+
+        // Malicious assignment among non-Surveyors.
+        let civilians: Vec<usize> = (0..n).filter(|i| !surveyors.contains(i)).collect();
+        let mal_count = ((n as f64) * config.malicious_fraction).round() as usize;
+        let malicious: BTreeSet<usize> =
+            sample_indices(&mut rng, civilians.len(), mal_count.min(civilians.len()))
+                .into_iter()
+                .map(|i| civilians[i])
+                .collect();
+
+        // Neighbor sets: Surveyors use each other exclusively; everyone
+        // else draws the paper's 64-neighbor close/far mix from the whole
+        // population.
+        let mut neighbors = Vec::with_capacity(n);
+        for node in 0..n {
+            let candidates: Vec<(usize, f64)> =
+                if surveyors.contains(&node) || config.embed_against_surveyors_only {
+                    surveyors
+                        .iter()
+                        .filter(|&&s| s != node)
+                        .map(|&s| (s, network.base_rtt(node, s)))
+                        .collect()
+                } else {
+                    (0..n)
+                        .filter(|&p| p != node)
+                        .map(|p| (p, network.base_rtt(node, p)))
+                        .collect()
+                };
+            neighbors.push(select_neighbors(&candidates, &vivaldi, &mut rng));
+        }
+
+        let participants = (0..n)
+            .map(|id| Participant::Plain(VivaldiNode::new(id, vivaldi, seed)))
+            .collect();
+
+        Self {
+            security: SecurityConfig {
+                alpha: config.alpha,
+                ..SecurityConfig::paper_default()
+            },
+            config,
+            vivaldi,
+            network,
+            latent,
+            surveyors,
+            malicious,
+            neighbors,
+            participants,
+            registry: SurveyorRegistry::new(),
+            traces: vec![Vec::new(); n],
+            probe_nonce: 0,
+            report: DetectionReport::default(),
+            rng,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        self.participants.is_empty()
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Surveyor node ids.
+    pub fn surveyors(&self) -> &BTreeSet<usize> {
+        &self.surveyors
+    }
+
+    /// Malicious node ids.
+    pub fn malicious(&self) -> &BTreeSet<usize> {
+        &self.malicious
+    }
+
+    /// Honest non-Surveyor node ids (the paper's "normal nodes").
+    pub fn normal_nodes(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|i| !self.surveyors.contains(i) && !self.malicious.contains(i))
+            .collect()
+    }
+
+    /// A node's current neighbor set.
+    pub fn neighbors_of(&self, node: usize) -> &[usize] {
+        &self.neighbors[node]
+    }
+
+    /// Latent ground-truth positions.
+    pub fn latent_positions(&self) -> &[(f64, f64)] {
+        &self.latent
+    }
+
+    /// Per-node traces of measured relative errors collected so far.
+    pub fn traces(&self) -> &[Vec<f64>] {
+        &self.traces
+    }
+
+    /// Clear collected traces (e.g. between calibration and validation
+    /// phases).
+    pub fn clear_traces(&mut self) {
+        for t in &mut self.traces {
+            t.clear();
+        }
+    }
+
+    /// The Surveyor registry (filled by
+    /// [`VivaldiSimulation::calibrate_surveyors`]).
+    pub fn registry(&self) -> &SurveyorRegistry {
+        &self.registry
+    }
+
+    /// Detection metrics accumulated during attack phases.
+    pub fn report(&self) -> &DetectionReport {
+        &self.report
+    }
+
+    /// A node's current coordinate.
+    pub fn coordinate(&self, node: usize) -> Coordinate {
+        self.participants[node].coordinate()
+    }
+
+    /// A node's current local error.
+    pub fn local_error(&self, node: usize) -> f64 {
+        self.participants[node].local_error()
+    }
+
+    /// Reset every node's positioning state (the §3.2 "forget and
+    /// rejoin" protocol). Traces, calibration, and Surveyor filters are
+    /// kept.
+    pub fn forget_coordinates(&mut self) {
+        for p in &mut self.participants {
+            match p {
+                Participant::Plain(n) => n.reset(),
+                Participant::Secured(s) => s.inner_mut().reset(),
+            }
+        }
+    }
+
+    fn record_trace(&mut self, node: usize, d: f64) {
+        let t = &mut self.traces[node];
+        if t.len() >= TRACE_CAP {
+            t.remove(0);
+        }
+        t.push(d);
+    }
+
+    /// One embedding step of `node` against `peer`, with the adversary in
+    /// the path. Returns the measured relative error if the step went
+    /// through the embedding (accepted or unprotected).
+    fn step(
+        &mut self,
+        node: usize,
+        peer: usize,
+        adversary: &mut dyn Adversary,
+        collect_traces: bool,
+    ) {
+        let rtt = self
+            .network
+            .measure_rtt_smoothed(node, peer, self.probe_nonce);
+        self.probe_nonce += 1;
+        let peer_coord = self.participants[peer].coordinate();
+        let peer_error = self.participants[peer].local_error();
+        let node_coord = self.participants[node].coordinate();
+
+        let tampered = adversary.intercept(peer, node, &peer_coord, peer_error, rtt, &node_coord);
+        let label_malicious = tampered.is_some();
+        let sample = match tampered {
+            Some(t) => PeerSample {
+                peer,
+                peer_coord: t.coord,
+                peer_error: t.error,
+                rtt_ms: t.rtt_ms,
+            },
+            None => PeerSample {
+                peer,
+                peer_coord,
+                peer_error,
+                rtt_ms: rtt,
+            },
+        };
+
+        let mut replace = false;
+        let mut recorded: Option<f64> = None;
+        match &mut self.participants[node] {
+            Participant::Plain(v) => {
+                let out = v.apply_step(&sample);
+                recorded = Some(out.relative_error);
+            }
+            Participant::Secured(s) => {
+                let step = s.step(&sample);
+                self.report
+                    .confusion
+                    .record(label_malicious, !step.accepted());
+                match &step {
+                    ices_core::SecureStep::Accepted { outcome, .. } => {
+                        recorded = Some(outcome.relative_error);
+                    }
+                    ices_core::SecureStep::Reprieved { .. } => {
+                        self.report.reprieves += 1;
+                    }
+                    ices_core::SecureStep::Rejected { .. } => {
+                        replace = true;
+                    }
+                }
+            }
+        }
+        if let (true, Some(d)) = (collect_traces, recorded) {
+            self.record_trace(node, d);
+        }
+        if replace {
+            self.replace_neighbor(node, peer);
+            self.report.replacements += 1;
+        }
+    }
+
+    /// Swap a rejected peer for a fresh random node (not self, not
+    /// already a neighbor).
+    fn replace_neighbor(&mut self, node: usize, rejected: usize) {
+        let n = self.len();
+        let current: BTreeSet<usize> = self.neighbors[node].iter().copied().collect();
+        for _ in 0..32 {
+            let candidate = self.rng.random_range(0..n);
+            if candidate != node && !current.contains(&candidate) {
+                if let Some(slot) = self.neighbors[node].iter_mut().find(|p| **p == rejected) {
+                    *slot = candidate;
+                }
+                return;
+            }
+        }
+        // Population exhausted (tiny tests): keep the peer.
+    }
+
+    /// Run `passes` full embedding passes (each node visits every one of
+    /// its neighbors once per pass) with the adversary in the path.
+    pub fn run(&mut self, passes: usize, adversary: &mut dyn Adversary, collect_traces: bool) {
+        let n = self.len();
+        for _pass in 0..passes {
+            let max_degree = self.neighbors.iter().map(|v| v.len()).max().unwrap_or(0);
+            for slot in 0..max_degree {
+                for node in 0..n {
+                    let degree = self.neighbors[node].len();
+                    if degree == 0 {
+                        continue;
+                    }
+                    let peer = self.neighbors[node][slot % degree];
+                    if slot < degree {
+                        self.step(node, peer, adversary, collect_traces);
+                    }
+                }
+            }
+            // Round boundary: the half-rejected refresh rule.
+            self.end_pass();
+        }
+    }
+
+    /// Run clean (attack-free) passes, collecting traces.
+    pub fn run_clean(&mut self, passes: usize) {
+        let mut honest = ices_attack::HonestWorld;
+        self.run(passes, &mut honest, true);
+    }
+
+    fn end_pass(&mut self) {
+        // Refresh registry coordinates so closest-Surveyor lookups stay
+        // current.
+        let updates: Vec<(usize, Coordinate)> = self
+            .registry
+            .all()
+            .iter()
+            .map(|s| (s.id, self.participants[s.id].coordinate()))
+            .collect();
+        for (id, coordinate) in updates {
+            let params = self.registry.get(id).expect("registered").params;
+            self.registry.register(SurveyorInfo {
+                id,
+                coordinate,
+                params,
+            });
+        }
+        // Per-node round action.
+        for node in 0..self.len() {
+            let coord = self.participants[node].coordinate();
+            if let Participant::Secured(s) = &mut self.participants[node] {
+                if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
+                    if let Some(info) = self.registry.closest_by_coordinate(&coord) {
+                        let params = info.params;
+                        let id = info.id;
+                        s.refresh_filter(params, id);
+                        self.report.filter_refreshes += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// EM-calibrate every Surveyor on its collected trace and publish
+    /// the results in the registry.
+    ///
+    /// # Panics
+    /// Panics if a Surveyor has fewer than 10 trace samples (run more
+    /// clean passes first).
+    pub fn calibrate_surveyors(&mut self, em: &EmConfig) {
+        let ids: Vec<usize> = self.surveyors.iter().copied().collect();
+        for id in ids {
+            let outcome = calibrate(&self.traces[id], StateSpaceParams::em_initial_guess(), em);
+            self.registry.register(SurveyorInfo {
+                id,
+                coordinate: self.participants[id].coordinate(),
+                params: outcome.params,
+            });
+        }
+    }
+
+    /// EM-calibrate *every* node on its own trace (the §3.2 validation
+    /// needs per-node filters). Returns outcomes indexed by node.
+    pub fn calibrate_all(&self, em: &EmConfig) -> Vec<CalibrationOutcome> {
+        self.traces
+            .iter()
+            .map(|t| calibrate(t, StateSpaceParams::em_initial_guess(), em))
+            .collect()
+    }
+
+    /// Arm the detection protocol on every honest non-Surveyor node:
+    /// each probes a handful (8) of random Surveyors, adopts the
+    /// closest one's filter (§4.2 join), and is wrapped in a
+    /// [`SecureNode`]. No-op when the scenario disables detection.
+    ///
+    /// # Panics
+    /// Panics if the registry is empty (calibrate Surveyors first).
+    pub fn arm_detection(&mut self) {
+        if !self.config.detection {
+            return;
+        }
+        assert!(
+            !self.registry.is_empty(),
+            "calibrate Surveyors before arming detection"
+        );
+        for node in self.normal_nodes() {
+            let candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
+            let mut best: Option<(usize, f64)> = None;
+            for s in &candidates {
+                let rtt = self
+                    .network
+                    .measure_rtt_smoothed(node, s.id, self.probe_nonce);
+                self.probe_nonce += 1;
+                if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                    best = Some((s.id, rtt));
+                }
+            }
+            let (source, _) = best.expect("registry non-empty");
+            let params = self
+                .registry
+                .get(source)
+                .expect("sampled from registry")
+                .params;
+            let placeholder = Participant::Plain(VivaldiNode::new(node, self.vivaldi, 0));
+            let old = std::mem::replace(&mut self.participants[node], placeholder);
+            let inner = match old {
+                Participant::Plain(v) => v,
+                Participant::Secured(s) => panic!(
+                    "node {} already secured (filter source {})",
+                    node,
+                    s.filter_source()
+                ),
+            };
+            let mut secured = SecureNode::new(inner, params, source, self.security);
+            // Prime the filter with the node's recent clean history so a
+            // converged node is not mistaken for a freshly joining one.
+            let trace = &self.traces[node];
+            let tail = &trace[trace.len().saturating_sub(PRIME_SAMPLES)..];
+            secured.prime(tail);
+            self.participants[node] = Participant::Secured(Box::new(secured));
+        }
+    }
+
+    /// Rewrite every registered Surveyor's filter parameters through a
+    /// caller-supplied transformation (ablation support: white-model β,
+    /// random-walk β, stale parameters, …). Call between
+    /// [`VivaldiSimulation::calibrate_surveyors`] and
+    /// [`VivaldiSimulation::arm_detection`].
+    pub fn transform_registry_params(
+        &mut self,
+        transform: &mut dyn FnMut(StateSpaceParams) -> StateSpaceParams,
+    ) {
+        let updated: Vec<SurveyorInfo> = self
+            .registry
+            .all()
+            .iter()
+            .map(|info| SurveyorInfo {
+                id: info.id,
+                coordinate: info.coordinate.clone(),
+                params: transform(info.params),
+            })
+            .collect();
+        for info in updated {
+            self.registry.register(info);
+        }
+    }
+
+    /// Rotate the registered parameters among Surveyors so every lookup
+    /// returns an *unrelated* Surveyor's filter (the "random Surveyor"
+    /// ablation arm). No-op with fewer than 2 Surveyors.
+    pub fn shuffle_registry_params(&mut self) {
+        let infos: Vec<SurveyorInfo> = self.registry.all().to_vec();
+        if infos.len() < 2 {
+            return;
+        }
+        let shift = infos.len() / 2;
+        for (i, info) in infos.iter().enumerate() {
+            let donor = &infos[(i + shift) % infos.len()];
+            self.registry.register(SurveyorInfo {
+                id: info.id,
+                coordinate: info.coordinate.clone(),
+                params: donor.params,
+            });
+        }
+    }
+
+    /// Enable or disable the first-time-peer reprieve (ablation switch).
+    /// Takes effect for nodes armed afterwards.
+    pub fn set_reprieve_enabled(&mut self, enabled: bool) {
+        self.security.reprieve_enabled = enabled;
+    }
+
+    /// Measure system accuracy: relative errors of coordinate-estimated
+    /// RTTs against base RTTs over up to `pairs_per_node` random honest
+    /// partners per honest normal node.
+    pub fn accuracy_report(&mut self, pairs_per_node: usize) -> AccuracyReport {
+        let nodes = self.normal_nodes();
+        let mut all = Vec::new();
+        let mut p95 = Vec::new();
+        for &node in &nodes {
+            let mut errors = Vec::with_capacity(pairs_per_node);
+            for _ in 0..pairs_per_node {
+                let other = nodes[self.rng.random_range(0..nodes.len())];
+                if other == node {
+                    continue;
+                }
+                let est = self.participants[node]
+                    .coordinate()
+                    .distance(&self.participants[other].coordinate());
+                let truth = self.network.base_rtt(node, other);
+                errors.push((est - truth).abs() / truth);
+            }
+            if errors.is_empty() {
+                continue;
+            }
+            all.extend_from_slice(&errors);
+            p95.push(ices_stats::ecdf::percentile(&errors, 95.0));
+        }
+        AccuracyReport {
+            relative_errors: all,
+            p95_per_node: p95,
+        }
+    }
+
+    /// Per-node 95th-percentile report restricted to an arbitrary subset
+    /// (used by the Fig 4 representativeness comparison).
+    pub fn p95_for_subset(&mut self, subset: &[usize], pairs_per_node: usize) -> Vec<f64> {
+        let nodes = self.normal_nodes();
+        let mut p95 = Vec::with_capacity(subset.len());
+        for &node in subset {
+            let mut errors = Vec::with_capacity(pairs_per_node);
+            for _ in 0..pairs_per_node {
+                let other = nodes[self.rng.random_range(0..nodes.len())];
+                if other == node {
+                    continue;
+                }
+                let est = self.participants[node]
+                    .coordinate()
+                    .distance(&self.participants[other].coordinate());
+                let truth = self.network.base_rtt(node, other);
+                errors.push((est - truth).abs() / truth);
+            }
+            if !errors.is_empty() {
+                p95.push(ices_stats::ecdf::percentile(&errors, 95.0));
+            }
+        }
+        p95
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ices_attack::VivaldiIsolationAttack;
+
+    fn scenario(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            topology: TopologyKind::small_king(50),
+            surveyors: SurveyorPlacement::Random { fraction: 0.12 },
+            malicious_fraction: 0.2,
+            alpha: 0.05,
+            detection: true,
+            clean_cycles: 6,
+            attack_cycles: 3,
+            embed_against_surveyors_only: false,
+        }
+    }
+
+    #[test]
+    fn construction_partitions_population() {
+        let sim = VivaldiSimulation::new(scenario(1));
+        assert_eq!(sim.len(), 50);
+        assert_eq!(sim.surveyors().len(), 6); // 12% of 50
+        assert_eq!(sim.malicious().len(), 10); // 20% of 50
+                                               // Disjoint partitions.
+        for m in sim.malicious() {
+            assert!(!sim.surveyors().contains(m));
+        }
+        assert_eq!(
+            sim.normal_nodes().len(),
+            50 - sim.surveyors().len() - sim.malicious().len()
+        );
+    }
+
+    #[test]
+    fn surveyors_only_neighbor_each_other() {
+        let sim = VivaldiSimulation::new(scenario(2));
+        for &s in sim.surveyors() {
+            for &p in &sim.neighbors[s] {
+                assert!(
+                    sim.surveyors().contains(&p),
+                    "surveyor {s} has non-surveyor neighbor {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_converges() {
+        let mut sim = VivaldiSimulation::new(scenario(3));
+        sim.run_clean(8);
+        let report = sim.accuracy_report(20);
+        assert!(
+            report.median() < 0.25,
+            "median accuracy after clean run: {}",
+            report.median()
+        );
+        // Local errors should have dropped well below 1.
+        let mean_el: f64 = sim
+            .normal_nodes()
+            .iter()
+            .map(|&n| sim.local_error(n))
+            .sum::<f64>()
+            / sim.normal_nodes().len() as f64;
+        assert!(mean_el < 0.35, "mean local error {mean_el}");
+    }
+
+    #[test]
+    fn traces_are_collected_per_node() {
+        let mut sim = VivaldiSimulation::new(scenario(4));
+        sim.run_clean(2);
+        for node in 0..sim.len() {
+            let expected = sim.neighbors[node].len() * 2;
+            assert_eq!(sim.traces()[node].len(), expected, "node {node}");
+        }
+        sim.clear_traces();
+        assert!(sim.traces().iter().all(|t| t.is_empty()));
+    }
+
+    #[test]
+    fn calibration_fills_registry() {
+        let mut sim = VivaldiSimulation::new(scenario(5));
+        sim.run_clean(4);
+        sim.calibrate_surveyors(&EmConfig::default());
+        assert_eq!(sim.registry().len(), sim.surveyors().len());
+        for info in sim.registry().all() {
+            info.params.validate();
+        }
+    }
+
+    #[test]
+    fn arm_detection_secures_normal_nodes_only() {
+        let mut sim = VivaldiSimulation::new(scenario(6));
+        sim.run_clean(4);
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection();
+        for node in 0..sim.len() {
+            let secured = matches!(sim.participants[node], Participant::Secured(_));
+            let should = !sim.surveyors().contains(&node) && !sim.malicious().contains(&node);
+            assert_eq!(secured, should, "node {node}");
+        }
+    }
+
+    #[test]
+    fn attack_with_detection_yields_confusion_counts() {
+        let mut sim = VivaldiSimulation::new(scenario(7));
+        sim.run_clean(5);
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection();
+        let target = sim.normal_nodes()[0];
+        let mut attack = VivaldiIsolationAttack::new(
+            sim.malicious().iter().copied(),
+            sim.coordinate(target),
+            100.0,
+            7,
+        );
+        sim.run(3, &mut attack, false);
+        let c = &sim.report().confusion;
+        assert!(c.positives() > 0, "attack steps should have been observed");
+        assert!(c.negatives() > 0);
+        assert!(
+            c.tpr() > 0.5,
+            "the blatant isolation attack should mostly be caught, tpr = {}",
+            c.tpr()
+        );
+    }
+
+    #[test]
+    fn detection_off_scenario_keeps_everyone_plain() {
+        let mut cfg = scenario(8);
+        cfg.detection = false;
+        let mut sim = VivaldiSimulation::new(cfg);
+        sim.run_clean(3);
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection(); // no-op
+        assert!(sim
+            .participants
+            .iter()
+            .all(|p| matches!(p, Participant::Plain(_))));
+    }
+
+    #[test]
+    fn forget_coordinates_resets_positions() {
+        let mut sim = VivaldiSimulation::new(scenario(9));
+        sim.run_clean(3);
+        let moved = ices_coord::vector::norm(sim.coordinate(0).position());
+        assert!(moved > 0.0);
+        sim.forget_coordinates();
+        // Back to the bootstrap state: origin position, initial height.
+        assert_eq!(sim.coordinate(0).position(), &[0.0, 0.0]);
+        assert_eq!(
+            sim.coordinate(0).magnitude(),
+            ices_vivaldi::VivaldiConfig::paper_default().initial_height_ms
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut sim = VivaldiSimulation::new(scenario(10));
+            sim.run_clean(3);
+            sim.accuracy_report(10).median()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn kmeans_placement_produces_surveyors() {
+        let mut cfg = scenario(11);
+        cfg.surveyors = SurveyorPlacement::KMeansHeads { fraction: 0.1 };
+        let sim = VivaldiSimulation::new(cfg);
+        assert_eq!(sim.surveyors().len(), 5);
+    }
+}

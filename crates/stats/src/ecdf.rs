@@ -1,0 +1,252 @@
+//! Empirical cumulative distribution functions and percentiles.
+//!
+//! Every CDF plot in the paper's evaluation (Figs 3, 4, 5, 13, 15) and the
+//! per-node 95th-percentile representativeness metric of §3.3 are built on
+//! this module.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a set of observations.
+///
+/// Construction sorts the samples once; evaluation is a binary search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from samples. Non-finite values are rejected.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN/±∞.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF requires at least one sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF samples must be finite"
+        );
+        samples.sort_by(f64::total_cmp);
+        Self { sorted: samples }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of samples `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we test
+        // with `v <= x` since the array is sorted ascending.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile `q ∈ [0, 1]` using the nearest-rank method (quantile 0 is
+    /// the minimum, quantile 1 the maximum).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = (q * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// The `p`-th percentile, `p ∈ [0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The sorted sample values.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluate the ECDF at `k` evenly spaced x-positions spanning the
+    /// sample range, returning `(x, F(x))` pairs — the series the paper's
+    /// CDF figures plot.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`.
+    pub fn curve(&self, k: usize) -> Vec<(f64, f64)> {
+        assert!(k >= 2, "curve needs at least 2 points");
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..k)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (k - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Maximum absolute difference against another ECDF evaluated on the
+    /// union of both supports (two-sample Kolmogorov–Smirnov statistic).
+    ///
+    /// Used to quantify Surveyor representativeness: how far the Surveyor
+    /// population's error distribution sits from the full population's.
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+/// Nearest-rank percentile of a slice without building an [`Ecdf`].
+///
+/// # Panics
+/// Panics if `xs` is empty, contains non-finite values, or `p ∉ [0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    Ecdf::new(xs.to_vec()).percentile(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_simple() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(vec![15.0, 20.0, 35.0, 40.0, 50.0]);
+        // Classic nearest-rank example (Wikipedia).
+        assert_eq!(e.percentile(5.0), 15.0);
+        assert_eq!(e.percentile(30.0), 20.0);
+        assert_eq!(e.percentile(40.0), 20.0);
+        assert_eq!(e.percentile(50.0), 35.0);
+        assert_eq!(e.percentile(100.0), 50.0);
+        assert_eq!(e.percentile(0.0), 15.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(Ecdf::new(vec![3.0, 1.0, 2.0]).median(), 2.0);
+        assert_eq!(Ecdf::new(vec![4.0, 1.0, 2.0, 3.0]).median(), 2.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(1.9), 0.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn curve_spans_range_and_ends_at_one() {
+        let e = Ecdf::new(vec![0.0, 1.0, 2.0, 3.0]);
+        let c = e.curve(7);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c[0].0, 0.0);
+        assert_eq!(c[6].0, 3.0);
+        assert_eq!(c[6].1, 1.0);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF curve must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_distance(&a.clone()), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = Ecdf::new(vec![0.0, 1.0]);
+        let b = Ecdf::new(vec![10.0, 11.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+        assert_eq!(b.ks_distance(&a), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty() {
+        Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_monotone(xs in proptest::collection::vec(-100f64..100.0, 1..60)) {
+            let e = Ecdf::new(xs);
+            let mut prev = 0.0;
+            let mut x = -110.0;
+            while x <= 110.0 {
+                let f = e.eval(x);
+                prop_assert!(f >= prev);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prev = f;
+                x += 1.0;
+            }
+        }
+
+        #[test]
+        fn quantile_is_a_sample(
+            xs in proptest::collection::vec(-100f64..100.0, 1..60),
+            q in 0.0f64..=1.0,
+        ) {
+            let e = Ecdf::new(xs.clone());
+            let v = e.quantile(q);
+            prop_assert!(xs.contains(&v));
+        }
+
+        #[test]
+        fn quantile_monotone_in_q(xs in proptest::collection::vec(-100f64..100.0, 1..60)) {
+            let e = Ecdf::new(xs);
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=20 {
+                let v = e.quantile(i as f64 / 20.0);
+                prop_assert!(v >= prev);
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn ks_symmetric_and_bounded(
+            a in proptest::collection::vec(-50f64..50.0, 1..40),
+            b in proptest::collection::vec(-50f64..50.0, 1..40),
+        ) {
+            let ea = Ecdf::new(a);
+            let eb = Ecdf::new(b);
+            let d1 = ea.ks_distance(&eb);
+            let d2 = eb.ks_distance(&ea);
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&d1));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Exponentially weighted moving average.
+//!
+//! Vivaldi maintains a per-node *local error* `e_l` as an EWMA of observed
+//! relative errors, and the paper's detection protocol (§4.2) reuses that
+//! `e_l` to scale the reprieve significance level `e_l · α` granted to
+//! first-time peers.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially weighted moving average with fixed smoothing factor.
+///
+/// After observing `x`, the value becomes `α·x + (1−α)·value`. Until the
+/// first observation the EWMA reports its configured initial value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Create an EWMA with smoothing factor `alpha ∈ (0, 1]` that reports
+    /// `initial` until the first sample arrives.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64, initial: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Self {
+            alpha,
+            value: initial,
+            initialized: false,
+        }
+    }
+
+    /// Observe a new sample and return the updated average.
+    ///
+    /// The first sample replaces the initial value outright, so the
+    /// configured starting point does not bias long-run estimates.
+    pub fn update(&mut self, x: f64) -> f64 {
+        if self.initialized {
+            self.value = self.alpha * x + (1.0 - self.alpha) * self.value;
+        } else {
+            self.value = x;
+            self.initialized = true;
+        }
+        self.value
+    }
+
+    /// Current average.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one sample has been observed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Vivaldi-style *weighted* moving average where the per-sample weight is
+/// supplied by the caller (Vivaldi weights by the sample balance
+/// `w = e_l / (e_l + e_peer)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedEwma {
+    value: f64,
+    initialized: bool,
+}
+
+impl WeightedEwma {
+    /// Create a weighted EWMA reporting `initial` until the first sample.
+    pub fn new(initial: f64) -> Self {
+        Self {
+            value: initial,
+            initialized: false,
+        }
+    }
+
+    /// Observe `x` with weight `w ∈ [0, 1]` scaled by constant `ce`.
+    ///
+    /// The effective smoothing factor is `ce · w`, matching Vivaldi's
+    /// `e_l = es·ce·w + e_l·(1 − ce·w)` update.
+    ///
+    /// # Panics
+    /// Panics if the effective factor leaves `[0, 1]`.
+    pub fn update(&mut self, x: f64, w: f64, ce: f64) -> f64 {
+        let a = ce * w;
+        assert!(
+            (0.0..=1.0).contains(&a),
+            "effective EWMA factor must be in [0, 1], got {a}"
+        );
+        if self.initialized {
+            self.value = x * a + self.value * (1.0 - a);
+        } else {
+            self.value = x;
+            self.initialized = true;
+        }
+        self.value
+    }
+
+    /// Current average.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one sample has been observed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_sample_replaces_initial() {
+        let mut e = Ewma::new(0.1, 1.0);
+        assert_eq!(e.value(), 1.0);
+        assert!(!e.is_initialized());
+        e.update(0.2);
+        assert_eq!(e.value(), 0.2);
+        assert!(e.is_initialized());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.25, 0.0);
+        for _ in 0..200 {
+            e.update(3.5);
+        }
+        assert!((e.value() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0, 0.0);
+        for x in [1.0, -2.0, 7.5] {
+            assert_eq!(e.update(x), x);
+        }
+    }
+
+    #[test]
+    fn known_sequence() {
+        let mut e = Ewma::new(0.5, 0.0);
+        e.update(4.0); // 4.0
+        e.update(0.0); // 2.0
+        e.update(2.0); // 2.0
+        assert!((e.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA alpha must be in (0, 1]")]
+    fn rejects_zero_alpha() {
+        Ewma::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn weighted_matches_vivaldi_update() {
+        let mut e = WeightedEwma::new(1.0);
+        e.update(0.4, 1.0, 0.25); // first sample: takes value
+        assert_eq!(e.value(), 0.4);
+        let v = e.update(0.8, 0.5, 0.25); // a = 0.125
+        assert!((v - (0.8 * 0.125 + 0.4 * 0.875)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn stays_within_sample_hull(
+            alpha in 0.01f64..1.0,
+            xs in proptest::collection::vec(-100f64..100.0, 1..50),
+        ) {
+            let mut e = Ewma::new(alpha, 0.0);
+            for &x in &xs { e.update(x); }
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(e.value() >= lo - 1e-9 && e.value() <= hi + 1e-9);
+        }
+
+        #[test]
+        fn weighted_stays_within_hull(
+            xs in proptest::collection::vec((0f64..10.0, 0f64..1.0), 1..50),
+        ) {
+            let mut e = WeightedEwma::new(0.0);
+            for &(x, w) in &xs { e.update(x, w, 0.25); }
+            let lo = xs.iter().map(|&(x, _)| x).fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().map(|&(x, _)| x).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(e.value() >= lo - 1e-9 && e.value() <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Interval histograms with per-bin provenance.
+//!
+//! Table 1 of the paper buckets prediction errors into fixed-width
+//! intervals and reports, per interval, *how many nodes* contributed, the
+//! number of occurrences of the smallest error observed in the interval,
+//! and the number of occurrences of the largest. This module reproduces
+//! that slightly unusual bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Per-bin record of the Table 1 statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalBin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+    /// Distinct contributing nodes.
+    pub node_count: usize,
+    /// Smallest value that landed in this bin.
+    pub min_value: f64,
+    /// Number of samples equal (to tolerance) to `min_value`.
+    pub min_occurrences: usize,
+    /// Largest value that landed in this bin.
+    pub max_value: f64,
+    /// Number of samples equal (to tolerance) to `max_value`.
+    pub max_occurrences: usize,
+    /// Total samples in this bin.
+    pub total: usize,
+}
+
+/// Histogram over `[0, width·bins)` with uniform bins, tracking which node
+/// contributed each sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalHistogram {
+    width: f64,
+    bins: Vec<BinAcc>,
+    overflow: BinAcc,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BinAcc {
+    nodes: BTreeSet<usize>,
+    values: Vec<f64>,
+}
+
+impl BinAcc {
+    fn new() -> Self {
+        Self {
+            nodes: BTreeSet::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+/// Tolerance used to count "occurrences of the min/max error": the paper's
+/// table counts repeated observations of the same extreme value, which in
+/// floating point requires an equality tolerance.
+const EXTREME_TOL: f64 = 1e-9;
+
+impl IntervalHistogram {
+    /// Create a histogram with `bins` uniform intervals of width `width`
+    /// starting at zero. Values `≥ bins·width` land in an overflow bin.
+    ///
+    /// # Panics
+    /// Panics if `width` is not positive or `bins` is zero.
+    pub fn new(width: f64, bins: usize) -> Self {
+        assert!(width > 0.0, "bin width must be positive, got {width}");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            width,
+            bins: (0..bins).map(|_| BinAcc::new()).collect(),
+            overflow: BinAcc::new(),
+        }
+    }
+
+    /// Record a sample from `node`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite values (prediction errors are
+    /// absolute values by construction).
+    pub fn record(&mut self, node: usize, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "histogram values must be finite and non-negative, got {value}"
+        );
+        let idx = (value / self.width) as usize;
+        let bin = if idx < self.bins.len() {
+            &mut self.bins[idx]
+        } else {
+            &mut self.overflow
+        };
+        bin.nodes.insert(node);
+        bin.values.push(value);
+    }
+
+    /// Number of regular (non-overflow) bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total recorded samples, including overflow.
+    pub fn total(&self) -> usize {
+        self.bins.iter().map(|b| b.values.len()).sum::<usize>() + self.overflow.values.len()
+    }
+
+    /// Produce the non-empty bins in Table 1 form, in ascending interval
+    /// order. The overflow bin, if non-empty, is appended with
+    /// `hi = +∞`.
+    pub fn table(&self) -> Vec<IntervalBin> {
+        let mut out = Vec::new();
+        for (i, bin) in self.bins.iter().enumerate() {
+            if let Some(row) = summarize(bin, i as f64 * self.width, (i + 1) as f64 * self.width) {
+                out.push(row);
+            }
+        }
+        if let Some(row) = summarize(
+            &self.overflow,
+            self.bins.len() as f64 * self.width,
+            f64::INFINITY,
+        ) {
+            out.push(row);
+        }
+        out
+    }
+}
+
+fn summarize(bin: &BinAcc, lo: f64, hi: f64) -> Option<IntervalBin> {
+    if bin.values.is_empty() {
+        return None;
+    }
+    let min_value = bin.values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_value = bin.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min_occurrences = bin
+        .values
+        .iter()
+        .filter(|&&v| (v - min_value).abs() <= EXTREME_TOL)
+        .count();
+    let max_occurrences = bin
+        .values
+        .iter()
+        .filter(|&&v| (v - max_value).abs() <= EXTREME_TOL)
+        .count();
+    Some(IntervalBin {
+        lo,
+        hi,
+        node_count: bin.nodes.len(),
+        min_value,
+        min_occurrences,
+        max_value,
+        max_occurrences,
+        total: bin.values.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_values_to_bins() {
+        let mut h = IntervalHistogram::new(0.05, 4);
+        h.record(0, 0.01);
+        h.record(1, 0.06);
+        h.record(2, 0.12);
+        h.record(3, 0.19);
+        let t = h.table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].lo, 0.0);
+        assert!((t[1].lo - 0.05).abs() < 1e-12);
+        assert_eq!(t.iter().map(|b| b.total).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn counts_distinct_nodes_not_samples() {
+        let mut h = IntervalHistogram::new(0.1, 2);
+        for _ in 0..5 {
+            h.record(7, 0.05);
+        }
+        h.record(8, 0.04);
+        let t = h.table();
+        assert_eq!(t[0].node_count, 2);
+        assert_eq!(t[0].total, 6);
+    }
+
+    #[test]
+    fn extreme_occurrences_counted() {
+        let mut h = IntervalHistogram::new(1.0, 1);
+        h.record(0, 0.2);
+        h.record(0, 0.2);
+        h.record(1, 0.2);
+        h.record(1, 0.9);
+        let t = h.table();
+        assert_eq!(t[0].min_value, 0.2);
+        assert_eq!(t[0].min_occurrences, 3);
+        assert_eq!(t[0].max_value, 0.9);
+        assert_eq!(t[0].max_occurrences, 1);
+    }
+
+    #[test]
+    fn overflow_bin_captures_tail() {
+        let mut h = IntervalHistogram::new(0.1, 2);
+        h.record(0, 5.0);
+        let t = h.table();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].hi.is_infinite());
+        assert!((t[0].lo - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bins_omitted() {
+        let mut h = IntervalHistogram::new(0.1, 10);
+        h.record(0, 0.95);
+        let t = h.table();
+        assert_eq!(t.len(), 1);
+        assert!((t[0].lo - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_value_goes_to_upper_bin() {
+        let mut h = IntervalHistogram::new(0.1, 2);
+        h.record(0, 0.1);
+        let t = h.table();
+        assert!((t[0].lo - 0.1).abs() < 1e-12, "0.1 belongs to [0.1, 0.2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        IntervalHistogram::new(0.1, 2).record(0, -0.5);
+    }
+
+    #[test]
+    fn total_tracks_all_records() {
+        let mut h = IntervalHistogram::new(0.25, 3);
+        for i in 0..100 {
+            h.record(i % 10, (i as f64) * 0.017);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.table().iter().map(|b| b.total).sum::<usize>(), 100);
+    }
+}

@@ -1,0 +1,52 @@
+//! Statistics substrate for the `ices` workspace.
+//!
+//! This crate implements, from scratch, every piece of statistical machinery
+//! the paper *Securing Internet Coordinate Embedding Systems* (SIGCOMM 2007)
+//! relies on:
+//!
+//! * [`normal`] — standard-normal kernels: pdf, CDF `Φ`, survival `Q`, and
+//!   high-precision quantile `Φ⁻¹` (Wichura's AS 241). The detection
+//!   threshold of the paper, `t_n = √v_η · Q⁻¹(α/2)`, is built on these.
+//! * [`sample`] — seeded samplers (normal, lognormal, exponential, Pareto)
+//!   used by the network fluctuation models. Implemented here so the
+//!   workspace does not need `rand_distr`.
+//! * [`rng`] — deterministic seed derivation so that every simulated node
+//!   gets an independent but reproducible random stream.
+//! * [`online`] — Welford online moments and extrema.
+//! * [`ewma`] — exponentially weighted moving averages (Vivaldi's local
+//!   error estimator).
+//! * [`ecdf`] — empirical CDFs and percentiles (every CDF figure of the
+//!   paper's evaluation).
+//! * [`lilliefors`] — the Lilliefors normality test used in §3.1 of the
+//!   paper to validate the gaussian assumption of the state-space model.
+//! * [`qq`] — quantile–quantile data against the standard normal (Fig 1).
+//! * [`kmeans`] — k-means clustering with k-means++ seeding, used for the
+//!   cluster-head Surveyor deployment of §3.3.
+//! * [`roc`] — confusion counts and ROC assembly (Figs 9–12, 14).
+//! * [`histogram`] — interval histograms (Table 1).
+//!
+//! All routines are deterministic given a seed and are extensively unit- and
+//! property-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecdf;
+pub mod ewma;
+pub mod histogram;
+pub mod kmeans;
+pub mod lilliefors;
+pub mod normal;
+pub mod online;
+pub mod qq;
+pub mod rng;
+pub mod roc;
+pub mod sample;
+
+pub use ecdf::Ecdf;
+pub use ewma::Ewma;
+pub use histogram::IntervalHistogram;
+pub use lilliefors::{lilliefors_statistic, lilliefors_test, LillieforsOutcome};
+pub use normal::{norm_cdf, norm_pdf, norm_ppf, q_function, q_inverse};
+pub use online::OnlineStats;
+pub use roc::{Confusion, RocCurve, RocPoint};

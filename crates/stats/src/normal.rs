@@ -1,0 +1,416 @@
+//! Standard-normal distribution kernels.
+//!
+//! The detection test of the paper needs the survival function
+//! `Q(x) = 1 − Φ(x)` and its inverse (Eq. 5: `t_n = √v_η,n · Q⁻¹(α/2)`).
+//! `Φ` is computed through a high-precision complementary error function
+//! and `Φ⁻¹` uses Wichura's algorithm AS 241, accurate to ~1e-15 over the
+//! full open unit interval.
+
+#![allow(clippy::excessive_precision)] // published coefficient tables kept verbatim
+
+use std::f64::consts::{PI, SQRT_2};
+
+/// Probability density of the standard normal distribution at `x`.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Cumulative distribution function `Φ(x)` of the standard normal.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Survival function `Q(x) = 1 − Φ(x)` of the standard normal.
+///
+/// Computed directly from `erfc` so the deep upper tail does not suffer the
+/// catastrophic cancellation that `1.0 − norm_cdf(x)` would.
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / SQRT_2)
+}
+
+/// Inverse of the survival function: the `x` such that `Q(x) = p`.
+///
+/// This is the quantity the paper's Eq. 5 denotes `Q⁻¹(α/2)`.
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn q_inverse(p: f64) -> f64 {
+    norm_ppf(1.0 - p)
+}
+
+/// Percent-point function (quantile) `Φ⁻¹(p)` of the standard normal.
+///
+/// Implementation of Wichura's algorithm AS 241 (PPND16), with absolute
+/// error below ~1e-15 for `p ∈ (0, 1)`.
+///
+/// # Panics
+/// Panics if `p` is outside the open interval `(0, 1)` or is NaN.
+pub fn norm_ppf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "norm_ppf requires p in (0, 1), got {p}");
+    let q = p - 0.5;
+    if q.abs() <= 0.425 {
+        // Central region: rational approximation in r = 0.425² − q².
+        let r = 0.180_625 - q * q;
+        return q * poly(&A_CENTRAL, r) / poly(&B_CENTRAL, r);
+    }
+    // Tail regions: approximate in r = sqrt(-ln(min(p, 1-p))).
+    let r = if q < 0.0 { p } else { 1.0 - p };
+    let r = (-r.ln()).sqrt();
+    let x = if r <= 5.0 {
+        let r = r - 1.6;
+        poly(&A_MIDTAIL, r) / poly(&B_MIDTAIL, r)
+    } else {
+        let r = r - 5.0;
+        poly(&A_FARTAIL, r) / poly(&B_FARTAIL, r)
+    };
+    if q < 0.0 {
+        -x
+    } else {
+        x
+    }
+}
+
+/// Complementary error function, `erfc(x) = 1 − erf(x)`.
+///
+/// Uses the rational Chebyshev approximation of W. J. Cody (1969) split
+/// over three ranges; relative error below ~1e-14, sufficient for every
+/// consumer in this workspace (the detection thresholds involve α ≥ 1e-4).
+pub fn erfc(x: f64) -> f64 {
+    let ax = x.abs();
+    let v = if ax < 0.468_75 {
+        1.0 - erf_small(ax)
+    } else if ax < 4.0 {
+        erfc_mid(ax)
+    } else {
+        erfc_large(ax)
+    };
+    if x < 0.0 {
+        2.0 - v
+    } else {
+        v
+    }
+}
+
+/// Error function `erf(x)`.
+pub fn erf(x: f64) -> f64 {
+    if x.abs() < 0.468_75 {
+        if x < 0.0 {
+            -erf_small(-x)
+        } else {
+            erf_small(x)
+        }
+    } else {
+        1.0 - erfc(x)
+    }
+}
+
+fn erf_small(x: f64) -> f64 {
+    // Cody range |x| < 0.5: erf(x) = x * P(x²)/Q(x²).
+    const P: [f64; 5] = [
+        3.209_377_589_138_469_4e3,
+        3.774_852_376_853_020_2e2,
+        1.138_641_541_510_501_6e2,
+        3.161_123_743_870_565_6,
+        1.857_777_061_846_031_5e-1,
+    ];
+    const Q: [f64; 4] = [
+        2.844_236_833_439_170_5e3,
+        1.282_616_526_077_372_3e3,
+        2.440_246_379_344_441_6e2,
+        2.360_129_095_234_412_8e1,
+    ];
+    let z = x * x;
+    let num = ((((P[4] * z + P[3]) * z + P[2]) * z + P[1]) * z) + P[0];
+    let den = ((((z + Q[3]) * z + Q[2]) * z + Q[1]) * z) + Q[0];
+    x * num / den
+}
+
+fn erfc_mid(x: f64) -> f64 {
+    // Cody range 0.46875 ≤ x ≤ 4: erfc(x) = exp(-x²) * P(x)/Q(x).
+    const P: [f64; 9] = [
+        1.230_339_354_797_997_2e3,
+        2.051_078_377_826_071_6e3,
+        1.712_047_612_634_070_7e3,
+        8.819_522_212_417_690_9e2,
+        2.986_351_381_974_001_1e2,
+        6.611_919_063_714_162_9e1,
+        8.883_149_794_388_375_7,
+        5.641_884_969_886_700_9e-1,
+        2.153_115_354_744_038_3e-8,
+    ];
+    const Q: [f64; 8] = [
+        1.230_339_354_803_749_5e3,
+        3.439_367_674_143_721_6e3,
+        4.362_619_090_143_247e3,
+        3.290_799_235_733_459_7e3,
+        1.621_389_574_566_690_3e3,
+        5.371_811_018_620_098_6e2,
+        1.176_939_508_913_124_6e2,
+        1.574_492_611_070_983_3e1,
+    ];
+    let num = horner_up(&P, x);
+    let den = horner_up_monic(&Q, x);
+    (-x * x).exp() * num / den
+}
+
+fn erfc_large(x: f64) -> f64 {
+    // Cody range x > 4: erfc(x) = exp(-x²)/x * (1/√π + R(1/x²)/x²).
+    const P: [f64; 6] = [
+        -6.587_491_615_298_378_4e-4,
+        -1.608_378_514_874_227_7e-2,
+        -1.257_817_261_112_292_1e-1,
+        -3.603_448_999_498_044_4e-1,
+        -3.053_266_349_612_323_4e-1,
+        -1.631_538_713_730_209_8e-2,
+    ];
+    const Q: [f64; 5] = [
+        2.335_204_976_268_691_8e-3,
+        6.051_834_131_244_131_8e-2,
+        5.279_051_029_514_284_9e-1,
+        1.872_952_849_923_460_4,
+        2.568_520_192_289_822,
+    ];
+    if x > 26.0 {
+        return 0.0; // below smallest positive normal f64 already
+    }
+    let z = 1.0 / (x * x);
+    let num = horner_up(&P, z);
+    let den = horner_up_monic(&Q, z);
+    let r = z * num / den;
+    (-x * x).exp() / x * (1.0 / std::f64::consts::PI.sqrt() + r)
+}
+
+/// Evaluate `c[0] + c[1] x + … + c[n] xⁿ` (coefficients in ascending order).
+fn horner_up(c: &[f64], x: f64) -> f64 {
+    let mut acc = 0.0;
+    for &ci in c.iter().rev() {
+        acc = acc * x + ci;
+    }
+    acc
+}
+
+/// Evaluate a monic polynomial `c[0] + c[1] x + … + xⁿ⁺¹` where the leading
+/// coefficient 1 is implicit.
+fn horner_up_monic(c: &[f64], x: f64) -> f64 {
+    let mut acc = 1.0;
+    for &ci in c.iter().rev() {
+        acc = acc * x + ci;
+    }
+    acc
+}
+
+/// Evaluate a polynomial with coefficients in *descending* degree order.
+fn poly(coeffs: &[f64], x: f64) -> f64 {
+    let mut acc = 0.0;
+    for &c in coeffs {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+// AS 241 coefficient tables (descending degree order).
+const A_CENTRAL: [f64; 8] = [
+    2.509_080_928_730_122_6e3,
+    3.343_057_558_358_812_9e4,
+    6.726_577_092_700_870_4e4,
+    4.592_195_393_154_987e4,
+    1.373_169_376_550_946e4,
+    1.971_590_950_306_551_3e3,
+    1.331_416_678_917_843_8e2,
+    3.387_132_872_796_366_5,
+];
+const B_CENTRAL: [f64; 8] = [
+    5.226_495_278_852_854_6e3,
+    2.872_908_573_572_194_3e4,
+    3.930_789_580_009_271e4,
+    2.121_379_430_158_659_7e4,
+    5.394_196_021_424_751e3,
+    6.871_870_074_920_579e2,
+    4.231_333_070_160_091e1,
+    1.0,
+];
+const A_MIDTAIL: [f64; 8] = [
+    7.745_450_142_783_414e-4,
+    2.272_384_498_926_918_4e-2,
+    2.417_807_251_774_506e-1,
+    1.270_458_252_452_368_4,
+    3.647_848_324_763_204_5,
+    5.769_497_221_460_691,
+    4.630_337_846_156_546,
+    1.423_437_110_749_683_5,
+];
+const B_MIDTAIL: [f64; 8] = [
+    1.050_750_071_644_416_9e-9,
+    5.475_938_084_995_345e-4,
+    1.519_866_656_361_645_7e-2,
+    1.481_039_764_274_800_8e-1,
+    6.897_673_349_851e-1,
+    1.676_384_830_183_803_8,
+    2.053_191_626_637_759,
+    1.0,
+];
+const A_FARTAIL: [f64; 8] = [
+    2.010_334_399_292_288_1e-7,
+    2.711_555_568_743_487_6e-5,
+    1.242_660_947_388_078_4e-3,
+    2.653_218_952_657_612_4e-2,
+    2.965_605_718_285_048_7e-1,
+    1.784_826_539_917_291_3,
+    5.463_784_911_164_114,
+    6.657_904_643_501_103,
+];
+const B_FARTAIL: [f64; 8] = [
+    2.044_263_103_389_939_7e-15,
+    1.421_511_758_316_446e-7,
+    1.846_318_317_510_054_8e-5,
+    7.868_691_311_456_133e-4,
+    1.487_536_129_085_061_5e-2,
+    1.369_298_809_227_358e-1,
+    5.998_322_065_558_88e-1,
+    1.0,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_at_zero_is_inverse_sqrt_2pi() {
+        assert!((norm_pdf(0.0) - 0.398_942_280_401_432_7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pdf_is_symmetric() {
+        for x in [0.1, 0.5, 1.0, 2.5, 4.0] {
+            assert_eq!(norm_pdf(x), norm_pdf(-x));
+        }
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // Reference values from standard normal tables / mpmath.
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.841_344_746_068_542_9),
+            (-1.0, 0.158_655_253_931_457_05),
+            (1.959_963_984_540_054, 0.975),
+            (2.575_829_303_548_901, 0.995),
+            (3.0, 0.998_650_101_968_369_9),
+            (-3.0, 0.001_349_898_031_630_095),
+        ];
+        for (x, want) in cases {
+            let got = norm_cdf(x);
+            assert!((got - want).abs() < 1e-9, "Φ({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn q_is_complement_of_cdf() {
+        for x in [-3.0, -1.0, -0.2, 0.0, 0.7, 2.0, 3.5] {
+            assert!((q_function(x) + norm_cdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn q_deep_tail_no_cancellation() {
+        // Q(6) ≈ 9.865876e-10; naive 1 - Φ would lose most digits.
+        let q6 = q_function(6.0);
+        assert!((q6 - 9.865_876_450_376_946e-10).abs() / q6 < 1e-6);
+    }
+
+    #[test]
+    fn ppf_reference_values() {
+        let cases = [
+            (0.5, 0.0),
+            (0.975, 1.959_963_984_540_054),
+            (0.995, 2.575_829_303_548_901),
+            (0.84, 0.994_457_883_209_753_1),
+            (0.001, -3.090_232_306_167_813_5),
+            (1e-8, -5.612_001_243_305_505),
+        ];
+        for (p, want) in cases {
+            let got = norm_ppf(p);
+            assert!((got - want).abs() < 1e-8, "Φ⁻¹({p}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn ppf_inverts_cdf() {
+        for p in [1e-6, 1e-3, 0.01, 0.1, 0.3, 0.5, 0.77, 0.99, 1.0 - 1e-6] {
+            let x = norm_ppf(p);
+            assert!(
+                (norm_cdf(x) - p).abs() < 1e-10,
+                "Φ(Φ⁻¹({p})) = {}",
+                norm_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn q_inverse_matches_paper_thresholds() {
+        // α = 5% → Q⁻¹(0.025) is the familiar 1.96.
+        assert!((q_inverse(0.025) - 1.959_963_984_540_054).abs() < 1e-9);
+        // α = 1% → 2.5758…
+        assert!((q_inverse(0.005) - 2.575_829_303_548_901).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_inverse_monotone_decreasing_in_p() {
+        let mut prev = f64::INFINITY;
+        for p in [0.001, 0.005, 0.015, 0.025, 0.05] {
+            let t = q_inverse(p);
+            assert!(t < prev, "Q⁻¹ must decrease as p grows");
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "norm_ppf requires p in (0, 1)")]
+    fn ppf_rejects_zero() {
+        norm_ppf(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "norm_ppf requires p in (0, 1)")]
+    fn ppf_rejects_one() {
+        norm_ppf(1.0);
+    }
+
+    #[test]
+    fn erf_and_erfc_are_complements() {
+        for x in [-5.0, -2.0, -0.3, 0.0, 0.4, 1.7, 3.0, 6.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        let cases = [
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (2.0, 0.995_322_265_018_952_7),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-10, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn erfc_large_argument_underflows_to_zero() {
+        assert_eq!(erfc(30.0), 0.0);
+        assert_eq!(norm_cdf(-60.0), 0.0);
+        assert_eq!(norm_cdf(60.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        let mut x = -8.0;
+        while x <= 8.0 {
+            let c = norm_cdf(x);
+            assert!(c >= prev, "Φ must be nondecreasing at {x}");
+            prev = c;
+            x += 0.05;
+        }
+    }
+}

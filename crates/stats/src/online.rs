@@ -1,0 +1,203 @@
+//! Online (single-pass) moment accumulation.
+//!
+//! Welford's algorithm: numerically stable running mean and variance with
+//! O(1) state, plus extrema. Used throughout the simulator to accumulate
+//! per-node relative-error statistics without storing every sample.
+
+use serde::{Deserialize, Serialize};
+
+/// Running count, mean, variance (via Welford), min and max.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`); 0 when fewer than 2 samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (divides by `n − 1`); 0 when fewer than 2.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_naive_two_pass() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.5, -3.25];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let (mean, var) = naive_mean_var(&xs);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -3.25);
+        assert_eq!(s.max(), 32.5);
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let mut s = OnlineStats::new();
+        for x in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - (1e9 + 10.0)).abs() < 1e-3);
+        assert!((s.sample_variance() - 30.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(
+            a in proptest::collection::vec(-1e6f64..1e6, 0..50),
+            b in proptest::collection::vec(-1e6f64..1e6, 0..50),
+        ) {
+            let mut merged = OnlineStats::new();
+            for &x in &a { merged.push(x); }
+            let mut other = OnlineStats::new();
+            for &x in &b { other.push(x); }
+            merged.merge(&other);
+
+            let mut seq = OnlineStats::new();
+            for &x in a.iter().chain(&b) { seq.push(x); }
+
+            prop_assert_eq!(merged.count(), seq.count());
+            if seq.count() > 0 {
+                prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+                let scale = seq.variance().max(1.0);
+                prop_assert!((merged.variance() - seq.variance()).abs() / scale < 1e-9);
+                prop_assert_eq!(merged.min(), seq.min());
+                prop_assert_eq!(merged.max(), seq.max());
+            }
+        }
+
+        #[test]
+        fn variance_never_negative(xs in proptest::collection::vec(-1e9f64..1e9, 0..200)) {
+            let mut s = OnlineStats::new();
+            for &x in &xs { s.push(x); }
+            prop_assert!(s.variance() >= 0.0);
+            prop_assert!(s.sample_variance() >= 0.0);
+        }
+
+        #[test]
+        fn mean_within_extrema(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let mut s = OnlineStats::new();
+            for &x in &xs { s.push(x); }
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Quantile–quantile data against the standard normal.
+//!
+//! Fig 1 of the paper plots the QQ plot of two innovation processes
+//! (Vivaldi and NPS, PlanetLab) against the standard normal; this module
+//! produces exactly that series: `(theoretical quantile, sample quantile)`
+//! pairs, one per sample, so the harness can print the figure's data.
+
+use crate::normal::norm_ppf;
+use serde::{Deserialize, Serialize};
+
+/// One point of a QQ plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QqPoint {
+    /// Standard-normal quantile at the sample's plotting position.
+    pub theoretical: f64,
+    /// The ordered sample value.
+    pub sample: f64,
+}
+
+/// QQ data of `samples` against the standard normal, using the Blom
+/// plotting positions `(i − 3/8)/(n + 1/4)` (the convention used by
+/// MATLAB's `qqplot`, which the paper's figures come from).
+///
+/// The returned points are sorted by theoretical quantile.
+///
+/// # Panics
+/// Panics if fewer than 2 samples are given or any sample is non-finite.
+pub fn qq_normal(samples: &[f64]) -> Vec<QqPoint> {
+    assert!(samples.len() >= 2, "QQ plot requires at least 2 samples");
+    assert!(
+        samples.iter().all(|x| x.is_finite()),
+        "QQ samples must be finite"
+    );
+    let n = samples.len();
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, sample)| {
+            let p = (i as f64 + 1.0 - 0.375) / (n as f64 + 0.25);
+            QqPoint {
+                theoretical: norm_ppf(p),
+                sample,
+            }
+        })
+        .collect()
+}
+
+/// Summary of how well a QQ plot hugs a straight line: the squared
+/// correlation between theoretical and sample quantiles.
+///
+/// For gaussian data this approaches 1; strong departures (heavy tails,
+/// skew) pull it down. Returns a value in `[0, 1]`.
+pub fn qq_correlation(points: &[QqPoint]) -> f64 {
+    assert!(points.len() >= 2, "correlation requires at least 2 points");
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.theoretical).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.sample).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for p in points {
+        let dx = p.theoretical - mx;
+        let dy = p.sample - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+    use crate::sample::{pareto, standard_normal};
+
+    #[test]
+    fn points_are_sorted_and_match_input_length() {
+        let xs = vec![3.0, -1.0, 2.0, 0.5, -2.5];
+        let pts = qq_normal(&xs);
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[1].theoretical > w[0].theoretical);
+            assert!(w[1].sample >= w[0].sample);
+        }
+    }
+
+    #[test]
+    fn median_sample_maps_near_zero_quantile() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let pts = qq_normal(&xs);
+        let mid = &pts[50];
+        assert!(mid.theoretical.abs() < 0.02);
+        assert_eq!(mid.sample, 50.0);
+    }
+
+    #[test]
+    fn gaussian_data_is_nearly_linear() {
+        let mut rng = stream_rng(50, 0);
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| 3.0 * standard_normal(&mut rng) + 1.0)
+            .collect();
+        let r2 = qq_correlation(&qq_normal(&xs));
+        assert!(r2 > 0.995, "gaussian QQ r² = {r2}");
+    }
+
+    #[test]
+    fn heavy_tailed_data_is_less_linear() {
+        let mut rng = stream_rng(51, 0);
+        let xs: Vec<f64> = (0..2000).map(|_| pareto(&mut rng, 1.0, 1.5)).collect();
+        let r2 = qq_correlation(&qq_normal(&xs));
+        assert!(r2 < 0.8, "pareto QQ r² = {r2} should be far from 1");
+    }
+
+    #[test]
+    fn plotting_positions_symmetric() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let pts = qq_normal(&xs);
+        for i in 0..5 {
+            let a = pts[i].theoretical;
+            let b = pts[9 - i].theoretical;
+            assert!((a + b).abs() < 1e-12, "positions must be symmetric");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn rejects_single_sample() {
+        qq_normal(&[1.0]);
+    }
+}

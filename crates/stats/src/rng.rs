@@ -1,0 +1,232 @@
+//! Deterministic seed derivation.
+//!
+//! Every experiment in this workspace is driven by a single `u64` master
+//! seed. Each simulated node, each link, and each attack component derives
+//! its own independent stream from `(master, stream-id)` pairs via a
+//! SplitMix64 mix, so that adding instrumentation or reordering node
+//! updates never perturbs unrelated random draws.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mix a 64-bit value with the SplitMix64 finalizer.
+///
+/// This is the standard avalanche mix from Steele et al.; any single-bit
+/// change in the input flips each output bit with probability ~1/2.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a child seed from a master seed and a stream identifier.
+pub fn derive(master: u64, stream: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream))
+}
+
+/// Derive a child seed from a master seed and two stream identifiers
+/// (e.g. a node id and an epoch).
+pub fn derive2(master: u64, a: u64, b: u64) -> u64 {
+    derive(derive(master, a), b)
+}
+
+/// Construct a seeded [`StdRng`] for the given `(master, stream)` pair.
+pub fn stream_rng(master: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive(master, stream))
+}
+
+/// Construct a seeded [`StdRng`] for the given `(master, a, b)` triple.
+pub fn stream_rng2(master: u64, a: u64, b: u64) -> StdRng {
+    StdRng::seed_from_u64(derive2(master, a, b))
+}
+
+/// A small, cloneable, serializable PRNG for per-node simulation state.
+///
+/// Xoshiro256++ seeded through SplitMix64 (the reference seeding
+/// procedure). Unlike [`StdRng`] it implements `Clone` and serde, which
+/// node state needs (nodes are snapshotted and stored in experiment
+/// results). Not cryptographic — none of the simulation requires that.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seed from a single `u64` via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(z);
+        }
+        // Xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Self { s }
+    }
+
+    /// Seed from a `(master, a, b)` stream triple.
+    pub fn from_stream(master: u64, a: u64, b: u64) -> Self {
+        Self::seed_from_u64(derive2(master, a, b))
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let mut s3n = s3 ^ s1;
+        let s1n = s1 ^ s2n;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        s3n = s3n.rotate_left(45);
+        self.s = [s0n, s1n, s2n, s3n];
+        result
+    }
+}
+
+// In rand 0.10, implementing `TryRng` with an infallible error provides
+// the `Rng` word-generator trait through a blanket impl.
+impl rand::TryRng for SimRng {
+    type Error = std::convert::Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok((self.next() >> 32) as u32)
+    }
+
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(self.next())
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn splitmix_known_vector() {
+        // First output of the SplitMix64 reference sequence seeded with 0.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        assert_eq!(derive(42, 7), derive(42, 7));
+        assert_eq!(derive2(42, 7, 3), derive2(42, 7, 3));
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let a = derive(42, 0);
+        let b = derive(42, 1);
+        let c = derive(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn streams_produce_distinct_sequences() {
+        let mut r0 = stream_rng(99, 0);
+        let mut r1 = stream_rng(99, 1);
+        let s0: Vec<u64> = (0..8).map(|_| r0.random()).collect();
+        let s1: Vec<u64> = (0..8).map(|_| r1.random()).collect();
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn same_stream_reproduces_sequence() {
+        let mut a = stream_rng2(7, 1, 2);
+        let mut b = stream_rng2(7, 1, 2);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn sim_rng_is_deterministic_and_cloneable() {
+        let mut a = SimRng::from_stream(1, 2, 3);
+        let mut b = a.clone();
+        use rand::Rng as _;
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn sim_rng_uniform_f64_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(9);
+        let mut s = crate::OnlineStats::new();
+        for _ in 0..50_000 {
+            let x: f64 = r.random();
+            s.push(x);
+        }
+        assert!(s.min() >= 0.0 && s.max() < 1.0);
+        assert!((s.mean() - 0.5).abs() < 0.01, "mean = {}", s.mean());
+        assert!((s.variance() - 1.0 / 12.0).abs() < 0.005);
+    }
+
+    #[test]
+    fn sim_rng_serde_roundtrip_preserves_stream() {
+        let mut a = SimRng::seed_from_u64(4);
+        use rand::Rng as _;
+        a.next_u64();
+        let json = serde_json::to_string(&a).expect("serialize");
+        let mut b: SimRng = serde_json::from_str(&json).expect("deserialize");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn sim_rng_zero_seed_not_degenerate() {
+        let mut r = SimRng::seed_from_u64(0);
+        use rand::Rng as _;
+        let vals: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vals.len(), "outputs should not repeat");
+    }
+
+    #[test]
+    fn sim_rng_fill_bytes_partial_chunk() {
+        let mut r = SimRng::seed_from_u64(5);
+        use rand::Rng as _;
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn avalanche_rough_check() {
+        // Flipping one input bit should change roughly half the output bits.
+        let base = splitmix64(0x1234_5678_9ABC_DEF0);
+        let flipped = splitmix64(0x1234_5678_9ABC_DEF1);
+        let differing = (base ^ flipped).count_ones();
+        assert!(
+            (16..=48).contains(&differing),
+            "poor avalanche: {differing} bits"
+        );
+    }
+}

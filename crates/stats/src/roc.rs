@@ -1,0 +1,281 @@
+//! Confusion-matrix accounting and ROC curves.
+//!
+//! §5.1 of the paper defines the detection metrics: a *positive* is a
+//! malicious embedding step (should be rejected), a *negative* a normal
+//! one (should be completed). This module accumulates the four confusion
+//! counts and derives FNR, FPR, TPR and TPTF exactly as defined there, and
+//! assembles ROC curves (Figs 9 and 14) from per-significance-level runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of test outcomes over a population of embedding steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Malicious steps correctly rejected.
+    pub true_positives: u64,
+    /// Normal steps wrongly rejected.
+    pub false_positives: u64,
+    /// Normal steps correctly completed.
+    pub true_negatives: u64,
+    /// Malicious steps wrongly completed.
+    pub false_negatives: u64,
+}
+
+impl Confusion {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one classified embedding step.
+    ///
+    /// `malicious` is ground truth; `rejected` is the test's verdict.
+    pub fn record(&mut self, malicious: bool, rejected: bool) {
+        match (malicious, rejected) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// Total number of malicious steps `P_P`.
+    pub fn positives(&self) -> u64 {
+        self.true_positives + self.false_negatives
+    }
+
+    /// Total number of normal steps `P_N`.
+    pub fn negatives(&self) -> u64 {
+        self.true_negatives + self.false_positives
+    }
+
+    /// Total steps observed.
+    pub fn total(&self) -> u64 {
+        self.positives() + self.negatives()
+    }
+
+    /// True positive rate `TPR = T_TP / P_P`; 0 when no positives exist.
+    pub fn tpr(&self) -> f64 {
+        ratio(self.true_positives, self.positives())
+    }
+
+    /// False positive rate `FPR = T_FP / P_N`; 0 when no negatives exist.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.false_positives, self.negatives())
+    }
+
+    /// False negative rate `FNR = T_FN / P_P`; 0 when no positives exist.
+    pub fn fnr(&self) -> f64 {
+        ratio(self.false_negatives, self.positives())
+    }
+
+    /// True negative rate `TNR = T_TN / P_N`.
+    pub fn tnr(&self) -> f64 {
+        ratio(self.true_negatives, self.negatives())
+    }
+
+    /// True positive test fraction `TPTF = T_TP / (T_TP + T_FP)` — the
+    /// proportion of raised alarms that were justified; 0 when no alarms.
+    pub fn tptf(&self) -> f64 {
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Significance level α that produced this point.
+    pub alpha: f64,
+    /// False positive rate at α.
+    pub fpr: f64,
+    /// True positive rate at α.
+    pub tpr: f64,
+}
+
+/// A ROC curve assembled from per-α confusion tallies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// Points ordered by increasing α (and thus, for a sane detector,
+    /// nondecreasing FPR).
+    pub points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Build a curve from `(alpha, confusion)` pairs; sorts by α.
+    pub fn from_levels(mut levels: Vec<(f64, Confusion)>) -> Self {
+        levels.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let points = levels
+            .into_iter()
+            .map(|(alpha, c)| RocPoint {
+                alpha,
+                fpr: c.fpr(),
+                tpr: c.tpr(),
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// Area under the curve via trapezoids, anchored at (0,0) and (1,1).
+    ///
+    /// A random detector scores 0.5; the paper's detector under light
+    /// attack should score well above 0.9.
+    pub fn auc(&self) -> f64 {
+        let mut pts: Vec<(f64, f64)> = std::iter::once((0.0, 0.0))
+            .chain(self.points.iter().map(|p| (p.fpr, p.tpr)))
+            .chain(std::iter::once((1.0, 1.0)))
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        pts.windows(2)
+            .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn record_routes_to_the_right_cell() {
+        let mut c = Confusion::new();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn rates_match_paper_definitions() {
+        let c = Confusion {
+            true_positives: 30,
+            false_negatives: 10,
+            false_positives: 5,
+            true_negatives: 55,
+        };
+        assert!((c.tpr() - 0.75).abs() < 1e-12);
+        assert!((c.fnr() - 0.25).abs() < 1e-12);
+        assert!((c.fpr() - 5.0 / 60.0).abs() < 1e-12);
+        assert!((c.tptf() - 30.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero_not_nan() {
+        let c = Confusion::new();
+        assert_eq!(c.tpr(), 0.0);
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.fnr(), 0.0);
+        assert_eq!(c.tptf(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Confusion {
+            true_positives: 1,
+            false_positives: 2,
+            true_negatives: 3,
+            false_negatives: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.true_positives, 2);
+        assert_eq!(a.false_negatives, 8);
+    }
+
+    #[test]
+    fn perfect_detector_auc_is_one() {
+        let c = Confusion {
+            true_positives: 50,
+            false_negatives: 0,
+            false_positives: 0,
+            true_negatives: 50,
+        };
+        let roc = RocCurve::from_levels(vec![(0.05, c)]);
+        assert!((roc.auc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_detector_auc_is_half() {
+        // FPR == TPR at every level → random classifier.
+        let mk = |tp: u64, fp: u64| Confusion {
+            true_positives: tp,
+            false_negatives: 100 - tp,
+            false_positives: fp,
+            true_negatives: 100 - fp,
+        };
+        let roc = RocCurve::from_levels(vec![
+            (0.01, mk(10, 10)),
+            (0.05, mk(50, 50)),
+            (0.10, mk(90, 90)),
+        ]);
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_levels_sorts_by_alpha() {
+        let c = Confusion::new();
+        let roc = RocCurve::from_levels(vec![(0.1, c), (0.01, c), (0.05, c)]);
+        let alphas: Vec<f64> = roc.points.iter().map(|p| p.alpha).collect();
+        assert_eq!(alphas, vec![0.01, 0.05, 0.1]);
+    }
+
+    proptest! {
+        #[test]
+        fn tpr_fnr_always_complementary(tp in 0u64..1000, fn_ in 0u64..1000) {
+            prop_assume!(tp + fn_ > 0);
+            let c = Confusion { true_positives: tp, false_negatives: fn_, ..Default::default() };
+            prop_assert!((c.tpr() + c.fnr() - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn rates_bounded(
+            tp in 0u64..1000, fp in 0u64..1000,
+            tn in 0u64..1000, fn_ in 0u64..1000,
+        ) {
+            let c = Confusion {
+                true_positives: tp, false_positives: fp,
+                true_negatives: tn, false_negatives: fn_,
+            };
+            for r in [c.tpr(), c.fpr(), c.fnr(), c.tnr(), c.tptf()] {
+                prop_assert!((0.0..=1.0).contains(&r));
+            }
+        }
+
+        #[test]
+        fn auc_bounded(levels in proptest::collection::vec(
+            (1u64..100, 1u64..100), 1..6)
+        ) {
+            let tallies: Vec<(f64, Confusion)> = levels.iter().enumerate().map(|(i, &(tp, fp))| {
+                (0.01 * (i + 1) as f64, Confusion {
+                    true_positives: tp, false_negatives: 100 - tp.min(100),
+                    false_positives: fp, true_negatives: 100 - fp.min(100),
+                })
+            }).collect();
+            let auc = RocCurve::from_levels(tallies).auc();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&auc));
+        }
+    }
+}

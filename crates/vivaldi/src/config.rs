@@ -1,0 +1,116 @@
+//! Vivaldi tuning parameters.
+
+use ices_coord::Space;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Vivaldi algorithm and its neighbor sets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VivaldiConfig {
+    /// Adaptive-timestep constant `C_c` (the paper sets 0.25).
+    pub cc: f64,
+    /// Local-error EWMA constant `C_e`.
+    pub ce: f64,
+    /// The geometric space (the paper: 2-d + height).
+    pub space: Space,
+    /// Neighbors per node (the paper: 64).
+    pub neighbors: usize,
+    /// How many of those must be close (the paper: 32).
+    pub close_neighbors: usize,
+    /// RTT threshold under which a neighbor counts as close, ms
+    /// (the paper: 50 ms).
+    pub close_threshold_ms: f64,
+    /// Initial local error `e_l` for a fresh node (1 = no confidence).
+    pub initial_error: f64,
+    /// Starting height for a fresh node, ms. Must be positive in
+    /// height-augmented spaces: a zero height is nearly absorbing under
+    /// the clamped spring updates (the force's height component is
+    /// proportional to the endpoint heights).
+    pub initial_height_ms: f64,
+    /// Height floor maintained after every update, ms.
+    pub min_height_ms: f64,
+}
+
+impl Default for VivaldiConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl VivaldiConfig {
+    /// The configuration used throughout the paper's evaluation.
+    pub fn paper_default() -> Self {
+        Self {
+            cc: 0.25,
+            ce: 0.25,
+            space: Space::vivaldi_default(),
+            neighbors: 64,
+            close_neighbors: 32,
+            close_threshold_ms: 50.0,
+            initial_error: 1.0,
+            initial_height_ms: 5.0,
+            min_height_ms: 0.1,
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics if constants leave `(0, 1]`, the neighbor split is
+    /// inconsistent, or the initial error is not positive.
+    pub fn validate(&self) {
+        assert!(self.cc > 0.0 && self.cc <= 1.0, "cc must be in (0,1]");
+        assert!(self.ce > 0.0 && self.ce <= 1.0, "ce must be in (0,1]");
+        assert!(self.neighbors >= 1, "need at least one neighbor");
+        assert!(
+            self.close_neighbors <= self.neighbors,
+            "close neighbors cannot exceed total neighbors"
+        );
+        assert!(
+            self.close_threshold_ms > 0.0,
+            "close threshold must be positive"
+        );
+        assert!(self.initial_error > 0.0, "initial error must be positive");
+        if self.space.uses_height() {
+            assert!(
+                self.initial_height_ms > 0.0,
+                "initial height must be positive in height-augmented spaces"
+            );
+            assert!(
+                self.min_height_ms >= 0.0 && self.min_height_ms <= self.initial_height_ms,
+                "height floor must be in [0, initial height]"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_evaluation_setup() {
+        let c = VivaldiConfig::paper_default();
+        assert_eq!(c.cc, 0.25);
+        assert_eq!(c.neighbors, 64);
+        assert_eq!(c.close_neighbors, 32);
+        assert_eq!(c.close_threshold_ms, 50.0);
+        assert_eq!(c.space, Space::with_height(2));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "close neighbors cannot exceed")]
+    fn validate_rejects_bad_split() {
+        let mut c = VivaldiConfig::paper_default();
+        c.close_neighbors = 65;
+        c.validate();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = VivaldiConfig::paper_default();
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: VivaldiConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,137 @@
+//! Neighbor-set selection.
+//!
+//! The paper's Vivaldi experiments give each node 64 neighbors, 32 of
+//! which are chosen to be closer than 50 ms (Dabek et al. showed that
+//! mixing close and far neighbors avoids the "folded" configurations
+//! pure-random or pure-close sets produce).
+
+use crate::config::VivaldiConfig;
+use ices_stats::sample::sample_indices;
+use rand::Rng;
+
+/// Choose a node's neighbor set from candidate RTTs.
+///
+/// `rtts` holds `(peer id, base RTT ms)` for every candidate peer (self
+/// excluded by the caller). Up to `config.close_neighbors` are drawn at
+/// random from the peers under `config.close_threshold_ms`; the rest of
+/// the budget is drawn at random from the remaining peers. If there are
+/// not enough close peers the budget shifts to far ones (and vice versa),
+/// matching how a deployment behaves in sparse regions.
+///
+/// Returns peer ids, deduplicated; fewer than `config.neighbors` when the
+/// candidate set itself is smaller.
+pub fn select_neighbors<R: Rng + ?Sized>(
+    rtts: &[(usize, f64)],
+    config: &VivaldiConfig,
+    rng: &mut R,
+) -> Vec<usize> {
+    let close: Vec<usize> = rtts
+        .iter()
+        .filter(|&&(_, rtt)| rtt < config.close_threshold_ms)
+        .map(|&(id, _)| id)
+        .collect();
+    let far: Vec<usize> = rtts
+        .iter()
+        .filter(|&&(_, rtt)| rtt >= config.close_threshold_ms)
+        .map(|&(id, _)| id)
+        .collect();
+
+    let total_budget = config.neighbors.min(rtts.len());
+    let close_take = config.close_neighbors.min(close.len());
+    // Whatever the close pool could not supply shifts to the far pool.
+    let far_take = (total_budget - close_take).min(far.len());
+    // And if the far pool is short too, backfill from the close pool.
+    let close_take = (total_budget - far_take).min(close.len());
+
+    let mut chosen = Vec::with_capacity(close_take + far_take);
+    for i in sample_indices(rng, close.len(), close_take) {
+        chosen.push(close[i]);
+    }
+    for i in sample_indices(rng, far.len(), far_take) {
+        chosen.push(far[i]);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ices_stats::rng::stream_rng;
+
+    fn cfg(neighbors: usize, close: usize) -> VivaldiConfig {
+        VivaldiConfig {
+            neighbors,
+            close_neighbors: close,
+            ..VivaldiConfig::paper_default()
+        }
+    }
+
+    fn mixed_candidates(n_close: usize, n_far: usize) -> Vec<(usize, f64)> {
+        let mut v = Vec::new();
+        for i in 0..n_close {
+            v.push((i, 10.0)); // close
+        }
+        for i in 0..n_far {
+            v.push((n_close + i, 200.0)); // far
+        }
+        v
+    }
+
+    #[test]
+    fn respects_close_far_split() {
+        let mut rng = stream_rng(1, 0);
+        let cands = mixed_candidates(100, 100);
+        let chosen = select_neighbors(&cands, &cfg(64, 32), &mut rng);
+        assert_eq!(chosen.len(), 64);
+        let close_chosen = chosen.iter().filter(|&&id| id < 100).count();
+        assert_eq!(close_chosen, 32);
+    }
+
+    #[test]
+    fn shifts_budget_when_close_pool_small() {
+        let mut rng = stream_rng(2, 0);
+        let cands = mixed_candidates(5, 100);
+        let chosen = select_neighbors(&cands, &cfg(64, 32), &mut rng);
+        assert_eq!(chosen.len(), 64);
+        let close_chosen = chosen.iter().filter(|&&id| id < 5).count();
+        assert_eq!(close_chosen, 5, "all available close peers taken");
+    }
+
+    #[test]
+    fn shifts_budget_when_far_pool_small() {
+        let mut rng = stream_rng(3, 0);
+        let cands = mixed_candidates(100, 5);
+        let chosen = select_neighbors(&cands, &cfg(64, 32), &mut rng);
+        assert_eq!(chosen.len(), 64);
+        let far_chosen = chosen.iter().filter(|&&id| id >= 100).count();
+        assert_eq!(far_chosen, 5);
+    }
+
+    #[test]
+    fn small_candidate_set_returns_everything() {
+        let mut rng = stream_rng(4, 0);
+        let cands = mixed_candidates(3, 4);
+        let mut chosen = select_neighbors(&cands, &cfg(64, 32), &mut rng);
+        chosen.sort_unstable();
+        assert_eq!(chosen, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let mut rng = stream_rng(5, 0);
+        let cands = mixed_candidates(50, 50);
+        let chosen = select_neighbors(&cands, &cfg(64, 32), &mut rng);
+        let mut sorted = chosen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), chosen.len());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cands = mixed_candidates(80, 80);
+        let a = select_neighbors(&cands, &cfg(64, 32), &mut stream_rng(6, 1));
+        let b = select_neighbors(&cands, &cfg(64, 32), &mut stream_rng(6, 1));
+        assert_eq!(a, b);
+    }
+}

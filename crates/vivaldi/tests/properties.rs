@@ -1,0 +1,110 @@
+//! Property-based tests of Vivaldi's update invariants over randomized
+//! peer streams.
+
+use ices_coord::{Coordinate, Embedding, PeerSample};
+use ices_vivaldi::{VivaldiConfig, VivaldiNode};
+use proptest::prelude::*;
+
+fn sample_strategy() -> impl Strategy<Value = PeerSample> {
+    (
+        0usize..64,
+        proptest::collection::vec(-300f64..300.0, 2),
+        0f64..60.0,
+        0f64..1.0,
+        1f64..500.0,
+    )
+        .prop_map(|(peer, pos, h, err, rtt)| PeerSample {
+            peer,
+            peer_coord: Coordinate::new(pos, h),
+            peer_error: err,
+            rtt_ms: rtt,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn state_stays_finite_under_arbitrary_streams(
+        samples in proptest::collection::vec(sample_strategy(), 1..120),
+        seed in 0u64..500,
+    ) {
+        let cfg = VivaldiConfig::paper_default();
+        let mut node = VivaldiNode::new(0, cfg, seed);
+        for s in &samples {
+            let out = node.apply_step(s);
+            prop_assert!(out.relative_error.is_finite());
+            prop_assert!(out.relative_error >= 0.0);
+            prop_assert!(node.coordinate().is_finite());
+            prop_assert!(node.coordinate().height() >= cfg.min_height_ms);
+            prop_assert!(node.local_error().is_finite());
+            prop_assert!(node.local_error() >= 0.0);
+        }
+        prop_assert_eq!(node.steps(), samples.len() as u64);
+    }
+
+    #[test]
+    fn local_error_stays_within_observed_hull(
+        samples in proptest::collection::vec(sample_strategy(), 1..60),
+        seed in 0u64..500,
+    ) {
+        // e_l is a weighted moving average of observed relative errors,
+        // so it can never exceed the largest error seen (or the initial
+        // value before the first sample).
+        let cfg = VivaldiConfig::paper_default();
+        let mut node = VivaldiNode::new(0, cfg, seed);
+        let mut max_seen = 0.0f64;
+        for s in &samples {
+            let out = node.apply_step(s);
+            max_seen = max_seen.max(out.relative_error);
+            prop_assert!(
+                node.local_error() <= max_seen.max(cfg.initial_error) + 1e-9,
+                "e_l {} exceeded the observed hull {}",
+                node.local_error(),
+                max_seen
+            );
+        }
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh_node(
+        samples in proptest::collection::vec(sample_strategy(), 1..40),
+        seed in 0u64..500,
+    ) {
+        let cfg = VivaldiConfig::paper_default();
+        let mut used = VivaldiNode::new(3, cfg, seed);
+        for s in &samples {
+            used.apply_step(s);
+        }
+        used.reset();
+        let fresh = VivaldiNode::new(3, cfg, seed);
+        prop_assert_eq!(used.coordinate(), fresh.coordinate());
+        prop_assert_eq!(used.local_error(), fresh.local_error());
+        prop_assert_eq!(used.steps(), 0);
+    }
+
+    #[test]
+    fn a_perfect_peer_stream_converges_the_estimate(
+        rtt in 20f64..300.0,
+        seed in 0u64..100,
+    ) {
+        // Repeated steps against one fixed peer with a constant RTT must
+        // drive the estimated distance toward that RTT.
+        let cfg = VivaldiConfig::paper_default();
+        let mut node = VivaldiNode::new(0, cfg, seed);
+        let peer = Coordinate::new(vec![40.0, -25.0], 3.0);
+        for _ in 0..400 {
+            node.apply_step(&PeerSample {
+                peer: 1,
+                peer_coord: peer.clone(),
+                peer_error: 0.25,
+                rtt_ms: rtt,
+            });
+        }
+        let est = node.coordinate().distance(&peer);
+        prop_assert!(
+            (est - rtt).abs() / rtt < 0.05,
+            "estimate {est} should approach rtt {rtt}"
+        );
+    }
+}

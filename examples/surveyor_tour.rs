@@ -1,0 +1,121 @@
+//! A tour of the Surveyor infrastructure (§3.3 and §4.2 of the paper).
+//!
+//! Shows the full Surveyor life cycle on a clean King-like system:
+//! Surveyors embed exclusively among themselves, calibrate their filters
+//! by EM, publish parameters through the registrar; a joining node
+//! probes a few random Surveyors, adopts the closest one's filter, and
+//! later refreshes it by coordinate proximity. Along the way we verify
+//! the paper's locality claim: nearby Surveyors' filters predict a
+//! node's relative-error process better than distant ones.
+//!
+//! Run with: `cargo run --release --example surveyor_tour`
+
+use ices::core::EmConfig;
+use ices::sim::replay::prediction_errors;
+use ices::sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use ices::sim::VivaldiSimulation;
+
+fn main() {
+    let config = ScenarioConfig {
+        seed: 7,
+        topology: TopologyKind::small_king(300),
+        surveyors: SurveyorPlacement::Random { fraction: 0.08 },
+        malicious_fraction: 0.0,
+        alpha: 0.05,
+        detection: true,
+        clean_cycles: 12,
+        attack_cycles: 0,
+        embed_against_surveyors_only: false,
+    };
+    let mut sim = VivaldiSimulation::new(config);
+    println!(
+        "300-node King-like system; {} Surveyors chosen at random",
+        sim.surveyors().len()
+    );
+
+    // Phase 1: clean convergence. Surveyors position using each other
+    // exclusively, so what they observe is the system's normal behavior.
+    sim.run_clean(12);
+    println!("clean convergence done; calibrating every Surveyor by EM…");
+    sim.calibrate_surveyors(&EmConfig::default());
+    for info in sim.registry().all().iter().take(4) {
+        let p = info.params;
+        println!(
+            "  surveyor {:>3}: β={:+.3} v_W={:.5} v_U={:.5} w̄={:+.4}",
+            info.id, p.beta, p.v_w, p.v_u, p.w_bar
+        );
+    }
+    println!("  … ({} registered in total)", sim.registry().len());
+    println!();
+
+    // A joining node adopts the closest of a few random Surveyors
+    // (arm_detection runs exactly that join protocol for every node).
+    sim.arm_detection();
+    let node = sim.normal_nodes()[0];
+    println!("node {node} joined; filter adopted from a nearby Surveyor");
+
+    // The locality claim: replay this node's trace under every
+    // Surveyor's parameters and compare prediction quality vs RTT.
+    sim.clear_traces();
+    sim.run_clean(6);
+    let trace = sim.traces()[node].clone();
+    let mut rows: Vec<(f64, f64, usize)> = sim
+        .registry()
+        .all()
+        .iter()
+        .map(|info| {
+            let errors = prediction_errors(info.params, &trace);
+            let mean = errors[10..].iter().sum::<f64>() / (errors.len() - 10) as f64;
+            (sim.network().base_rtt(node, info.id), mean, info.id)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    println!();
+    println!("prediction quality of every Surveyor's filter for node {node}:");
+    println!(
+        "{:>10}  {:>10}  {:>22}",
+        "surveyor", "RTT (ms)", "mean prediction error"
+    );
+    for (rtt, err, id) in rows.iter().take(6) {
+        println!("{id:>10}  {rtt:>10.1}  {err:>22.4}");
+    }
+    println!("{:>10}  {:>10}  {:>22}", "…", "", "");
+    for (rtt, err, id) in rows.iter().rev().take(3).collect::<Vec<_>>().iter().rev() {
+        println!("{id:>10}  {rtt:>10.1}  {err:>22.4}");
+    }
+    // The locality trend is a population property (Fig 7), so average
+    // the closest-vs-farthest comparison over many nodes rather than
+    // trusting a single node's luck.
+    let mut near_sum = 0.0;
+    let mut far_sum = 0.0;
+    let mut counted = 0usize;
+    for &n in sim.normal_nodes().iter().take(40) {
+        let trace = &sim.traces()[n];
+        if trace.len() < 60 {
+            continue;
+        }
+        let mut r: Vec<(f64, f64)> = sim
+            .registry()
+            .all()
+            .iter()
+            .map(|info| {
+                let errors = prediction_errors(info.params, trace);
+                let mean = errors[10..].iter().sum::<f64>() / (errors.len() - 10) as f64;
+                (sim.network().base_rtt(n, info.id), mean)
+            })
+            .collect();
+        r.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = 5.min(r.len() / 2);
+        near_sum += r.iter().take(k).map(|x| x.1).sum::<f64>() / k as f64;
+        far_sum += r.iter().rev().take(k).map(|x| x.1).sum::<f64>() / k as f64;
+        counted += 1;
+    }
+    println!();
+    println!(
+        "averaged over {counted} nodes — mean prediction error using the 5 closest \
+         Surveyors: {:.4}; using the 5 farthest: {:.4}",
+        near_sum / counted as f64,
+        far_sum / counted as f64
+    );
+    println!("(the paper's Fig 7: locality improves representativeness)");
+}

@@ -1,0 +1,155 @@
+//! Integration: the complete Vivaldi pipeline — topology generation,
+//! clean convergence, Surveyor calibration, the detection protocol under
+//! the colluding isolation attack — exercised through the public facade
+//! crate exactly as a downstream user would.
+
+use ices::attack::{HonestWorld, VivaldiIsolationAttack};
+use ices::core::EmConfig;
+use ices::sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use ices::sim::VivaldiSimulation;
+
+fn scenario(seed: u64, malicious: f64, detection: bool) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        topology: TopologyKind::small_planetlab(80),
+        surveyors: SurveyorPlacement::Random { fraction: 0.1 },
+        malicious_fraction: malicious,
+        alpha: 0.05,
+        detection,
+        clean_cycles: 10,
+        attack_cycles: 5,
+        embed_against_surveyors_only: false,
+    }
+}
+
+fn attacked_median(seed: u64, malicious: f64, detection: bool) -> f64 {
+    let mut sim = VivaldiSimulation::new(scenario(seed, malicious, detection));
+    sim.run_clean(10);
+    if detection {
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection();
+    }
+    if malicious > 0.0 {
+        let target = sim.normal_nodes()[0];
+        let radius = sim.network().matrix().median() / 2.0;
+        let mut attack = VivaldiIsolationAttack::new(
+            sim.malicious().iter().copied(),
+            sim.coordinate(target),
+            radius,
+            seed,
+        );
+        sim.run(5, &mut attack, false);
+    } else {
+        sim.run(5, &mut HonestWorld, false);
+    }
+    sim.accuracy_report(25).median()
+}
+
+#[test]
+fn attack_without_detection_distorts_the_space() {
+    let clean = attacked_median(11, 0.0, false);
+    let attacked = attacked_median(11, 0.3, false);
+    assert!(
+        attacked > 2.0 * clean,
+        "a 30% coherent isolation attack must visibly distort the space: \
+         clean {clean:.3} vs attacked {attacked:.3}"
+    );
+}
+
+#[test]
+fn detection_substantially_restores_accuracy() {
+    let clean = attacked_median(12, 0.0, false);
+    let unprotected = attacked_median(12, 0.3, false);
+    let protected = attacked_median(12, 0.3, true);
+    assert!(
+        protected < unprotected / 2.0,
+        "detection must reclaim most of the damage: \
+         protected {protected:.3} vs unprotected {unprotected:.3}"
+    );
+    assert!(
+        protected < clean + 0.5,
+        "protected system should sit near clean accuracy: \
+         {protected:.3} vs clean {clean:.3}"
+    );
+}
+
+#[test]
+fn surveyors_are_immune_to_the_attack() {
+    let mut sim = VivaldiSimulation::new(scenario(13, 0.3, false));
+    sim.run_clean(10);
+    let before: Vec<f64> = sim
+        .surveyors()
+        .iter()
+        .map(|&s| sim.coordinate(s).magnitude())
+        .collect();
+    let target = sim.normal_nodes()[0];
+    let mut attack = VivaldiIsolationAttack::new(
+        sim.malicious().iter().copied(),
+        sim.coordinate(target),
+        50.0,
+        13,
+    );
+    sim.run(5, &mut attack, false);
+    // Surveyors only embed against each other, so their coordinates keep
+    // evolving by the same clean dynamics — no sudden displacement.
+    for (i, &s) in sim.surveyors().iter().enumerate() {
+        let after = sim.coordinate(s).magnitude();
+        assert!(
+            (after - before[i]).abs() < before[i].max(50.0) * 1.0,
+            "surveyor {s} moved wildly under attack: {} -> {after}",
+            before[i]
+        );
+    }
+}
+
+#[test]
+fn detection_report_accounts_every_vetted_step() {
+    let mut sim = VivaldiSimulation::new(scenario(14, 0.2, true));
+    sim.run_clean(10);
+    sim.calibrate_surveyors(&EmConfig::default());
+    sim.arm_detection();
+    let target = sim.normal_nodes()[0];
+    let mut attack = VivaldiIsolationAttack::new(
+        sim.malicious().iter().copied(),
+        sim.coordinate(target),
+        50.0,
+        14,
+    );
+    sim.run(3, &mut attack, false);
+    let c = &sim.report().confusion;
+    // Every honest node performs one step per neighbor per pass; all of
+    // them must be accounted as exactly one confusion cell.
+    assert!(c.total() > 0);
+    assert_eq!(
+        c.total(),
+        c.positives() + c.negatives(),
+        "confusion cells must partition the vetted steps"
+    );
+    assert!(c.tpr() > 0.5, "most malicious steps detected: {}", c.tpr());
+    assert!(c.fpr() < 0.35, "honest steps mostly accepted: {}", c.fpr());
+}
+
+#[test]
+fn clean_system_detection_flags_near_alpha() {
+    // With no attacker at all, the detector's rejections are pure false
+    // positives and should stay within a few multiples of α.
+    let mut sim = VivaldiSimulation::new(scenario(15, 0.0, true));
+    sim.run_clean(10);
+    sim.calibrate_surveyors(&EmConfig::default());
+    sim.arm_detection();
+    sim.run(5, &mut HonestWorld, false);
+    let c = &sim.report().confusion;
+    assert_eq!(c.positives(), 0);
+    assert!(
+        c.fpr() < 0.25,
+        "clean-system FPR {} should stay within a few α",
+        c.fpr()
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let a = attacked_median(16, 0.2, true);
+    let b = attacked_median(16, 0.2, true);
+    assert_eq!(a, b, "identical seeds must reproduce identical runs");
+}
