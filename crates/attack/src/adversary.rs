@@ -25,7 +25,15 @@ pub struct TamperedSample {
 /// the true sample goes through. The driver uses the `Some`/`None`
 /// outcome as the ground-truth positive/negative label for the
 /// detection metrics of §5.1.
-pub trait Adversary {
+///
+/// `intercept` takes `&self` and the trait requires `Sync`: the
+/// two-phase tick loops consult the adversary concurrently from every
+/// worker thread, so an implementation must answer purely from its
+/// configuration (deriving any per-victim randomness from its seed
+/// rather than caching it). Reconfiguration entry points such as
+/// [`observe_hierarchy`](../nps_collusion/struct.NpsCollusionAttack.html#method.observe_hierarchy)
+/// stay `&mut self` and happen between runs.
+pub trait Adversary: Sync {
     /// Whether the adversary controls this node at all (used to keep
     /// malicious nodes out of the honest-population metrics).
     fn is_malicious(&self, node: usize) -> bool;
@@ -38,7 +46,7 @@ pub trait Adversary {
     /// * `victim_coord` — the victim's current coordinate (attackers can
     ///   observe it; they are part of the system).
     fn intercept(
-        &mut self,
+        &self,
         peer: usize,
         victim: usize,
         true_coord: &Coordinate,
@@ -58,7 +66,7 @@ impl Adversary for HonestWorld {
     }
 
     fn intercept(
-        &mut self,
+        &self,
         _peer: usize,
         _victim: usize,
         _true_coord: &Coordinate,
@@ -77,7 +85,7 @@ mod tests {
 
     #[test]
     fn honest_world_never_tampers() {
-        let mut w = HonestWorld;
+        let w = HonestWorld;
         let c = Coordinate::origin(Space::with_height(2));
         assert!(!w.is_malicious(3));
         assert!(w.intercept(1, 2, &c, 0.5, 30.0, &c).is_none());

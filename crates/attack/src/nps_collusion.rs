@@ -70,8 +70,9 @@ pub struct NpsCollusionAttack {
     drag: f64,
     /// Confidence the attackers claim.
     claimed_error: f64,
-    /// Agreed per-victim push directions (unit vectors).
-    push_dirs: BTreeMap<usize, Vec<f64>>,
+    /// Seed the per-victim push directions are derived from. Directions
+    /// are re-derived on every call (no cache), so `intercept` can stay
+    /// `&self` and be consulted from concurrent simulation workers.
     seed: u64,
 }
 
@@ -106,7 +107,6 @@ impl NpsCollusionAttack {
             dims,
             drag,
             claimed_error: 0.01,
-            push_dirs: BTreeMap::new(),
             seed,
         }
     }
@@ -180,14 +180,11 @@ impl NpsCollusionAttack {
         !self.active_layers.is_empty()
     }
 
-    /// The agreed unit push direction for a victim — drawn once,
-    /// deterministically, and shared by every conspirator.
-    fn push_direction(&mut self, victim: usize) -> Vec<f64> {
-        if let Some(u) = self.push_dirs.get(&victim) {
-            return u.clone();
-        }
+    /// The agreed unit push direction for a victim — derived
+    /// deterministically from the seed and shared by every conspirator.
+    fn push_direction(&self, victim: usize) -> Vec<f64> {
         let mut rng = SimRng::from_stream(self.seed, victim as u64, 0x5053_4844); // "PSHD"
-        let u = loop {
+        loop {
             let v: Vec<f64> = (0..self.dims)
                 .map(|_| rng.random::<f64>() * 2.0 - 1.0)
                 .collect();
@@ -195,9 +192,7 @@ impl NpsCollusionAttack {
             if norm > 1e-6 {
                 break v.into_iter().map(|x| x / norm).collect::<Vec<f64>>();
             }
-        };
-        self.push_dirs.insert(victim, u.clone());
-        u
+        }
     }
 }
 
@@ -207,7 +202,7 @@ impl Adversary for NpsCollusionAttack {
     }
 
     fn intercept(
-        &mut self,
+        &self,
         peer: usize,
         victim: usize,
         _true_coord: &Coordinate,
@@ -299,7 +294,7 @@ mod tests {
 
     #[test]
     fn only_victims_are_attacked() {
-        let mut a = activated();
+        let a = activated();
         let victims: BTreeSet<usize> = a.victims().collect();
         let c = Coordinate::origin(Space::euclidean(8));
         for node in [10, 11, 12, 13, 14, 15, 16, 17] {
@@ -310,7 +305,7 @@ mod tests {
 
     #[test]
     fn drag_lie_demands_a_drag_rtt_displacement() {
-        let mut a = activated();
+        let a = activated();
         let victim = a.victims().next().expect("victims");
         let vc = Coordinate::origin(Space::euclidean(8));
         let rtt = 80.0;
@@ -331,7 +326,7 @@ mod tests {
 
     #[test]
     fn colluders_share_the_push_direction() {
-        let mut a = activated();
+        let a = activated();
         let victim = a.victims().next().expect("victims");
         let vc = Coordinate::origin(Space::euclidean(8));
         let t1 = a.intercept(1, victim, &vc, 0.5, 50.0, &vc).expect("tampered");
@@ -345,7 +340,7 @@ mod tests {
 
     #[test]
     fn different_victims_get_different_directions() {
-        let mut a = activated();
+        let a = activated();
         let victims: Vec<usize> = a.victims().collect();
         let u1 = a.push_direction(victims[0]);
         let u2 = a.push_direction(victims[1]);
@@ -360,7 +355,7 @@ mod tests {
     fn drag_tracks_the_victims_current_position() {
         // As the victim moves, the lie moves with it — the staircase that
         // walks the victim out of its region.
-        let mut a = activated();
+        let a = activated();
         let victim = a.victims().next().expect("victims");
         let at_origin = Coordinate::origin(Space::euclidean(8));
         let moved = Coordinate::euclidean(vec![100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
@@ -372,7 +367,7 @@ mod tests {
 
     #[test]
     fn honest_peers_and_nonvictims_pass_through() {
-        let mut a = activated();
+        let a = activated();
         let c = Coordinate::origin(Space::euclidean(8));
         assert!(a.intercept(99, 10, &c, 0.5, 40.0, &c).is_none());
         // A conspirator that is not a serving RP stays honest.
@@ -386,8 +381,8 @@ mod tests {
 
     #[test]
     fn deterministic_across_instances() {
-        let mut a = activated();
-        let mut b = activated();
+        let a = activated();
+        let b = activated();
         let victim = a.victims().next().expect("victims");
         let c = Coordinate::origin(Space::euclidean(8));
         let ta = a.intercept(3, victim, &c, 0.5, 70.0, &c).expect("t");

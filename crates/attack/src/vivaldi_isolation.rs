@@ -24,7 +24,7 @@ use ices_coord::Coordinate;
 use ices_stats::rng::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// The colluding isolation attack.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,10 +43,9 @@ pub struct VivaldiIsolationAttack {
     /// center. The attack of reference \[11\] is blatant — the colluders pretend to
     /// be far outside the zone to exert maximal pull.
     standoff: (f64, f64),
-    /// Cached per-(attacker, victim) lies, so each victim always hears
-    /// the same fake coordinate from a given attacker.
-    lies: BTreeMap<(usize, usize), Coordinate>,
-    /// Seed for drawing lie positions.
+    /// Seed for drawing lie positions. Lies are re-derived from the seed
+    /// on every call (no cache), so `intercept` can stay `&self` and be
+    /// consulted from concurrent simulation workers.
     seed: u64,
 }
 
@@ -70,7 +69,6 @@ impl VivaldiIsolationAttack {
             zone_radius,
             claimed_error: 0.01,
             standoff: (8.0, 16.0),
-            lies: BTreeMap::new(),
             seed,
         }
     }
@@ -102,12 +100,12 @@ impl VivaldiIsolationAttack {
         self.malicious.iter().copied()
     }
 
-    /// The consistent lie attacker `a` tells victim `v`: a point drawn
-    /// once, uniformly in direction, at 2–4 zone radii from the center.
-    fn lie_for(&mut self, attacker: usize, victim: usize) -> Coordinate {
-        if let Some(c) = self.lies.get(&(attacker, victim)) {
-            return c.clone();
-        }
+    /// The consistent lie attacker `a` tells victim `v`: a point derived
+    /// deterministically from the seed, uniform in direction, placed in
+    /// the standoff band outside the zone. Re-deriving (instead of
+    /// caching) keeps the same lie per (attacker, victim) pair while
+    /// leaving the adversary immutable during interception.
+    fn lie_for(&self, attacker: usize, victim: usize) -> Coordinate {
         // The colluders coordinate their stories: all lies told to one
         // victim pull in (roughly) the same direction out of the zone,
         // with per-attacker jitter so the fakes do not coincide.
@@ -130,9 +128,7 @@ impl VivaldiIsolationAttack {
         if dims > 1 {
             position[1] += radius * angle.sin();
         }
-        let coord = Coordinate::new(position, 0.0);
-        self.lies.insert((attacker, victim), coord.clone());
-        coord
+        Coordinate::new(position, 0.0)
     }
 }
 
@@ -142,7 +138,7 @@ impl Adversary for VivaldiIsolationAttack {
     }
 
     fn intercept(
-        &mut self,
+        &self,
         peer: usize,
         victim: usize,
         _true_coord: &Coordinate,
@@ -182,7 +178,7 @@ mod tests {
 
     #[test]
     fn lies_are_outside_the_exclusion_zone() {
-        let mut a = attack();
+        let a = attack();
         let victim_coord = Coordinate::origin(Space::with_height(2));
         for attacker in [1, 2, 3] {
             for victim in [10, 20, 30] {
@@ -201,7 +197,7 @@ mod tests {
 
     #[test]
     fn lies_are_consistent_per_victim() {
-        let mut a = attack();
+        let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
         let first = a.intercept(1, 10, &c, 0.5, 40.0, &c).expect("tampered");
         for _ in 0..5 {
@@ -215,7 +211,7 @@ mod tests {
 
     #[test]
     fn different_victims_hear_different_lies() {
-        let mut a = attack();
+        let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
         let to_10 = a.intercept(1, 10, &c, 0.5, 40.0, &c).expect("tampered");
         let to_11 = a.intercept(1, 11, &c, 0.5, 40.0, &c).expect("tampered");
@@ -224,14 +220,14 @@ mod tests {
 
     #[test]
     fn honest_peers_pass_through() {
-        let mut a = attack();
+        let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
         assert!(a.intercept(9, 10, &c, 0.5, 40.0, &c).is_none());
     }
 
     #[test]
     fn attackers_spare_each_other() {
-        let mut a = attack();
+        let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
         assert!(
             a.intercept(1, 2, &c, 0.5, 40.0, &c).is_none(),
@@ -241,7 +237,7 @@ mod tests {
 
     #[test]
     fn rtt_is_never_deflated() {
-        let mut a = attack();
+        let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
         let t = a.intercept(1, 10, &c, 0.5, 37.5, &c).expect("tampered");
         assert!(t.rtt_ms >= 37.5);
@@ -249,8 +245,8 @@ mod tests {
 
     #[test]
     fn deterministic_across_instances() {
-        let mut a = attack();
-        let mut b = attack();
+        let a = attack();
+        let b = attack();
         let c = Coordinate::origin(Space::with_height(2));
         let ta = a.intercept(2, 42, &c, 0.5, 40.0, &c).expect("tampered");
         let tb = b.intercept(2, 42, &c, 0.5, 40.0, &c).expect("tampered");

@@ -1,0 +1,160 @@
+//! Tick-engine throughput: times `N` clean passes of each driver on the
+//! exact sequential path (`ICES_THREADS=1`) and on every available
+//! worker, and writes `BENCH_sim.json` at the working directory root so
+//! future changes have a perf trajectory to compare against.
+//!
+//! A "step" is one embedding update: one neighbor probe for Vivaldi,
+//! one reference-point probe for NPS. Determinism makes the two
+//! configurations directly comparable — they produce bit-for-bit
+//! identical simulations, so any throughput delta is pure scheduling.
+//!
+//! ```text
+//! bench_tick [--scale test|harness|paper] [--seed N] [--no-json]
+//! ```
+
+use ices_bench::{print_header, HarnessOptions};
+use ices_sim::experiments::Scale;
+use ices_sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use ices_sim::{NpsSimulation, VivaldiSimulation};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed configuration of one driver.
+#[derive(Debug, Serialize)]
+struct TickBench {
+    driver: &'static str,
+    nodes: usize,
+    ticks: usize,
+    threads: usize,
+    secs: f64,
+    steps_per_sec: f64,
+}
+
+/// The full benchmark result written to `BENCH_sim.json`.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    scale: String,
+    host_parallelism: usize,
+    runs: Vec<TickBench>,
+    vivaldi_speedup: f64,
+    nps_speedup: f64,
+}
+
+fn scenario(scale: &Scale) -> ScenarioConfig {
+    ScenarioConfig {
+        seed: scale.seed,
+        topology: TopologyKind::small_planetlab(scale.planetlab_nodes),
+        surveyors: SurveyorPlacement::Random { fraction: 0.08 },
+        malicious_fraction: 0.0,
+        alpha: 0.05,
+        detection: false,
+        clean_cycles: scale.clean_passes,
+        attack_cycles: 0,
+        embed_against_surveyors_only: false,
+    }
+}
+
+fn time_vivaldi(scale: &Scale, threads: usize) -> TickBench {
+    let mut sim = VivaldiSimulation::new(scenario(scale));
+    let passes = scale.clean_passes;
+    let steps: usize = (0..sim.len())
+        .map(|i| sim.neighbors_of(i).len())
+        .sum::<usize>()
+        * passes;
+    let start = Instant::now();
+    ices_par::with_threads(threads, || sim.run_clean(passes));
+    let secs = start.elapsed().as_secs_f64();
+    TickBench {
+        driver: "vivaldi",
+        nodes: sim.len(),
+        ticks: passes,
+        threads,
+        secs,
+        steps_per_sec: steps as f64 / secs,
+    }
+}
+
+fn time_nps(scale: &Scale, threads: usize) -> TickBench {
+    let mut sim = NpsSimulation::new(scenario(scale));
+    let rounds = scale.nps_clean_rounds;
+    let steps: usize = (0..sim.len())
+        .map(|i| sim.reference_points_of(i).len())
+        .sum::<usize>()
+        * rounds;
+    let start = Instant::now();
+    ices_par::with_threads(threads, || sim.run_clean(rounds));
+    let secs = start.elapsed().as_secs_f64();
+    TickBench {
+        driver: "nps",
+        nodes: sim.len(),
+        ticks: rounds,
+        threads,
+        secs,
+        steps_per_sec: steps as f64 / secs,
+    }
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    print_header(&options, "tick-engine throughput (BENCH_sim)");
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let wide = ices_par::max_threads().max(1);
+
+    // On a single-core host the wide configuration is the sequential
+    // path; time it once rather than twice.
+    let configs: &[usize] = if wide > 1 { &[1, wide] } else { &[1] };
+    let mut runs = Vec::new();
+    for (name, timer) in [
+        ("vivaldi", time_vivaldi as fn(&Scale, usize) -> TickBench),
+        ("nps", time_nps),
+    ] {
+        for &threads in configs {
+            let bench = timer(&options.scale, threads);
+            println!(
+                "{name:>8}  threads={:<2}  {:>8.2}s  {:>12.0} steps/s",
+                bench.threads, bench.secs, bench.steps_per_sec
+            );
+            runs.push(bench);
+        }
+    }
+
+    let speedup = |driver: &str| -> f64 {
+        let of = |t: usize| {
+            runs.iter()
+                .find(|r| r.driver == driver && r.threads == t)
+                .map(|r| r.steps_per_sec)
+        };
+        match (of(1), of(wide)) {
+            (Some(seq), Some(par)) if wide > 1 => par / seq,
+            _ => 1.0, // single configuration: no parallel speedup measured
+        }
+    };
+    let (vivaldi_speedup, nps_speedup) = (speedup("vivaldi"), speedup("nps"));
+    let report = BenchReport {
+        scale: options.scale_name.clone(),
+        host_parallelism: host,
+        vivaldi_speedup,
+        nps_speedup,
+        runs,
+    };
+    println!(
+        "\nspeedup: vivaldi {:.2}x, nps {:.2}x (host parallelism {host})",
+        report.vivaldi_speedup, report.nps_speedup
+    );
+
+    if options.write_json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write("BENCH_sim.json", json) {
+                    eprintln!("warning: cannot write BENCH_sim.json: {e}");
+                } else {
+                    eprintln!("(result written to BENCH_sim.json)");
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize result: {e}"),
+        }
+    }
+}

@@ -50,24 +50,25 @@ impl Network {
 
     /// A network over a King-like topology with uniform clean profiles
     /// and King-grade measurement noise.
-    pub fn from_king(topology: &Topology, seed: u64) -> Self {
+    ///
+    /// Takes the topology by value: the packed RTT triangle is ~n²/2
+    /// floats (1.5M+ f64 at paper scale) and is moved, not copied, into
+    /// the network.
+    pub fn from_king(topology: Topology, seed: u64) -> Self {
+        let n = topology.matrix.len();
         Self::new(
-            topology.matrix.clone(),
-            vec![NoiseProfile::clean(); topology.matrix.len()],
+            topology.matrix,
+            vec![NoiseProfile::clean(); n],
             FluctuationModel::king_default(),
             seed,
         )
     }
 
     /// A network over a generated PlanetLab deployment (per-node
-    /// profiles, PlanetLab-grade noise).
-    pub fn from_planetlab(pl: &PlanetLab, seed: u64) -> Self {
-        Self::new(
-            pl.topology.matrix.clone(),
-            pl.profiles.clone(),
-            pl.noise,
-            seed,
-        )
+    /// profiles, PlanetLab-grade noise). Takes the deployment by value so
+    /// the O(n²) matrix is moved, not copied.
+    pub fn from_planetlab(pl: PlanetLab, seed: u64) -> Self {
+        Self::new(pl.topology.matrix, pl.profiles, pl.noise, seed)
     }
 
     /// A noiseless network over an arbitrary matrix (tests, baselines).
@@ -153,7 +154,7 @@ mod tests {
 
     fn network() -> Network {
         let topo = KingConfig::small(40).generate(9);
-        Network::from_king(&topo, 9)
+        Network::from_king(topo, 9)
     }
 
     #[test]
@@ -196,7 +197,7 @@ mod tests {
     #[test]
     fn planetlab_network_uses_profiles() {
         let pl = PlanetLabConfig::small(50).generate(2);
-        let net = Network::from_planetlab(&pl, 2);
+        let net = Network::from_planetlab(pl.clone(), 2);
         let p = pl.pathological[0];
         let normal = (0..50)
             .find(|&i| !pl.pathological.contains(&i))

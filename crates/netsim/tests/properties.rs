@@ -62,7 +62,7 @@ proptest! {
         nonce in 0u64..10_000,
     ) {
         let pl = PlanetLabConfig::small(nodes).generate(seed);
-        let net = Network::from_planetlab(&pl, seed);
+        let net = Network::from_planetlab(pl, seed);
         let m1 = net.measure_rtt(0, 1, nonce);
         let m2 = net.measure_rtt(1, 0, nonce);
         prop_assert_eq!(m1, m2, "probe symmetric in direction");

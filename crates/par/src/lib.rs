@@ -1,0 +1,361 @@
+//! Deterministic, std-only parallel execution for the simulation engine.
+//!
+//! Every entry point preserves **input order in its output** regardless of
+//! which worker processed which item, so callers that are themselves
+//! order-independent (the two-phase tick loops, the detection sweeps)
+//! produce bit-for-bit identical results at any worker count.
+//!
+//! Worker-count resolution, in priority order:
+//! 1. a thread-local override installed by [`with_threads`] (used by the
+//!    determinism tests so parallel test binaries don't race on the
+//!    process environment),
+//! 2. the `ICES_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of 1 (`ICES_THREADS=1`) takes the plain sequential
+//! path — no threads are spawned at all, making the single-threaded
+//! schedule *exactly* the naive loop.
+//!
+//! Panics inside worker closures propagate to the caller when the
+//! `thread::scope` joins, so a failing item still fails the run.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Name of the environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "ICES_THREADS";
+
+/// Resolve the worker count: [`with_threads`] override, then
+/// `ICES_THREADS`, then available parallelism. Always at least 1.
+pub fn max_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with the worker count pinned to `n` on this thread (nested
+/// calls see the innermost value). The previous setting is restored even
+/// when `f` panics.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|cell| cell.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Map `f` over `items` in parallel, returning results **in input order**.
+///
+/// Work is distributed dynamically (an atomic cursor), so heterogeneous
+/// item costs — e.g. detection sweep cells of very different scale —
+/// balance across workers. `f` receives `(index, &item)`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    // Workers collect (index, value) pairs locally; the pairs are placed
+    // into index-addressed slots after the scope joins, which restores
+    // input order no matter how the atomic cursor interleaved the work.
+    let mut partials: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            // join() returns Err only when the worker panicked; resume
+            // the panic on the caller so failures propagate.
+            match handle.join() {
+                Ok(local) => partials.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    for (i, value) in partials.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Mutate every item of `items` in parallel, returning `f`'s per-item
+/// results **in input order**.
+///
+/// The slice is split into one contiguous chunk per worker
+/// (`chunks_mut`), so each worker owns its items exclusively — this is
+/// the two-phase tick loops' update phase, where every node mutates only
+/// itself against an immutable snapshot. `f` receives `(index, &mut item)`.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let len = items.len();
+    let chunk_len = len.div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (chunk_index, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            let base = chunk_index * chunk_len;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(offset, item)| f(base + offset, item))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => results.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Select mutable references to the given `indices` of `items`.
+///
+/// `indices` must be strictly increasing and in bounds; the disjointness
+/// this guarantees is what makes handing the references to parallel
+/// workers sound, and it is enforced with plain safe `split_at_mut`.
+/// Used by the NPS driver to update one hierarchy layer's members while
+/// the rest of the population stays immutable.
+pub fn select_disjoint_mut<'a, T>(items: &'a mut [T], indices: &[usize]) -> Vec<&'a mut T> {
+    let mut out = Vec::with_capacity(indices.len());
+    let mut rest = items;
+    let mut consumed = 0usize;
+    for &index in indices {
+        assert!(
+            index >= consumed,
+            "indices must be strictly increasing (saw {index} after {consumed})"
+        );
+        let (_, tail) = rest.split_at_mut(index - consumed);
+        let (picked, tail) = tail
+            .split_first_mut()
+            .expect("index out of bounds in select_disjoint_mut");
+        out.push(picked);
+        rest = tail;
+        consumed = index + 1;
+    }
+    out
+}
+
+/// Run `f(index, &mut items[index])` for every index in `indices` in
+/// parallel, returning results **in `indices` order**. `indices` must be
+/// strictly increasing.
+pub fn par_for_indices<T, R, F>(items: &mut [T], indices: &[usize], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let threads = max_threads().min(indices.len().max(1));
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(indices.len());
+        let picked = select_disjoint_mut(items, indices);
+        for (&index, item) in indices.iter().zip(picked) {
+            out.push(f(index, item));
+        }
+        return out;
+    }
+
+    let picked = select_disjoint_mut(items, indices);
+    let mut paired: Vec<(usize, &mut T)> = indices.iter().copied().zip(picked).collect();
+    par_map_mut(&mut paired, |_, (index, item)| f(*index, item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = with_threads(4, || par_map(&items, |i, &x| i * 1000 + x));
+        let expected: Vec<usize> = (0..257).map(|i| i * 1000 + i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_bitwise() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |i: usize, &x: &u64| (x as f64 * 0.1 + i as f64).sin();
+        let seq = with_threads(1, || par_map(&items, f));
+        let par = with_threads(8, || par_map(&items, f));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_item_in_order() {
+        let mut items: Vec<u64> = vec![0; 300];
+        let out = with_threads(3, || {
+            par_map_mut(&mut items, |i, x| {
+                *x = i as u64 * 2;
+                i as u64
+            })
+        });
+        assert_eq!(out, (0..300).collect::<Vec<u64>>());
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(par_map_mut(&mut empty, |_, x| *x).is_empty());
+    }
+
+    #[test]
+    fn threads_one_takes_sequential_path() {
+        // The sequential path must not spawn: observable via thread id.
+        let main_thread = std::thread::current().id();
+        with_threads(1, || {
+            let items = [1, 2, 3];
+            let out = par_map(&items, |_, &x| {
+                assert_eq!(std::thread::current().id(), main_thread);
+                x * 2
+            });
+            assert_eq!(out, vec![2, 4, 6]);
+        });
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(5, || {
+            assert_eq!(max_threads(), 5);
+            with_threads(2, || assert_eq!(max_threads(), 2));
+            assert_eq!(max_threads(), 5);
+        });
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let items: Vec<usize> = (0..64).collect();
+                par_map(&items, |_, &x| {
+                    if x == 33 {
+                        panic!("boom at 33");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn panics_propagate_from_mut_workers() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let mut items: Vec<usize> = (0..64).collect();
+                par_map_mut(&mut items, |_, x| {
+                    if *x == 7 {
+                        panic!("boom at 7");
+                    }
+                    *x
+                })
+            })
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn select_disjoint_mut_picks_requested_items() {
+        let mut items: Vec<u32> = (0..10).collect();
+        let picked = select_disjoint_mut(&mut items, &[1, 4, 9]);
+        assert_eq!(picked.iter().map(|x| **x).collect::<Vec<_>>(), [1, 4, 9]);
+        for p in picked {
+            *p += 100;
+        }
+        assert_eq!(items, [0, 101, 2, 3, 104, 5, 6, 7, 8, 109]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn select_disjoint_mut_rejects_unsorted() {
+        let mut items = [0u8; 4];
+        let _ = select_disjoint_mut(&mut items, &[2, 1]);
+    }
+
+    #[test]
+    fn par_for_indices_matches_sequential() {
+        let base: Vec<u64> = (0..50).collect();
+        let indices: Vec<usize> = (0..50).filter(|i| i % 3 == 0).collect();
+        let run = |threads: usize| {
+            let mut items = base.clone();
+            let out = with_threads(threads, || {
+                par_for_indices(&mut items, &indices, |i, x| {
+                    *x += 1000;
+                    i as u64 + *x
+                })
+            });
+            (items, out)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn env_var_is_honoured_without_override() {
+        // Only exercised when the variable is absent from the ambient
+        // environment; the override-based tests above cover the rest.
+        if std::env::var(THREADS_ENV).is_err() {
+            assert!(max_threads() >= 1);
+        }
+    }
+}

@@ -71,13 +71,13 @@ fn run_with_params(
     sim.arm_detection();
     let target = sim.normal_nodes()[0];
     let radius = sim.network().matrix().median() / 2.0;
-    let mut attack = VivaldiIsolationAttack::new(
+    let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
-        sim.coordinate(target),
+        sim.coordinate(target).clone(),
         radius.max(20.0),
         scale.seed ^ 0xAB1,
     );
-    sim.run(scale.measure_passes, &mut attack, false);
+    sim.run(scale.measure_passes, &attack, false);
     sim.report().confusion
 }
 
@@ -150,13 +150,13 @@ pub fn ablate_filter_source(scale: &Scale) -> AblationResult {
     sim.arm_detection();
     let target = sim.normal_nodes()[0];
     let radius = sim.network().matrix().median() / 2.0;
-    let mut attack = VivaldiIsolationAttack::new(
+    let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
-        sim.coordinate(target),
+        sim.coordinate(target).clone(),
         radius.max(20.0),
         scale.seed ^ 0xAB1,
     );
-    sim.run(scale.measure_passes, &mut attack, false);
+    sim.run(scale.measure_passes, &attack, false);
     let random = sim.report().confusion;
 
     AblationResult {

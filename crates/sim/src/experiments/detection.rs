@@ -105,13 +105,13 @@ pub fn vivaldi_cell(scale: &Scale, fraction: f64, alpha: f64) -> SweepCell {
     // node, sized relative to the network's scale.
     let target = sim.normal_nodes()[0];
     let radius = sim.network().matrix().median() / 2.0;
-    let mut attack = VivaldiIsolationAttack::new(
+    let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
-        sim.coordinate(target),
+        sim.coordinate(target).clone(),
         radius.max(20.0),
         scale.seed ^ 0xA77AC4,
     );
-    sim.run(scale.measure_passes, &mut attack, false);
+    sim.run(scale.measure_passes, &attack, false);
     let report = sim.report();
     SweepCell {
         malicious_fraction: fraction,
@@ -123,39 +123,15 @@ pub fn vivaldi_cell(scale: &Scale, fraction: f64, alpha: f64) -> SweepCell {
     }
 }
 
-/// Run independent sweep cells on however many OS threads the host
-/// offers (each cell is a self-contained deterministic simulation, so
-/// parallel execution cannot change results — only wall-clock time).
+/// Run independent sweep cells on the [`ices_par`] executor (each cell
+/// is a self-contained deterministic simulation, so parallel execution
+/// cannot change results — only wall-clock time). Worker count follows
+/// `ICES_THREADS` like every other parallel loop in the workspace.
 fn run_cells_parallel(
     points: Vec<(f64, f64)>,
     run: impl Fn(f64, f64) -> SweepCell + Sync,
 ) -> Vec<SweepCell> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(points.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<SweepCell>> = (0..points.len()).map(|_| None).collect();
-    let slot_cells: Vec<std::sync::Mutex<&mut Option<SweepCell>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
-                }
-                let (fraction, alpha) = points[i];
-                let cell = run(fraction, alpha);
-                **slot_cells[i].lock().expect("slot lock") = Some(cell);
-            });
-        }
-    });
-    drop(slot_cells);
-    slots
-        .into_iter()
-        .map(|c| c.expect("every cell computed"))
-        .collect()
+    ices_par::par_map(&points, |_, &(fraction, alpha)| run(fraction, alpha))
 }
 
 /// Figs 9–12: the full Vivaldi sweep. Cells run in parallel.
@@ -197,7 +173,7 @@ pub fn nps_cell_with_drag(scale: &Scale, fraction: f64, alpha: f64, drag: f64) -
         scale.seed ^ 0x4E5053,
     );
     attack.observe_hierarchy(&sim.serving_map(), &sim.layer_members());
-    sim.run(scale.nps_measure_rounds, &mut attack, false);
+    sim.run(scale.nps_measure_rounds, &attack, false);
     let report = sim.report();
     SweepCell {
         malicious_fraction: fraction,

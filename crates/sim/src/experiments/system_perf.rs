@@ -61,16 +61,16 @@ fn vivaldi_errors(scale: &Scale, fraction: f64, detection: bool, dedicated: bool
         }
         let target = sim.normal_nodes()[0];
         let radius = sim.network().matrix().median() / 2.0;
-        let mut attack = VivaldiIsolationAttack::new(
+        let attack = VivaldiIsolationAttack::new(
             sim.malicious().iter().copied(),
-            sim.coordinate(target),
+            sim.coordinate(target).clone(),
             radius.max(20.0),
             scale.seed ^ 0xA77AC4,
         );
-        sim.run(scale.measure_passes, &mut attack, false);
+        sim.run(scale.measure_passes, &attack, false);
     } else {
-        let mut honest = HonestWorld;
-        sim.run(scale.measure_passes, &mut honest, false);
+        let honest = HonestWorld;
+        sim.run(scale.measure_passes, &honest, false);
     }
     sim.accuracy_report(scale.pairs_per_node).relative_errors
 }
@@ -127,10 +127,10 @@ fn nps_errors(scale: &Scale, fraction: f64, detection: bool, dedicated: bool) ->
             scale.seed ^ 0x4E5053,
         );
         attack.observe_hierarchy(&sim.serving_map(), &sim.layer_members());
-        sim.run(scale.nps_measure_rounds, &mut attack, false);
+        sim.run(scale.nps_measure_rounds, &attack, false);
     } else {
-        let mut honest = HonestWorld;
-        sim.run(scale.nps_measure_rounds, &mut honest, false);
+        let honest = HonestWorld;
+        sim.run(scale.nps_measure_rounds, &honest, false);
     }
     sim.accuracy_report(scale.pairs_per_node).relative_errors
 }

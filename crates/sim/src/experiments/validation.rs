@@ -101,7 +101,7 @@ fn traces_and_params(
             // first: symmetric phases, so the filter sees the same mix
             // of transient and stationary behavior it was calibrated on.
             sim.run_clean(scale.clean_passes);
-            (sim.traces().to_vec(), params)
+            (sim.traces().iter().map(|t| t.to_vec()).collect(), params)
         }
         Combo::NpsKing | Combo::NpsPlanetLab => {
             let topo = if combo == Combo::NpsKing {
@@ -119,7 +119,7 @@ fn traces_and_params(
             sim.clear_traces();
             sim.forget_coordinates();
             sim.run_clean(scale.nps_clean_rounds);
-            (sim.traces().to_vec(), params)
+            (sim.traces().iter().map(|t| t.to_vec()).collect(), params)
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod metrics;
 pub mod nps_driver;
 pub mod replay;
 pub mod scenario;
+pub mod trace;
 pub mod vivaldi_driver;
 
 pub use metrics::{AccuracyReport, DetectionReport};

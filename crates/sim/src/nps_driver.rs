@@ -5,9 +5,25 @@
 //! points, NPS's built-in sensitivity-4 filter, Surveyors (all landmarks
 //! plus promoted reference points) embedding against trusted nodes only,
 //! and the colluding reference-point adversary.
+//!
+//! ## The two-phase round loop
+//!
+//! Each positioning round processes the hierarchy layer by layer (so
+//! reference points are positioned before the nodes that depend on
+//! them), and within a layer runs in two phases: an immutable snapshot
+//! of every node's `(coordinate, local error)`, then a parallel sweep
+//! ([`ices_par::par_for_indices`]) in which each member node probes all
+//! its reference points, consults the adversary, and repositions itself.
+//! A node's reference points live in strictly lower layers, which this
+//! layer's members never mutate — so the snapshot equals the live state
+//! and the fan-out changes nothing about the result. Probe nonces are
+//! derived from `(round, node, probe index)`; the per-node effects
+//! (traces, confusion counts, RP replacements) merge in node order, so
+//! the round is bit-for-bit reproducible at any worker count.
 
 use crate::metrics::{AccuracyReport, DetectionReport};
 use crate::scenario::{ScenarioConfig, TopologyKind};
+use crate::trace::TraceRing;
 use ices_attack::Adversary;
 use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_core::{
@@ -16,7 +32,7 @@ use ices_core::{
 };
 use ices_netsim::Network;
 use ices_nps::{Hierarchy, NpsConfig, NpsNode, Role};
-use ices_stats::rng::SimRng;
+use ices_stats::rng::{derive, derive2, SimRng};
 use ices_stats::sample::sample_indices;
 use rand::RngExt;
 use std::collections::{BTreeMap, BTreeSet};
@@ -31,6 +47,12 @@ const TRACE_CAP: usize = 8192;
 /// Recent clean samples used to prime a freshly adopted filter.
 const PRIME_SAMPLES: usize = 64;
 
+/// Stream tag for positioning-round probe nonces ("NPSP").
+const STEP_STREAM: u64 = 0x4E50_5350;
+
+/// Stream tag for §4.2 join probe nonces ("NPSJ").
+const JOIN_STREAM: u64 = 0x4E50_534A;
+
 #[allow(clippy::large_enum_variant)] // Plain is the common case; boxing it would cost an alloc per node
 enum Participant {
     Plain(NpsNode),
@@ -38,10 +60,10 @@ enum Participant {
 }
 
 impl Participant {
-    fn coordinate(&self) -> Coordinate {
+    fn coordinate(&self) -> &Coordinate {
         match self {
-            Participant::Plain(n) => n.coordinate().clone(),
-            Participant::Secured(s) => s.inner().coordinate().clone(),
+            Participant::Plain(n) => n.coordinate(),
+            Participant::Secured(s) => s.inner().coordinate(),
         }
     }
 
@@ -51,6 +73,24 @@ impl Participant {
             Participant::Secured(s) => s.inner().local_error(),
         }
     }
+}
+
+/// What one node's positioning round asks the driver to apply globally.
+/// Collected from the parallel sweep and merged in node order.
+#[derive(Default)]
+struct RoundEffect {
+    /// Measured relative errors to append to the node's trace, in probe
+    /// order.
+    recorded: Vec<f64>,
+    /// `(label_malicious, flagged)` pairs for the confusion matrix, in
+    /// probe order.
+    vetted: Vec<(bool, bool)>,
+    /// Steps that hit the first-time-peer reprieve.
+    reprieves: u64,
+    /// Reference points the detection test rejected; replace each.
+    rejected_rps: Vec<usize>,
+    /// The node refreshed its filter at the round boundary.
+    refreshed_filter: bool,
 }
 
 /// The NPS system simulation.
@@ -67,10 +107,19 @@ pub struct NpsSimulation {
     malicious: BTreeSet<usize>,
     participants: Vec<Participant>,
     registry: SurveyorRegistry,
-    traces: Vec<Vec<f64>>,
-    probe_nonce: u64,
+    traces: Vec<TraceRing>,
+    /// Count of completed positioning rounds; probe nonces are derived
+    /// from `(round, node, probe index)`, independent of execution order.
+    round: u64,
     report: DetectionReport,
     rng: SimRng,
+}
+
+/// The probe nonce for `node`'s `k`-th reference-point probe in `round`
+/// — a pure function of the triple, so concurrent workers need no
+/// shared counter.
+fn probe_nonce(round: u64, node: usize, k: usize) -> u64 {
+    derive2(derive(STEP_STREAM, round), node as u64, k as u64)
 }
 
 impl NpsSimulation {
@@ -89,14 +138,8 @@ impl NpsSimulation {
         nps.validate();
         let seed = config.seed;
         let network = match &config.topology {
-            TopologyKind::King(kc) => {
-                let topo = kc.generate(seed);
-                Network::from_king(&topo, seed)
-            }
-            TopologyKind::PlanetLab(pc) => {
-                let pl = pc.generate(seed);
-                Network::from_planetlab(&pl, seed)
-            }
+            TopologyKind::King(kc) => Network::from_king(kc.generate(seed), seed),
+            TopologyKind::PlanetLab(pc) => Network::from_planetlab(pc.generate(seed), seed),
         };
         let n = network.len();
         let hierarchy = Hierarchy::build(n, &nps, seed);
@@ -223,8 +266,8 @@ impl NpsSimulation {
             malicious,
             participants,
             registry: SurveyorRegistry::new(),
-            traces: vec![Vec::new(); n],
-            probe_nonce: 0,
+            traces: vec![TraceRing::with_capacity(TRACE_CAP); n],
+            round: 0,
             report: DetectionReport::default(),
             rng,
         }
@@ -267,8 +310,9 @@ impl NpsSimulation {
             .collect()
     }
 
-    /// Per-node traces of measured relative errors.
-    pub fn traces(&self) -> &[Vec<f64>] {
+    /// Per-node traces of measured relative errors. Each [`TraceRing`]
+    /// derefs to a contiguous `&[f64]`, oldest first.
+    pub fn traces(&self) -> &[TraceRing] {
         &self.traces
     }
 
@@ -307,7 +351,7 @@ impl NpsSimulation {
     }
 
     /// A node's current coordinate.
-    pub fn coordinate(&self, node: usize) -> Coordinate {
+    pub fn coordinate(&self, node: usize) -> &Coordinate {
         self.participants[node].coordinate()
     }
 
@@ -337,86 +381,114 @@ impl NpsSimulation {
         m
     }
 
-    fn record_trace(&mut self, node: usize, d: f64) {
-        let t = &mut self.traces[node];
-        if t.len() >= TRACE_CAP {
-            t.remove(0);
-        }
-        t.push(d);
-    }
+    /// One positioning round for every member of one hierarchy layer,
+    /// in two phases: snapshot the whole population, then let each
+    /// member probe its reference points, reposition, and settle its
+    /// round boundary — in parallel, each node mutating only itself.
+    ///
+    /// Members' reference points live in strictly lower layers, which no
+    /// member of this layer mutates, so the snapshot is identical to the
+    /// live state the old sequential sweep observed. The returned
+    /// [`RoundEffect`]s merge in node order (traces, confusion counts,
+    /// RP replacements — the latter drawing from the driver RNG in the
+    /// same order as a sequential sweep).
+    fn layer_round(
+        &mut self,
+        round: u64,
+        members: &[usize],
+        adversary: &dyn Adversary,
+        collect: bool,
+    ) {
+        let snapshot: Vec<(Coordinate, f64)> = self
+            .participants
+            .iter()
+            .map(|p| (p.coordinate().clone(), p.local_error()))
+            .collect();
 
-    /// One positioning round of one node: sample every reference point
-    /// (through the adversary), then reposition.
-    fn node_round(&mut self, node: usize, adversary: &mut dyn Adversary, collect: bool) {
-        let rps = self.reference_points[node].clone();
-        for rp in rps {
-            let rtt = self
-                .network
-                .measure_rtt_smoothed(node, rp, self.probe_nonce);
-            self.probe_nonce += 1;
-            let rp_coord = self.participants[rp].coordinate();
-            let rp_error = self.participants[rp].local_error();
-            let node_coord = self.participants[node].coordinate();
-            let tampered = adversary.intercept(rp, node, &rp_coord, rp_error, rtt, &node_coord);
-            let label_malicious = tampered.is_some();
-            let sample = match tampered {
-                Some(t) => PeerSample {
-                    peer: rp,
-                    peer_coord: t.coord,
-                    peer_error: t.error,
-                    rtt_ms: t.rtt_ms,
-                },
-                None => PeerSample {
-                    peer: rp,
-                    peer_coord: rp_coord,
-                    peer_error: rp_error,
-                    rtt_ms: rtt,
-                },
-            };
-            let mut recorded = None;
-            match &mut self.participants[node] {
+        let network = &self.network;
+        let reference_points = &self.reference_points;
+        let registry = &self.registry;
+        let snapshot = &snapshot;
+        let effects = ices_par::par_for_indices(&mut self.participants, members, |node, participant| {
+            let mut effect = RoundEffect::default();
+            for (k, &rp) in reference_points[node].iter().enumerate() {
+                let rtt = network.measure_rtt_smoothed(node, rp, probe_nonce(round, node, k));
+                let (rp_coord, rp_error) = (&snapshot[rp].0, snapshot[rp].1);
+                let node_coord = &snapshot[node].0;
+                let tampered = adversary.intercept(rp, node, rp_coord, rp_error, rtt, node_coord);
+                let label_malicious = tampered.is_some();
+                let sample = match tampered {
+                    Some(t) => PeerSample {
+                        peer: rp,
+                        peer_coord: t.coord,
+                        peer_error: t.error,
+                        rtt_ms: t.rtt_ms,
+                    },
+                    None => PeerSample {
+                        peer: rp,
+                        peer_coord: rp_coord.clone(),
+                        peer_error: rp_error,
+                        rtt_ms: rtt,
+                    },
+                };
+                match participant {
+                    Participant::Plain(n) => {
+                        let out = n.apply_step(&sample);
+                        effect.recorded.push(out.relative_error);
+                    }
+                    Participant::Secured(s) => {
+                        let step = s.step(&sample);
+                        effect.vetted.push((label_malicious, !step.accepted()));
+                        match &step {
+                            ices_core::SecureStep::Accepted { outcome, .. } => {
+                                effect.recorded.push(outcome.relative_error);
+                            }
+                            ices_core::SecureStep::Reprieved { .. } => {
+                                effect.reprieves += 1;
+                            }
+                            ices_core::SecureStep::Rejected { .. } => {
+                                effect.rejected_rps.push(rp);
+                            }
+                        }
+                    }
+                }
+            }
+            // Reposition from whatever was accepted.
+            match participant {
                 Participant::Plain(n) => {
-                    let out = n.apply_step(&sample);
-                    recorded = Some(out.relative_error);
+                    n.finish_round();
                 }
                 Participant::Secured(s) => {
-                    let step = s.step(&sample);
-                    self.report
-                        .confusion
-                        .record(label_malicious, !step.accepted());
-                    match &step {
-                        ices_core::SecureStep::Accepted { outcome, .. } => {
-                            recorded = Some(outcome.relative_error);
-                        }
-                        ices_core::SecureStep::Reprieved { .. } => {
-                            self.report.reprieves += 1;
-                        }
-                        ices_core::SecureStep::Rejected { .. } => {
-                            self.replace_reference_point(node, rp);
-                            self.report.replacements += 1;
+                    s.inner_mut().finish_round();
+                    let coord = s.inner().coordinate().clone();
+                    if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
+                        if let Some(info) = registry.closest_by_coordinate(&coord) {
+                            let (params, id) = (info.params, info.id);
+                            s.refresh_filter(params, id);
+                            effect.refreshed_filter = true;
                         }
                     }
                 }
             }
-            if let (true, Some(d)) = (collect, recorded) {
-                self.record_trace(node, d);
+            effect
+        });
+
+        for (&node, effect) in members.iter().zip(effects) {
+            for (label_malicious, flagged) in effect.vetted {
+                self.report.confusion.record(label_malicious, flagged);
             }
-        }
-        // Reposition from whatever was accepted.
-        match &mut self.participants[node] {
-            Participant::Plain(n) => {
-                n.finish_round();
-            }
-            Participant::Secured(s) => {
-                s.inner_mut().finish_round();
-                let coord = s.inner().coordinate().clone();
-                if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
-                    if let Some(info) = self.registry.closest_by_coordinate(&coord) {
-                        let (params, id) = (info.params, info.id);
-                        s.refresh_filter(params, id);
-                        self.report.filter_refreshes += 1;
-                    }
+            self.report.reprieves += effect.reprieves;
+            if collect {
+                for d in effect.recorded {
+                    self.traces[node].push(d);
                 }
+            }
+            for rp in effect.rejected_rps {
+                self.replace_reference_point(node, rp);
+                self.report.replacements += 1;
+            }
+            if effect.refreshed_filter {
+                self.report.filter_refreshes += 1;
             }
         }
     }
@@ -451,16 +523,27 @@ impl NpsSimulation {
 
     /// Run `rounds` full positioning rounds: landmarks first, then each
     /// layer in order (so reference points are positioned before the
-    /// nodes that depend on them).
-    pub fn run(&mut self, rounds: usize, adversary: &mut dyn Adversary, collect: bool) {
-        let order: Vec<usize> = {
-            let mut ids: Vec<usize> = (0..self.len()).collect();
-            ids.sort_by_key(|&i| self.hierarchy.layer[i]);
-            ids
-        };
+    /// nodes that depend on them). Within a layer, members run as one
+    /// two-phase [`layer_round`](Self::layer_round); the worker count
+    /// comes from `ICES_THREADS` / [`ices_par::max_threads`] and never
+    /// changes the result.
+    pub fn run(&mut self, rounds: usize, adversary: &dyn Adversary, collect: bool) {
+        // Layer groups, ascending; ids ascending within each layer.
+        let max_layer = self.hierarchy.layer.iter().copied().max().unwrap_or(0);
+        let layers: Vec<Vec<usize>> = (0..=max_layer)
+            .map(|l| {
+                (0..self.len())
+                    .filter(|&i| self.hierarchy.layer[i] == l)
+                    .collect()
+            })
+            .collect();
         for _ in 0..rounds {
-            for &node in &order {
-                self.node_round(node, adversary, collect);
+            let round = self.round;
+            self.round += 1;
+            for members in &layers {
+                if !members.is_empty() {
+                    self.layer_round(round, members, adversary, collect);
+                }
             }
             self.refresh_registry_coordinates();
         }
@@ -468,8 +551,7 @@ impl NpsSimulation {
 
     /// Run attack-free rounds, collecting traces.
     pub fn run_clean(&mut self, rounds: usize) {
-        let mut honest = ices_attack::HonestWorld;
-        self.run(rounds, &mut honest, true);
+        self.run(rounds, &ices_attack::HonestWorld, true);
     }
 
     fn refresh_registry_coordinates(&mut self) {
@@ -477,7 +559,7 @@ impl NpsSimulation {
             .registry
             .all()
             .iter()
-            .map(|s| (s.id, self.participants[s.id].coordinate()))
+            .map(|s| (s.id, self.participants[s.id].coordinate().clone()))
             .collect();
         for (id, coordinate) in updates {
             let params = self.registry.get(id).expect("registered").params;
@@ -516,7 +598,7 @@ impl NpsSimulation {
             let outcome = calibrate(&self.traces[id], StateSpaceParams::em_initial_guess(), em);
             self.registry.register(SurveyorInfo {
                 id,
-                coordinate: self.participants[id].coordinate(),
+                coordinate: self.participants[id].coordinate().clone(),
                 params: outcome.params,
             });
         }
@@ -539,11 +621,12 @@ impl NpsSimulation {
         for node in self.normal_nodes() {
             let candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
             let mut best: Option<(usize, f64)> = None;
-            for s in &candidates {
-                let rtt = self
-                    .network
-                    .measure_rtt_smoothed(node, s.id, self.probe_nonce);
-                self.probe_nonce += 1;
+            for (k, s) in candidates.iter().enumerate() {
+                // Join probes draw nonces from their own stream, keyed by
+                // (node, candidate index) — disjoint from the positioning
+                // rounds' probe nonces.
+                let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
+                let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
                 if best.map(|(_, d)| rtt < d).unwrap_or(true) {
                     best = Some((s.id, rtt));
                 }
@@ -714,7 +797,7 @@ mod tests {
             9,
         );
         attack.observe_hierarchy(&sim.serving_map(), &sim.layer_members());
-        sim.run(3, &mut attack, false);
+        sim.run(3, &attack, false);
         let c = &sim.report().confusion;
         if attack.is_active() && c.positives() > 0 {
             assert!(

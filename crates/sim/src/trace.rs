@@ -1,0 +1,173 @@
+//! Bounded per-node trace storage with amortized O(1) appends.
+//!
+//! The drivers record one measured relative error per embedding step and
+//! keep only the most recent [`TraceRing::cap`] samples. The seed
+//! implementation used `Vec::remove(0)` once the cap was reached — an
+//! O(cap) memmove on *every* step of a long run. `TraceRing` keeps a
+//! start offset into a backing `Vec` instead and compacts only when the
+//! dead prefix exceeds the capacity, so appends are amortized O(1) and
+//! the buffer never holds more than `2 × cap` samples.
+//!
+//! The live window stays contiguous in memory, so the ring derefs to
+//! `&[f64]` and every existing consumer (calibration, offline replay,
+//! priming) keeps its slice-based signature.
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded, contiguous ring of trace samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRing {
+    /// Backing storage; the live window is `buf[start..]`.
+    buf: Vec<f64>,
+    /// Index of the oldest live sample in `buf`.
+    start: usize,
+    /// Maximum number of live samples retained.
+    cap: usize,
+}
+
+impl TraceRing {
+    /// An empty ring retaining at most `cap` samples.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "trace capacity must be positive");
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            cap,
+        }
+    }
+
+    /// The maximum number of samples retained.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Append a sample, evicting the oldest once `cap` is reached.
+    pub fn push(&mut self, sample: f64) {
+        self.buf.push(sample);
+        if self.buf.len() - self.start > self.cap {
+            self.start += 1;
+            // Compact once the dead prefix is as large as the window
+            // itself; each retained element is moved at most once per
+            // `cap` appends, keeping appends amortized O(1).
+            if self.start >= self.cap {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+        }
+    }
+
+    /// The live samples, oldest first.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.buf[self.start..]
+    }
+
+    /// Drop all samples (capacity is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+}
+
+impl std::ops::Deref for TraceRing {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[f64]> for TraceRing {
+    fn as_ref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_under_cap() {
+        let mut r = TraceRing::with_capacity(8);
+        for i in 0..5 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_cap() {
+        let mut r = TraceRing::with_capacity(4);
+        for i in 0..10 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.as_slice(), &[6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn matches_naive_ring_across_compactions() {
+        let cap = 7;
+        let mut ring = TraceRing::with_capacity(cap);
+        let mut naive: Vec<f64> = Vec::new();
+        for i in 0..1000 {
+            let x = (i as f64 * 0.37).sin();
+            ring.push(x);
+            naive.push(x);
+            if naive.len() > cap {
+                naive.remove(0);
+            }
+            assert_eq!(ring.as_slice(), naive.as_slice());
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let cap = 16;
+        let mut r = TraceRing::with_capacity(cap);
+        for i in 0..10_000 {
+            r.push(i as f64);
+            assert!(r.buf.len() <= 2 * cap, "backing buffer grew unbounded");
+        }
+    }
+
+    #[test]
+    fn derefs_to_slice() {
+        let mut r = TraceRing::with_capacity(4);
+        r.push(1.0);
+        r.push(2.0);
+        fn takes_slice(s: &[f64]) -> f64 {
+            s.iter().sum()
+        }
+        assert_eq!(takes_slice(&r), 3.0);
+        assert_eq!(r.last(), Some(&2.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = TraceRing::with_capacity(3);
+        for i in 0..9 {
+            r.push(i as f64);
+        }
+        r.clear();
+        assert!(r.is_empty());
+        r.push(42.0);
+        assert_eq!(r.as_slice(), &[42.0]);
+    }
+
+    #[test]
+    fn serde_round_trips_live_window() {
+        let mut r = TraceRing::with_capacity(3);
+        for i in 0..8 {
+            r.push(i as f64);
+        }
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: TraceRing = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.as_slice(), r.as_slice());
+        assert_eq!(back.cap(), r.cap());
+    }
+}

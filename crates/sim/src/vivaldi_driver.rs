@@ -4,9 +4,29 @@
 //! 64-neighbor spring relaxation, Surveyors embedding exclusively among
 //! themselves, EM calibration, the detection protocol in front of every
 //! honest node, and the colluding-isolation adversary.
+//!
+//! ## The two-phase tick loop
+//!
+//! Each embedding *tick* (one neighbor slot of one pass) runs in two
+//! phases:
+//!
+//! 1. **Snapshot** — every node's `(coordinate, local error)` is copied
+//!    into an immutable vector;
+//! 2. **Update** — every node independently probes its slot peer,
+//!    consults the adversary, and steps its own embedding against the
+//!    snapshot. Nodes mutate only themselves, so this phase fans out
+//!    over [`ices_par::par_map_mut`].
+//!
+//! Per-step probe nonces are derived from `(tick, node)` via
+//! [`ices_stats::rng::derive2`] rather than drawn from a shared counter,
+//! and the per-node effects (trace samples, confusion counts, neighbor
+//! replacements) are merged *in node order* afterwards — so the result
+//! is bit-for-bit identical at any worker count, including the
+//! sequential `ICES_THREADS=1` path.
 
 use crate::metrics::{AccuracyReport, DetectionReport};
 use crate::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use crate::trace::TraceRing;
 use ices_attack::Adversary;
 use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_core::{
@@ -15,7 +35,7 @@ use ices_core::{
 };
 use ices_netsim::Network;
 use ices_stats::kmeans::kmeans;
-use ices_stats::rng::SimRng;
+use ices_stats::rng::{derive2, SimRng};
 use ices_stats::sample::sample_indices;
 use ices_vivaldi::{select_neighbors, VivaldiConfig, VivaldiNode};
 use rand::RngExt;
@@ -31,6 +51,12 @@ const TRACE_CAP: usize = 8192;
 /// Recent clean samples used to prime a freshly adopted filter.
 const PRIME_SAMPLES: usize = 64;
 
+/// Stream tag for embedding-step probe nonces ("STEP").
+const STEP_STREAM: u64 = 0x5354_4550;
+
+/// Stream tag for §4.2 join probe nonces ("JOIN").
+const JOIN_STREAM: u64 = 0x4A4F_494E;
+
 enum Participant {
     /// No detection in front of the embedding (Surveyors, malicious
     /// nodes, and every node in detection-off baselines).
@@ -40,10 +66,10 @@ enum Participant {
 }
 
 impl Participant {
-    fn coordinate(&self) -> Coordinate {
+    fn coordinate(&self) -> &Coordinate {
         match self {
-            Participant::Plain(n) => n.coordinate().clone(),
-            Participant::Secured(s) => s.inner().coordinate().clone(),
+            Participant::Plain(n) => n.coordinate(),
+            Participant::Secured(s) => s.inner().coordinate(),
         }
     }
 
@@ -53,6 +79,20 @@ impl Participant {
             Participant::Secured(s) => s.inner().local_error(),
         }
     }
+}
+
+/// What one node's embedding step asks the driver to apply globally.
+/// Collected from the parallel update phase and merged in node order.
+#[derive(Default)]
+struct StepEffect {
+    /// Measured relative error to append to the node's trace.
+    recorded: Option<f64>,
+    /// `(label_malicious, flagged)` for the detection confusion matrix.
+    vetted: Option<(bool, bool)>,
+    /// The step hit the first-time-peer reprieve.
+    reprieved: bool,
+    /// The detection test rejected this peer; replace it.
+    rejected_peer: Option<usize>,
 }
 
 /// The Vivaldi system simulation.
@@ -68,10 +108,18 @@ pub struct VivaldiSimulation {
     neighbors: Vec<Vec<usize>>,
     participants: Vec<Participant>,
     registry: SurveyorRegistry,
-    traces: Vec<Vec<f64>>,
-    probe_nonce: u64,
+    traces: Vec<TraceRing>,
+    /// Count of completed embedding ticks; each tick's probe nonces are
+    /// derived from `(tick, node)`, independent of execution order.
+    tick: u64,
     report: DetectionReport,
     rng: SimRng,
+}
+
+/// The probe nonce for `node`'s embedding step in tick `tick` — a pure
+/// function of the pair, so concurrent workers need no shared counter.
+fn step_nonce(tick: u64, node: usize) -> u64 {
+    derive2(STEP_STREAM, tick, node as u64)
 }
 
 impl VivaldiSimulation {
@@ -92,14 +140,14 @@ impl VivaldiSimulation {
         let seed = config.seed;
         let (network, latent) = match &config.topology {
             TopologyKind::King(kc) => {
-                let topo = kc.generate(seed);
-                let net = Network::from_king(&topo, seed);
-                (net, topo.positions)
+                let mut topo = kc.generate(seed);
+                let positions = std::mem::take(&mut topo.positions);
+                (Network::from_king(topo, seed), positions)
             }
             TopologyKind::PlanetLab(pc) => {
-                let pl = pc.generate(seed);
-                let net = Network::from_planetlab(&pl, seed);
-                (net, pl.topology.positions)
+                let mut pl = pc.generate(seed);
+                let positions = std::mem::take(&mut pl.topology.positions);
+                (Network::from_planetlab(pl, seed), positions)
             }
         };
         let n = network.len();
@@ -177,8 +225,8 @@ impl VivaldiSimulation {
             neighbors,
             participants,
             registry: SurveyorRegistry::new(),
-            traces: vec![Vec::new(); n],
-            probe_nonce: 0,
+            traces: vec![TraceRing::with_capacity(TRACE_CAP); n],
+            tick: 0,
             report: DetectionReport::default(),
             rng,
         }
@@ -227,7 +275,8 @@ impl VivaldiSimulation {
     }
 
     /// Per-node traces of measured relative errors collected so far.
-    pub fn traces(&self) -> &[Vec<f64>] {
+    /// Each [`TraceRing`] derefs to a contiguous `&[f64]`, oldest first.
+    pub fn traces(&self) -> &[TraceRing] {
         &self.traces
     }
 
@@ -251,7 +300,7 @@ impl VivaldiSimulation {
     }
 
     /// A node's current coordinate.
-    pub fn coordinate(&self, node: usize) -> Coordinate {
+    pub fn coordinate(&self, node: usize) -> &Coordinate {
         self.participants[node].coordinate()
     }
 
@@ -272,80 +321,98 @@ impl VivaldiSimulation {
         }
     }
 
-    fn record_trace(&mut self, node: usize, d: f64) {
-        let t = &mut self.traces[node];
-        if t.len() >= TRACE_CAP {
-            t.remove(0);
-        }
-        t.push(d);
-    }
+    /// One embedding tick: every node with a peer in this neighbor
+    /// `slot` probes it and steps its own embedding, all against the
+    /// same immutable snapshot of the population.
+    ///
+    /// Phase 1 snapshots `(coordinate, local error)` per node; phase 2
+    /// fans the per-node work out over [`ices_par::par_map_mut`] (each
+    /// node mutates only itself); phase 3 merges the returned
+    /// [`StepEffect`]s in node order, applying trace appends, confusion
+    /// counts and neighbor replacements. Probe nonces come from
+    /// [`step_nonce`], so no phase depends on execution order and the
+    /// tick is bit-for-bit reproducible at any worker count.
+    fn tick(&mut self, slot: usize, adversary: &dyn Adversary, collect_traces: bool) {
+        let tick = self.tick;
+        self.tick += 1;
 
-    /// One embedding step of `node` against `peer`, with the adversary in
-    /// the path. Returns the measured relative error if the step went
-    /// through the embedding (accepted or unprotected).
-    fn step(
-        &mut self,
-        node: usize,
-        peer: usize,
-        adversary: &mut dyn Adversary,
-        collect_traces: bool,
-    ) {
-        let rtt = self
-            .network
-            .measure_rtt_smoothed(node, peer, self.probe_nonce);
-        self.probe_nonce += 1;
-        let peer_coord = self.participants[peer].coordinate();
-        let peer_error = self.participants[peer].local_error();
-        let node_coord = self.participants[node].coordinate();
+        let snapshot: Vec<(Coordinate, f64)> = self
+            .participants
+            .iter()
+            .map(|p| (p.coordinate().clone(), p.local_error()))
+            .collect();
 
-        let tampered = adversary.intercept(peer, node, &peer_coord, peer_error, rtt, &node_coord);
-        let label_malicious = tampered.is_some();
-        let sample = match tampered {
-            Some(t) => PeerSample {
-                peer,
-                peer_coord: t.coord,
-                peer_error: t.error,
-                rtt_ms: t.rtt_ms,
-            },
-            None => PeerSample {
-                peer,
-                peer_coord,
-                peer_error,
-                rtt_ms: rtt,
-            },
-        };
-
-        let mut replace = false;
-        let mut recorded: Option<f64> = None;
-        match &mut self.participants[node] {
-            Participant::Plain(v) => {
-                let out = v.apply_step(&sample);
-                recorded = Some(out.relative_error);
+        let network = &self.network;
+        let neighbors = &self.neighbors;
+        let snapshot = &snapshot;
+        let effects = ices_par::par_map_mut(&mut self.participants, |node, participant| {
+            let degree = neighbors[node].len();
+            if degree == 0 || slot >= degree {
+                return StepEffect::default();
             }
-            Participant::Secured(s) => {
-                let step = s.step(&sample);
-                self.report
-                    .confusion
-                    .record(label_malicious, !step.accepted());
-                match &step {
-                    ices_core::SecureStep::Accepted { outcome, .. } => {
-                        recorded = Some(outcome.relative_error);
-                    }
-                    ices_core::SecureStep::Reprieved { .. } => {
-                        self.report.reprieves += 1;
-                    }
-                    ices_core::SecureStep::Rejected { .. } => {
-                        replace = true;
+            let peer = neighbors[node][slot];
+            let rtt = network.measure_rtt_smoothed(node, peer, step_nonce(tick, node));
+            let (peer_coord, peer_error) = (&snapshot[peer].0, snapshot[peer].1);
+            let node_coord = &snapshot[node].0;
+
+            let tampered = adversary.intercept(peer, node, peer_coord, peer_error, rtt, node_coord);
+            let label_malicious = tampered.is_some();
+            let sample = match tampered {
+                Some(t) => PeerSample {
+                    peer,
+                    peer_coord: t.coord,
+                    peer_error: t.error,
+                    rtt_ms: t.rtt_ms,
+                },
+                None => PeerSample {
+                    peer,
+                    peer_coord: peer_coord.clone(),
+                    peer_error,
+                    rtt_ms: rtt,
+                },
+            };
+
+            let mut effect = StepEffect::default();
+            match participant {
+                Participant::Plain(v) => {
+                    let out = v.apply_step(&sample);
+                    effect.recorded = Some(out.relative_error);
+                }
+                Participant::Secured(s) => {
+                    let step = s.step(&sample);
+                    effect.vetted = Some((label_malicious, !step.accepted()));
+                    match &step {
+                        ices_core::SecureStep::Accepted { outcome, .. } => {
+                            effect.recorded = Some(outcome.relative_error);
+                        }
+                        ices_core::SecureStep::Reprieved { .. } => {
+                            effect.reprieved = true;
+                        }
+                        ices_core::SecureStep::Rejected { .. } => {
+                            effect.rejected_peer = Some(peer);
+                        }
                     }
                 }
             }
-        }
-        if let (true, Some(d)) = (collect_traces, recorded) {
-            self.record_trace(node, d);
-        }
-        if replace {
-            self.replace_neighbor(node, peer);
-            self.report.replacements += 1;
+            effect
+        });
+
+        for (node, effect) in effects.into_iter().enumerate() {
+            if let Some((label_malicious, flagged)) = effect.vetted {
+                self.report.confusion.record(label_malicious, flagged);
+            }
+            if effect.reprieved {
+                self.report.reprieves += 1;
+            }
+            if collect_traces {
+                if let Some(d) = effect.recorded {
+                    self.traces[node].push(d);
+                }
+            }
+            if let Some(peer) = effect.rejected_peer {
+                self.replace_neighbor(node, peer);
+                self.report.replacements += 1;
+            }
         }
     }
 
@@ -367,22 +434,15 @@ impl VivaldiSimulation {
     }
 
     /// Run `passes` full embedding passes (each node visits every one of
-    /// its neighbors once per pass) with the adversary in the path.
-    pub fn run(&mut self, passes: usize, adversary: &mut dyn Adversary, collect_traces: bool) {
-        let n = self.len();
+    /// its neighbors once per pass) with the adversary in the path. Each
+    /// neighbor slot is one two-phase [`tick`](Self::tick); the worker
+    /// count comes from `ICES_THREADS` / [`ices_par::max_threads`] and
+    /// never changes the result.
+    pub fn run(&mut self, passes: usize, adversary: &dyn Adversary, collect_traces: bool) {
         for _pass in 0..passes {
             let max_degree = self.neighbors.iter().map(|v| v.len()).max().unwrap_or(0);
             for slot in 0..max_degree {
-                for node in 0..n {
-                    let degree = self.neighbors[node].len();
-                    if degree == 0 {
-                        continue;
-                    }
-                    let peer = self.neighbors[node][slot % degree];
-                    if slot < degree {
-                        self.step(node, peer, adversary, collect_traces);
-                    }
-                }
+                self.tick(slot, adversary, collect_traces);
             }
             // Round boundary: the half-rejected refresh rule.
             self.end_pass();
@@ -391,8 +451,7 @@ impl VivaldiSimulation {
 
     /// Run clean (attack-free) passes, collecting traces.
     pub fn run_clean(&mut self, passes: usize) {
-        let mut honest = ices_attack::HonestWorld;
-        self.run(passes, &mut honest, true);
+        self.run(passes, &ices_attack::HonestWorld, true);
     }
 
     fn end_pass(&mut self) {
@@ -402,7 +461,7 @@ impl VivaldiSimulation {
             .registry
             .all()
             .iter()
-            .map(|s| (s.id, self.participants[s.id].coordinate()))
+            .map(|s| (s.id, self.participants[s.id].coordinate().clone()))
             .collect();
         for (id, coordinate) in updates {
             let params = self.registry.get(id).expect("registered").params;
@@ -414,7 +473,7 @@ impl VivaldiSimulation {
         }
         // Per-node round action.
         for node in 0..self.len() {
-            let coord = self.participants[node].coordinate();
+            let coord = self.participants[node].coordinate().clone();
             if let Participant::Secured(s) = &mut self.participants[node] {
                 if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
                     if let Some(info) = self.registry.closest_by_coordinate(&coord) {
@@ -440,7 +499,7 @@ impl VivaldiSimulation {
             let outcome = calibrate(&self.traces[id], StateSpaceParams::em_initial_guess(), em);
             self.registry.register(SurveyorInfo {
                 id,
-                coordinate: self.participants[id].coordinate(),
+                coordinate: self.participants[id].coordinate().clone(),
                 params: outcome.params,
             });
         }
@@ -473,11 +532,12 @@ impl VivaldiSimulation {
         for node in self.normal_nodes() {
             let candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
             let mut best: Option<(usize, f64)> = None;
-            for s in &candidates {
-                let rtt = self
-                    .network
-                    .measure_rtt_smoothed(node, s.id, self.probe_nonce);
-                self.probe_nonce += 1;
+            for (k, s) in candidates.iter().enumerate() {
+                // Join probes draw nonces from their own stream, keyed by
+                // (node, candidate index) — disjoint from the embedding
+                // ticks' step nonces.
+                let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
+                let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
                 if best.map(|(_, d)| rtt < d).unwrap_or(true) {
                     best = Some((s.id, rtt));
                 }
@@ -726,13 +786,13 @@ mod tests {
         sim.calibrate_surveyors(&EmConfig::default());
         sim.arm_detection();
         let target = sim.normal_nodes()[0];
-        let mut attack = VivaldiIsolationAttack::new(
+        let attack = VivaldiIsolationAttack::new(
             sim.malicious().iter().copied(),
-            sim.coordinate(target),
+            sim.coordinate(target).clone(),
             100.0,
             7,
         );
-        sim.run(3, &mut attack, false);
+        sim.run(3, &attack, false);
         let c = &sim.report().confusion;
         assert!(c.positives() > 0, "attack steps should have been observed");
         assert!(c.negatives() > 0);

@@ -50,7 +50,7 @@ fn run(detection: bool) -> (f64, f64, Option<ices::stats::Confusion>, bool) {
     );
     attack.observe_hierarchy(&sim.serving_map(), &sim.layer_members());
     let active = attack.is_active();
-    sim.run(6, &mut attack, false);
+    sim.run(6, &attack, false);
     let attacked_median = sim.accuracy_report(30).median();
     let confusion = detection.then(|| sim.report().confusion);
     (clean_median, attacked_median, confusion, active)

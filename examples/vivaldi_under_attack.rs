@@ -39,13 +39,13 @@ fn run(detection: bool) -> (f64, f64, Option<ices::stats::Confusion>) {
     }
     let target = sim.normal_nodes()[0];
     let radius = sim.network().matrix().median() / 2.0;
-    let mut attack = VivaldiIsolationAttack::new(
+    let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
-        sim.coordinate(target),
+        sim.coordinate(target).clone(),
         radius,
         99,
     );
-    sim.run(8, &mut attack, false);
+    sim.run(8, &attack, false);
     let attacked_median = sim.accuracy_report(30).median();
     let confusion = detection.then(|| sim.report().confusion);
     (clean_median, attacked_median, confusion)

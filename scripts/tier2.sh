@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-2 gate: the tier-1 commands plus the tick-engine throughput
+# benchmark, so every change leaves a perf trajectory (BENCH_sim.json)
+# behind it.
+#
+# Usage: scripts/tier2.sh [bench_tick args, e.g. --scale test]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Tier 1: the repo must build and its tests must pass.
+cargo build --release
+cargo test -q
+
+# Tier 2: time the two-phase tick engine sequentially and on all
+# available workers; writes BENCH_sim.json at the repo root.
+cargo run --release -p ices-bench --bin bench_tick -- "$@"

@@ -70,9 +70,9 @@ fn detection_catches_consistent_lies_nps_filter_misses() {
     sim.run_clean(6);
     sim.calibrate_surveyors(&EmConfig::default());
     sim.arm_detection();
-    let mut attack = build_attack(&sim, 23);
+    let attack = build_attack(&sim, 23);
     assert!(attack.is_active());
-    sim.run(4, &mut attack, false);
+    sim.run(4, &attack, false);
     let c = &sim.report().confusion;
     assert!(c.positives() > 0, "the attack must have produced steps");
     // At this small test scale the calibration windows are short; the
@@ -93,8 +93,8 @@ fn protected_nps_stays_more_accurate_than_unprotected() {
             sim.calibrate_surveyors(&EmConfig::default());
             sim.arm_detection();
         }
-        let mut attack = build_attack(&sim, 24);
-        sim.run(4, &mut attack, false);
+        let attack = build_attack(&sim, 24);
+        sim.run(4, &attack, false);
         sim.accuracy_report(25).median()
     };
     let unprotected = run(false);
@@ -129,8 +129,8 @@ fn deterministic_end_to_end() {
         sim.run_clean(5);
         sim.calibrate_surveyors(&EmConfig::default());
         sim.arm_detection();
-        let mut attack = build_attack(&sim, 26);
-        sim.run(3, &mut attack, false);
+        let attack = build_attack(&sim, 26);
+        sim.run(3, &attack, false);
         (sim.report().confusion, sim.accuracy_report(20).median())
     };
     assert_eq!(run(), run());

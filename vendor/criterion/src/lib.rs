@@ -1,0 +1,238 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so `cargo bench`
+//! compiles against this minimal harness: every benchmark closure is
+//! warmed up once and then timed over a small adaptive batch with
+//! `std::time::Instant`, printing `group/id  mean-per-iteration`.
+//! No statistical analysis, outlier detection or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target time spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Run one parameterized benchmark closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up iteration, also used to scale the batch.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let batch = (MEASURE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = batch;
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; the setup
+    /// cost is excluded from the measurement.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(&mut input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let batch = (MEASURE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..batch {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iterations = batch;
+    }
+
+    fn report(&self, group: &str, id: &impl Display) {
+        if self.iterations == 0 {
+            println!("{group}/{id}: no measurement");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iterations as f64;
+        println!(
+            "{group}/{id}: {:.1} ns/iter ({} iterations)",
+            per_iter, self.iterations
+        );
+    }
+}
+
+/// How batched inputs are grouped; accepted for compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Throughput annotation; accepted for compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_ref_uses_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![0u64; 8],
+                |v| {
+                    v[0] += 1;
+                    assert_eq!(v[0], 1, "inputs must be fresh per iteration");
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline shim for the subset of `rand` 0.10 this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal, std-only implementation of exactly the API surface the code
+//! depends on: the `TryRng`/`Rng` word-generator traits with the
+//! infallible blanket impl, the `RngExt` convenience methods
+//! (`random`, `random_range`, `random_bool`), `SeedableRng::seed_from_u64`
+//! and a deterministic `rngs::StdRng`.
+//!
+//! Determinism is the only hard requirement for the simulations in this
+//! repository — every experiment derives per-stream seeds and asserts
+//! statistical (not bitwise-vs-upstream) properties — so `StdRng` here is
+//! a SplitMix64-seeded xoshiro256** rather than upstream's ChaCha12. It
+//! is **not** cryptographically secure.
+
+use core::convert::Infallible;
+use core::ops::Range;
+
+/// A potentially fallible word generator (rand 0.10's base trait).
+pub trait TryRng {
+    /// Error produced by the generator; `Infallible` for PRNGs.
+    type Error;
+
+    /// Next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fill `dest` with random bytes.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible word generator.
+pub trait Rng {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Every infallible `TryRng` is an `Rng` (mirrors rand 0.10's blanket).
+impl<R: TryRng<Error = Infallible>> Rng for R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => {}
+        }
+    }
+}
+
+/// Types samplable uniformly from the generator's raw words
+/// (the shim's stand-in for the `StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types drawable uniformly from a start + span (shim support
+/// trait behind [`SampleRange`]).
+pub trait UniformInt: Copy + PartialOrd {
+    /// `end - start`, reinterpreted unsigned and widened to `u64`.
+    fn span(start: Self, end: Self) -> u64;
+    /// `self + delta` with the type's wrapping arithmetic.
+    fn offset(self, delta: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn span(start: Self, end: Self) -> u64 {
+                (end as $u).wrapping_sub(start as $u) as u64
+            }
+
+            #[inline]
+            fn offset(self, delta: u64) -> Self {
+                self.wrapping_add(delta as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    usize => usize, u64 => u64, u32 => u32, u16 => u16, u8 => u8,
+    isize => usize, i64 => u64, i32 => u32
+);
+
+/// Range types usable with [`RngExt::random_range`] (rand 0.10 accepts
+/// both half-open and inclusive ranges).
+pub trait SampleRange: Sized {
+    /// The element type drawn.
+    type Output: UniformInt;
+
+    /// Draw one value uniformly; panics when the range is empty.
+    fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl<T: UniformInt> SampleRange for Range<T> {
+    type Output = T;
+
+    #[inline]
+    fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = T::span(self.start, self.end);
+        // Modulo draw: a sliver of bias at 2^-64 scale, irrelevant
+        // for simulation purposes; determinism is what matters.
+        self.start.offset(rng.next_u64() % span)
+    }
+}
+
+impl<T: UniformInt> SampleRange for core::ops::RangeInclusive<T> {
+    type Output = T;
+
+    #[inline]
+    fn sample_one<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from empty range");
+        match T::span(start, end).checked_add(1) {
+            Some(span) => start.offset(rng.next_u64() % span),
+            // `start..=MAX` over the type's full width: every word is
+            // already a uniform draw.
+            None => start.offset(rng.next_u64()),
+        }
+    }
+}
+
+/// Convenience sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draw a value of type `T` from the standard distribution.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range.
+    #[inline]
+    fn random_range<T: SampleRange>(&mut self, range: T) -> T::Output {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Seedable generators. Only the `seed_from_u64` entry point this
+/// workspace uses is modelled.
+pub trait SeedableRng: Sized {
+    /// Construct the generator from a 64-bit seed, expanding it into the
+    /// full state deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, Infallible, SeedableRng, TryRng};
+
+    /// The workspace's standard PRNG: xoshiro256** seeded via SplitMix64.
+    ///
+    /// Deterministic, `Clone`, fast; not cryptographic.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut z = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                *slot = splitmix64(z);
+            }
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s2n = s2 ^ s0;
+            let mut s3n = s3 ^ s1;
+            let s1n = s1 ^ s2n;
+            let s0n = s0 ^ s3n;
+            s2n ^= t;
+            s3n = s3n.rotate_left(45);
+            self.s = [s0n, s1n, s2n, s3n];
+            result
+        }
+    }
+
+    impl TryRng for StdRng {
+        type Error = Infallible;
+
+        #[inline]
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.next() >> 32) as u32)
+        }
+
+        #[inline]
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.next())
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn random_f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+        }
+        for _ in 0..1000 {
+            let x = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_covers_both_endpoints() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let x = r.random_range(0usize..=3);
+            seen[x] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+        assert_eq!(r.random_range(7u32..=7), 7, "degenerate range is its value");
+        let _ = r.random_range(0u64..=u64::MAX); // full width must not overflow
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,486 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal serialization framework under serde's public names:
+//! `Serialize`/`Deserialize` traits (plus same-named derive macros behind
+//! the `derive` feature) and enough impls for the field types that appear
+//! in this repository. Instead of serde's visitor architecture, both
+//! traits go through a self-describing [`value::Value`] tree, which
+//! `serde_json` (also vendored) renders to and parses from JSON text.
+//!
+//! Round-trip fidelity within the workspace is the contract; byte-level
+//! compatibility with upstream serde_json output is NOT guaranteed (maps
+//! with non-string keys, for example, are encoded as entry sequences).
+
+pub mod value {
+    use std::fmt;
+
+    /// Self-describing data model every `Serialize` impl lowers into.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`; also carries non-finite floats.
+        Null,
+        /// JSON booleans.
+        Bool(bool),
+        /// Non-negative integers.
+        U64(u64),
+        /// Negative integers.
+        I64(i64),
+        /// Finite floating point numbers.
+        F64(f64),
+        /// Strings (struct field names, enum variant tags, text).
+        Str(String),
+        /// Ordered sequences: vectors, tuples, tuple variants.
+        Seq(Vec<Value>),
+        /// Ordered string-keyed maps: structs and struct variants.
+        Map(Vec<(String, Value)>),
+    }
+
+    /// Error raised when a [`Value`] does not match the requested shape.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DeError(pub String);
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deserialization error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl DeError {
+        /// Shorthand constructor used throughout the impls.
+        pub fn new(msg: impl Into<String>) -> Self {
+            DeError(msg.into())
+        }
+    }
+}
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub use value::{DeError, Value};
+
+/// Types that can lower themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Produce the value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Mirrors `serde::ser` far enough for `use serde::ser::Serialize`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirrors `serde::de` far enough for `use serde::de::Deserialize`.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// In this shim `Deserialize` has no lifetime, so owned
+    /// deserialization is the only kind; the alias keeps signatures
+    /// written against upstream serde compiling.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // JSON has no NaN/inf; mirror serde_json's `null`.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::new(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::new(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::new(format!(
+                        "expected {LEN}-tuple, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Maps and sets are encoded as entry sequences so that non-string keys
+/// (e.g. `(usize, usize)` pairs) survive the JSON round trip.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = Vec::<(K, V)>::from_value(v)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers for derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Internal helpers the `serde_derive` shim expands calls to. Not part of
+/// the public API contract.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Look up a struct field in a `Value::Map`.
+    pub fn get_field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, val)| val)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "expected map with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Interpret a `Value` as a fixed-arity sequence (tuple struct or
+    /// tuple variant payload).
+    pub fn get_seq(v: &Value, len: usize) -> Result<&[Value], DeError> {
+        match v {
+            Value::Seq(items) if items.len() == len => Ok(items),
+            other => Err(DeError::new(format!(
+                "expected sequence of length {len}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Split an externally-tagged enum encoding into `(variant, payload)`.
+    pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+        match v {
+            Value::Str(name) => Ok((name, None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(DeError::new(format!(
+                "expected enum encoding, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(usize, f64)>::from_value(&v.to_value()), Ok(v));
+
+        let arr = [1u64, 2, 3, 4];
+        assert_eq!(<[u64; 4]>::from_value(&arr.to_value()), Ok(arr));
+
+        let mut map = BTreeMap::new();
+        map.insert((1usize, 2usize), 9.0f64);
+        assert_eq!(
+            BTreeMap::<(usize, usize), f64>::from_value(&map.to_value()),
+            Ok(map)
+        );
+
+        let opt: Option<u32> = Some(7);
+        assert_eq!(Option::<u32>::from_value(&opt.to_value()), Ok(opt));
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()), Ok(none));
+    }
+}

@@ -1,0 +1,520 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the vendored serde's `Serialize`/`Deserialize`
+//! traits (which lower through `serde::value::Value`) for plain structs
+//! and enums. Parsing is hand-rolled over `proc_macro::TokenStream` —
+//! the build environment has no registry access, so `syn`/`quote` are
+//! unavailable.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - unit / tuple / named-field structs, with simple generic type
+//!   parameters (optionally bounded, e.g. `struct S<E: Embedding>`);
+//! - enums with unit, tuple and struct variants.
+//!
+//! Not supported (unused in this workspace): `#[serde(...)]` attributes,
+//! lifetimes or const generics on derived types, `where` clauses, union
+//! types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One generic type parameter: its name and any declared bounds
+/// (the raw text after `:`, e.g. `Embedding + Clone`).
+struct GenericParam {
+    name: String,
+    bounds: String,
+}
+
+struct Field {
+    name: String,
+}
+
+enum Body {
+    Unit,
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Shape {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<GenericParam>,
+    shape: Shape,
+}
+
+/// Cursor over a flat token list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skip any number of outer attributes `#[...]`.
+    fn skip_attributes(&mut self) {
+        while self.is_punct('#') {
+            self.pos += 1; // '#'
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skip a `pub` / `pub(...)` visibility prefix.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Parse `<A, B: Bound, ...>` if present. Angle brackets are raw
+    /// puncts, so nesting is tracked by depth counting.
+    fn parse_generics(&mut self) -> Vec<GenericParam> {
+        if !self.is_punct('<') {
+            return Vec::new();
+        }
+        self.pos += 1; // '<'
+        let mut params = Vec::new();
+        let mut depth = 1usize;
+        // Collect the tokens of one parameter at depth 1, split on ','.
+        let mut current: Vec<TokenTree> = Vec::new();
+        loop {
+            let Some(tok) = self.next() else {
+                panic!("serde_derive shim: unterminated generics");
+            };
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push(tok);
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !current.is_empty() {
+                            params.push(parse_param(&current));
+                        }
+                        break;
+                    }
+                    current.push(tok);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    if !current.is_empty() {
+                        params.push(parse_param(&current));
+                    }
+                    current = Vec::new();
+                }
+                _ => current.push(tok),
+            }
+        }
+        params
+    }
+
+    /// Skip a field's type: everything up to the next top-level `,`.
+    /// Angle-bracket depth is tracked so commas inside `BTreeMap<K, V>`
+    /// do not terminate early. Returns false when the fields are done.
+    fn skip_type(&mut self) -> bool {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                None => return false,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth = depth.saturating_sub(1);
+                    self.pos += 1;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    self.pos += 1;
+                    return true;
+                }
+                Some(_) => {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_param(tokens: &[TokenTree]) -> GenericParam {
+    // `Name` or `Name: Bound + Bound`. Lifetimes/const params are not
+    // supported (unused in this workspace).
+    let name = match tokens.first() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: unsupported generic parameter {other:?}"),
+    };
+    let bounds = if tokens.len() > 2 {
+        tokens[2..]
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    } else {
+        String::new()
+    };
+    GenericParam { name, bounds }
+}
+
+/// Parse `{ name: Type, ... }` named fields.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected ':' after field name, got {other:?}"),
+        }
+        fields.push(Field { name });
+        if !c.skip_type() {
+            break;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant `( Type, ... )`.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut count = 0usize;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !c.skip_type() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let body = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                Body::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                Body::Tuple(n)
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while let Some(tok) = c.peek() {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.pos += 1;
+                break;
+            }
+            c.pos += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    let generics = c.parse_generics();
+    match kind.as_str() {
+        "struct" => {
+            let body = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Body::Unit,
+            };
+            Input {
+                name,
+                generics,
+                shape: Shape::Struct(body),
+            }
+        }
+        "enum" => {
+            let variants = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+            };
+            Input {
+                name,
+                generics,
+                shape: Shape::Enum(variants),
+            }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    }
+}
+
+/// `impl<...>` generics with `extra_bound` appended to every type
+/// parameter, and the bare `<...>` for the type position.
+fn generics_strings(params: &[GenericParam], extra_bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = params
+        .iter()
+        .map(|p| {
+            if p.bounds.is_empty() {
+                format!("{}: {}", p.name, extra_bound)
+            } else {
+                format!("{}: {} + {}", p.name, p.bounds, extra_bound)
+            }
+        })
+        .collect();
+    let ty_params: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (impl_generics, ty_generics) = generics_strings(&input.generics, "::serde::Serialize");
+    let name = &input.name;
+
+    let body = match &input.shape {
+        Shape::Struct(Body::Unit) => "::serde::value::Value::Null".to_string(),
+        Shape::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Body::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        Body::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::Str(String::from(\"{vname}\")),"
+                        ),
+                        Body::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::value::Value::Map(vec![(String::from(\"{vname}\"), ::serde::value::Value::Seq(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::value::Value::Map(vec![(String::from(\"{vname}\"), ::serde::value::Value::Map(vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (impl_generics, ty_generics) = generics_strings(&input.generics, "::serde::Deserialize");
+    let name = &input.name;
+
+    let body = match &input.shape {
+        Shape::Struct(Body::Unit) => format!("Ok({name})"),
+        Shape::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = ::serde::__private::get_seq(__v, {n})?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Body::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{0}: ::serde::Deserialize::from_value(::serde::__private::get_field(__v, \"{0}\")?)?",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        Body::Unit => format!("\"{vname}\" => Ok({name}::{vname}),"),
+                        Body::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__seq[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let __payload = __payload.ok_or_else(|| ::serde::DeError::new(\"variant `{vname}` expects a payload\"))?;\n\
+                                     let __seq = ::serde::__private::get_seq(__payload, {n})?;\n\
+                                     Ok({name}::{vname}({items}))\n\
+                                 }}",
+                                items = items.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{0}: ::serde::Deserialize::from_value(::serde::__private::get_field(__payload, \"{0}\")?)?",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let __payload = __payload.ok_or_else(|| ::serde::DeError::new(\"variant `{vname}` expects a payload\"))?;\n\
+                                     Ok({name}::{vname} {{ {items} }})\n\
+                                 }}",
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__variant, __payload) = ::serde::__private::variant(__v)?;\n\
+                 match __variant {{\n\
+                     {}\n\
+                     __other => Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__v: &::serde::value::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}
