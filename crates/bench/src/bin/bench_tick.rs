@@ -13,11 +13,19 @@
 //! ```
 
 use ices_bench::{print_header, HarnessOptions};
+use ices_netsim::{ChurnModel, FaultPlan};
 use ices_sim::experiments::Scale;
 use ices_sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
 use ices_sim::{NpsSimulation, VivaldiSimulation};
 use serde::Serialize;
 use std::time::Instant;
+
+/// The faulty-network configuration timed alongside the clean runs:
+/// 10% probe loss, 2.5% timeouts, 5% per-epoch churn — the chaos
+/// sweep's mid-grid operating point.
+fn faulty_plan() -> FaultPlan {
+    FaultPlan::lossy(0.10, 0.025).with_churn(ChurnModel::new(16, 0.05))
+}
 
 /// One timed configuration of one driver.
 #[derive(Debug, Serialize)]
@@ -26,6 +34,8 @@ struct TickBench {
     nodes: usize,
     ticks: usize,
     threads: usize,
+    /// Whether the faulty-network plan (loss + churn) was active.
+    faults: bool,
     secs: f64,
     steps_per_sec: f64,
 }
@@ -54,8 +64,11 @@ fn scenario(scale: &Scale) -> ScenarioConfig {
     }
 }
 
-fn time_vivaldi(scale: &Scale, threads: usize) -> TickBench {
+fn time_vivaldi(scale: &Scale, threads: usize, faults: bool) -> TickBench {
     let mut sim = VivaldiSimulation::new(scenario(scale));
+    if faults {
+        sim.set_fault_plan(faulty_plan());
+    }
     let passes = scale.clean_passes;
     let steps: usize = (0..sim.len())
         .map(|i| sim.neighbors_of(i).len())
@@ -69,13 +82,17 @@ fn time_vivaldi(scale: &Scale, threads: usize) -> TickBench {
         nodes: sim.len(),
         ticks: passes,
         threads,
+        faults,
         secs,
         steps_per_sec: steps as f64 / secs,
     }
 }
 
-fn time_nps(scale: &Scale, threads: usize) -> TickBench {
+fn time_nps(scale: &Scale, threads: usize, faults: bool) -> TickBench {
     let mut sim = NpsSimulation::new(scenario(scale));
+    if faults {
+        sim.set_fault_plan(faulty_plan());
+    }
     let rounds = scale.nps_clean_rounds;
     let steps: usize = (0..sim.len())
         .map(|i| sim.reference_points_of(i).len())
@@ -89,6 +106,7 @@ fn time_nps(scale: &Scale, threads: usize) -> TickBench {
         nodes: sim.len(),
         ticks: rounds,
         threads,
+        faults,
         secs,
         steps_per_sec: steps as f64 / secs,
     }
@@ -108,23 +126,32 @@ fn main() {
     let configs: &[usize] = if wide > 1 { &[1, wide] } else { &[1] };
     let mut runs = Vec::new();
     for (name, timer) in [
-        ("vivaldi", time_vivaldi as fn(&Scale, usize) -> TickBench),
+        ("vivaldi", time_vivaldi as fn(&Scale, usize, bool) -> TickBench),
         ("nps", time_nps),
     ] {
         for &threads in configs {
-            let bench = timer(&options.scale, threads);
+            let bench = timer(&options.scale, threads, false);
             println!(
                 "{name:>8}  threads={:<2}  {:>8.2}s  {:>12.0} steps/s",
                 bench.threads, bench.secs, bench.steps_per_sec
             );
             runs.push(bench);
         }
+        // One faulty-network configuration per driver (sequential), so
+        // the fault layer's overhead is on the perf trajectory too.
+        let bench = timer(&options.scale, 1, true);
+        println!(
+            "{name:>8}  threads={:<2}  {:>8.2}s  {:>12.0} steps/s  (faulty: 10% loss + churn)",
+            bench.threads, bench.secs, bench.steps_per_sec
+        );
+        runs.push(bench);
     }
 
+    // Speedup compares the clean configurations only.
     let speedup = |driver: &str| -> f64 {
         let of = |t: usize| {
             runs.iter()
-                .find(|r| r.driver == driver && r.threads == t)
+                .find(|r| r.driver == driver && r.threads == t && !r.faults)
                 .map(|r| r.steps_per_sec)
         };
         match (of(1), of(wide)) {

@@ -35,11 +35,20 @@ pub struct Verdict {
     pub innovation_variance: f64,
 }
 
+/// Consecutive measurement-free steps (lost/timed-out probes absorbed
+/// via [`Detector::coast`]) after which the detector reports sample
+/// starvation: the coasted filter has drifted to its stationary prior
+/// and should be recalibrated from a Surveyor before its verdicts are
+/// trusted again.
+pub const SAMPLE_STARVATION_LIMIT: u32 = 64;
+
 /// A Kalman filter armed with the significance-level test.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Detector {
     filter: KalmanFilter,
     alpha: f64,
+    /// Current run of coasted (measurement-free) steps.
+    starvation_streak: u32,
 }
 
 impl Detector {
@@ -57,6 +66,7 @@ impl Detector {
         Self {
             filter: KalmanFilter::new(params),
             alpha,
+            starvation_streak: 0,
         }
     }
 
@@ -108,6 +118,31 @@ impl Detector {
     /// rejected observations must stay out of the filter.
     pub fn accept(&mut self, observation: f64) {
         self.filter.update(observation);
+        self.starvation_streak = 0;
+    }
+
+    /// Absorb a missing sample (lost or timed-out probe): the filter
+    /// takes a time-update only — the state coasts along the model
+    /// dynamics and the variance widens — so the innovation statistics
+    /// stay honest instead of the filter treating silence as evidence.
+    /// Consecutive coasts accumulate into the sample-starvation signal.
+    pub fn coast(&mut self) {
+        self.filter.time_update();
+        self.starvation_streak = self.starvation_streak.saturating_add(1);
+    }
+
+    /// Whether the detector is sample-starved: at least
+    /// [`SAMPLE_STARVATION_LIMIT`] consecutive probes produced no
+    /// measurement. A starved detector's filter has coasted to its
+    /// stationary prior; callers should refresh calibration (or keep a
+    /// stale Surveyor calibration, which this signal bounds).
+    pub fn starved(&self) -> bool {
+        self.starvation_streak >= SAMPLE_STARVATION_LIMIT
+    }
+
+    /// Consecutive measurement-free steps so far.
+    pub fn starvation_streak(&self) -> u32 {
+        self.starvation_streak
     }
 
     /// Test-and-update in one call: evaluates, and feeds the filter only
@@ -115,19 +150,22 @@ impl Detector {
     pub fn assess(&mut self, observation: f64) -> Verdict {
         let verdict = self.evaluate(observation);
         if !verdict.suspicious {
-            self.filter.update(observation);
+            self.accept(observation);
         }
         verdict
     }
 
-    /// Whether the filter has hit the paper's recalibration condition.
+    /// Whether the filter has hit the paper's recalibration condition,
+    /// **or** the detector is sample-starved (see [`Detector::starved`]).
     pub fn needs_recalibration(&self) -> bool {
-        self.filter.needs_recalibration()
+        self.filter.needs_recalibration() || self.starved()
     }
 
-    /// Install freshly calibrated parameters (from a Surveyor).
+    /// Install freshly calibrated parameters (from a Surveyor). Clears
+    /// the starvation streak along with the filter state.
     pub fn recalibrate(&mut self, params: StateSpaceParams) {
         self.filter.recalibrate(params);
+        self.starvation_streak = 0;
     }
 }
 
@@ -294,6 +332,77 @@ mod tests {
         assert!(d.needs_recalibration());
         d.recalibrate(p);
         assert!(!d.needs_recalibration());
+    }
+
+    #[test]
+    fn coasting_widens_the_threshold_without_corrupting_state() {
+        let p = params();
+        let mut d = Detector::new(p, 0.05);
+        for _ in 0..50 {
+            d.accept(p.stationary_mean());
+        }
+        let before = d.evaluate(p.stationary_mean());
+        let updates = d.filter().updates();
+        for _ in 0..10 {
+            d.coast();
+        }
+        let after = d.evaluate(p.stationary_mean());
+        assert!(
+            after.threshold > before.threshold,
+            "missing samples must widen the test band: {} vs {}",
+            after.threshold,
+            before.threshold
+        );
+        assert_eq!(
+            d.filter().updates(),
+            updates,
+            "coasting must not count as observations"
+        );
+        // A nominal observation after a blind stretch is not flagged.
+        assert!(!after.suspicious);
+    }
+
+    #[test]
+    fn starvation_fires_at_limit_and_resets_on_sample_or_recalibration() {
+        let p = params();
+        let mut d = Detector::new(p, 0.05);
+        for _ in 0..SAMPLE_STARVATION_LIMIT - 1 {
+            d.coast();
+        }
+        assert!(!d.starved());
+        assert!(!d.needs_recalibration());
+        d.coast();
+        assert!(d.starved());
+        assert!(d.needs_recalibration(), "starvation feeds the recal signal");
+        // One real sample clears the streak.
+        d.accept(p.stationary_mean());
+        assert!(!d.starved());
+        assert_eq!(d.starvation_streak(), 0);
+        // So does recalibration.
+        for _ in 0..SAMPLE_STARVATION_LIMIT {
+            d.coast();
+        }
+        assert!(d.starved());
+        d.recalibrate(p);
+        assert!(!d.starved());
+    }
+
+    #[test]
+    fn assess_resets_starvation_on_accepted_sample() {
+        let p = params();
+        let mut d = Detector::new(p, 0.05);
+        for _ in 0..5 {
+            d.coast();
+        }
+        assert_eq!(d.starvation_streak(), 5);
+        let v = d.assess(p.stationary_mean());
+        assert!(!v.suspicious);
+        assert_eq!(d.starvation_streak(), 0);
+        // A rejected sample is not a measurement: streak keeps growing.
+        d.coast();
+        let v = d.assess(100.0);
+        assert!(v.suspicious);
+        assert_eq!(d.starvation_streak(), 1);
     }
 
     #[test]

@@ -135,6 +135,26 @@ impl KalmanFilter {
         innovation
     }
 
+    /// Advance the filter one step **without** a measurement (the
+    /// time-update half of the Kalman recursion):
+    ///
+    /// ```text
+    /// Δ̂_{i|i} ← β·Δ̂_{i−1|i−1} + w̄        (no gain correction)
+    /// P_{i|i} ← β²·P_{i−1|i−1} + v_W      (uncertainty grows)
+    /// ```
+    ///
+    /// This is how a lost or timed-out probe is absorbed: the state
+    /// coasts along the model dynamics and the variance widens, so the
+    /// next real observation is judged against an honestly larger
+    /// innovation variance instead of a stale, over-confident one.
+    /// Does not count as an update and leaves the recalibration streak
+    /// untouched (no innovation was observed).
+    pub fn time_update(&mut self) {
+        let pred = self.predict();
+        self.estimate = pred.predicted;
+        self.variance = pred.state_variance;
+    }
+
     /// Whether the paper's recalibration condition has fired: 10
     /// consecutive innovations outside the ±2√v_η confidence interval.
     pub fn needs_recalibration(&self) -> bool {
@@ -358,6 +378,56 @@ mod tests {
             assert_eq!(batch[i].0, pred);
             assert_eq!(batch[i].1, innovation);
         }
+    }
+
+    #[test]
+    fn time_update_follows_model_dynamics() {
+        let mut f = KalmanFilter::new(params());
+        f.update(0.35);
+        let pred = f.predict();
+        let updates = f.updates();
+        f.time_update();
+        assert_eq!(f.estimate(), pred.predicted);
+        assert_eq!(f.variance(), pred.state_variance);
+        assert_eq!(f.updates(), updates, "coasting is not an observation");
+    }
+
+    #[test]
+    fn time_update_grows_variance_boundedly() {
+        // Coasting widens uncertainty each step but converges to the
+        // stationary variance v_W / (1 − β²), never diverging.
+        let mut f = KalmanFilter::new(params());
+        for _ in 0..50 {
+            f.update(0.3);
+        }
+        let posterior = f.variance();
+        let mut prev = posterior;
+        for _ in 0..500 {
+            f.time_update();
+            assert!(f.variance() >= prev, "variance must not shrink while blind");
+            prev = f.variance();
+        }
+        let stationary = 0.003 / (1.0 - 0.85 * 0.85);
+        assert!(
+            (f.variance() - stationary).abs() < 1e-9,
+            "coasting variance {} should settle at {stationary}",
+            f.variance()
+        );
+    }
+
+    #[test]
+    fn time_update_preserves_recalibration_streak() {
+        let mut f = KalmanFilter::new(params());
+        for _ in 0..9 {
+            f.update(1e6);
+        }
+        assert!(!f.needs_recalibration());
+        f.time_update();
+        f.update(1e6);
+        assert!(
+            f.needs_recalibration(),
+            "a measurement-free step must not reset the outlier streak"
+        );
     }
 
     #[test]

@@ -42,9 +42,9 @@ pub mod protocol;
 pub mod surveyor;
 
 pub use certify::{Certifier, CoordinateCertificate};
-pub use detector::{Detector, Verdict};
+pub use detector::{Detector, Verdict, SAMPLE_STARVATION_LIMIT};
 pub use em::{calibrate, CalibrationOutcome, EmConfig};
 pub use kalman::KalmanFilter;
 pub use model::StateSpaceParams;
-pub use protocol::{SecureNode, SecureStep, SecurityConfig};
+pub use protocol::{ConfigError, SecureNode, SecureStep, SecurityConfig};
 pub use surveyor::{SurveyorInfo, SurveyorRegistry};

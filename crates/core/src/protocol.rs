@@ -23,6 +23,31 @@ use crate::model::StateSpaceParams;
 use ices_coord::{Embedding, PeerSample, StepOutcome};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// An invalid [`SecurityConfig`] field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// `alpha` outside `(0, 1)`.
+    InvalidAlpha(f64),
+    /// `refresh_fraction` outside `(0, 1]`.
+    InvalidRefreshFraction(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidAlpha(a) => {
+                write!(f, "alpha must be in (0,1), got {a}")
+            }
+            ConfigError::InvalidRefreshFraction(r) => {
+                write!(f, "refresh_fraction must be in (0,1], got {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Knobs of the detection protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,21 +77,27 @@ impl SecurityConfig {
         }
     }
 
-    /// Validate invariants.
+    /// Validate invariants: `alpha ∈ (0,1)` and
+    /// `refresh_fraction ∈ (0,1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(ConfigError::InvalidAlpha(self.alpha));
+        }
+        if !(self.refresh_fraction > 0.0 && self.refresh_fraction <= 1.0) {
+            return Err(ConfigError::InvalidRefreshFraction(self.refresh_fraction));
+        }
+        Ok(())
+    }
+
+    /// [`SecurityConfig::validate`] for contexts that cannot propagate
+    /// the error (constructors, examples).
     ///
     /// # Panics
-    /// Panics if `alpha ∉ (0,1)` or `refresh_fraction ∉ (0,1]`.
-    pub fn validate(&self) {
-        assert!(
-            self.alpha > 0.0 && self.alpha < 1.0,
-            "alpha must be in (0,1), got {}",
-            self.alpha
-        );
-        assert!(
-            self.refresh_fraction > 0.0 && self.refresh_fraction <= 1.0,
-            "refresh_fraction must be in (0,1], got {}",
-            self.refresh_fraction
-        );
+    /// Panics with the [`ConfigError`] message on an invalid config.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -156,7 +187,7 @@ impl<E: Embedding> SecureNode<E> {
         filter_source: usize,
         config: SecurityConfig,
     ) -> Self {
-        config.validate();
+        config.validate_or_panic();
         Self {
             inner,
             detector: Detector::new(params, config.alpha),
@@ -247,16 +278,34 @@ impl<E: Embedding> SecureNode<E> {
         SecureStep::Rejected { verdict }
     }
 
+    /// Absorb an embedding step whose probe produced **no measurement**
+    /// (lost or timed out): the detector coasts — a Kalman time-update
+    /// with no measurement-update — so its innovation statistics widen
+    /// honestly instead of going stale. The step is *not* a test: the
+    /// peer is neither counted in the round nor marked rejected, and
+    /// the embedding is untouched.
+    ///
+    /// Consecutive missing samples accumulate into the detector's
+    /// sample-starvation signal, which [`SecureNode::end_round`] turns
+    /// into a [`RoundAction::RefreshFilter`] request.
+    pub fn step_missing(&mut self) {
+        self.detector.coast();
+    }
+
     /// Close the current embedding round. Returns
     /// [`RoundAction::RefreshFilter`] when at least `refresh_fraction`
     /// of the round's distinct peers were rejected — the signal that the
-    /// filter parameters have gone stale.
+    /// filter parameters have gone stale — or when the detector is
+    /// sample-starved (a long run of missing samples has coasted the
+    /// filter to its stationary prior).
     pub fn end_round(&mut self) -> RoundAction {
         let peers = self.round_peers.len();
         let rejected = self.round_rejections.len();
         self.round_peers.clear();
         self.round_rejections.clear();
-        if peers > 0 && (rejected as f64) >= (peers as f64) * self.config.refresh_fraction {
+        if self.detector.starved()
+            || (peers > 0 && (rejected as f64) >= (peers as f64) * self.config.refresh_fraction)
+        {
             RoundAction::RefreshFilter
         } else {
             RoundAction::Continue
@@ -472,6 +521,69 @@ mod tests {
         node.refresh_filter(params(), 42);
         assert_eq!(node.filter_source(), 42);
         assert_eq!(node.detector().filter().updates(), 0);
+    }
+
+    #[test]
+    fn validate_returns_typed_errors() {
+        let mut config = SecurityConfig::paper_default();
+        assert_eq!(config.validate(), Ok(()));
+        config.alpha = 1.5;
+        assert_eq!(config.validate(), Err(ConfigError::InvalidAlpha(1.5)));
+        config.alpha = 0.05;
+        config.refresh_fraction = 0.0;
+        assert_eq!(
+            config.validate(),
+            Err(ConfigError::InvalidRefreshFraction(0.0))
+        );
+        let msg = config.validate().unwrap_err().to_string();
+        assert!(msg.contains("refresh_fraction"), "message: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1)")]
+    fn validate_or_panic_still_panics() {
+        SecurityConfig {
+            alpha: 0.0,
+            ..SecurityConfig::paper_default()
+        }
+        .validate_or_panic();
+    }
+
+    #[test]
+    fn missing_samples_coast_without_touching_round_state() {
+        let mut node = secure(0.1);
+        node.step(&sample_with_error(1, 0.1));
+        let threshold_before = node.detector().evaluate(0.0).threshold;
+        for _ in 0..10 {
+            node.step_missing();
+        }
+        let threshold_after = node.detector().evaluate(0.0).threshold;
+        assert!(
+            threshold_after > threshold_before,
+            "coasting widens the test band"
+        );
+        assert!(node.inner().applied == vec![1], "embedding untouched");
+        assert_eq!(node.counts(), (1, 0, 0), "no step outcome recorded");
+        // 1 tested peer, 0 rejections, starvation below the limit.
+        assert_eq!(node.end_round(), RoundAction::Continue);
+    }
+
+    #[test]
+    fn sample_starvation_requests_filter_refresh() {
+        use crate::detector::SAMPLE_STARVATION_LIMIT;
+        let mut node = secure(0.1);
+        for _ in 0..SAMPLE_STARVATION_LIMIT {
+            node.step_missing();
+        }
+        assert_eq!(
+            node.end_round(),
+            RoundAction::RefreshFilter,
+            "a starved detector must ask for recalibration"
+        );
+        // Installing fresh parameters clears the starvation state.
+        node.refresh_filter(params(), 9);
+        node.step(&sample_with_error(1, 0.1));
+        assert_eq!(node.end_round(), RoundAction::Continue);
     }
 
     #[test]

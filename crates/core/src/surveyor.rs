@@ -79,7 +79,15 @@ impl SurveyorRegistry {
     /// The join-time query: `k` randomly chosen Surveyors (fewer if the
     /// registry is smaller). The joining node then measures its RTT to
     /// each and adopts the closest one's filter.
+    ///
+    /// An empty registry yields an empty sample (and draws nothing from
+    /// `rng`, so a later non-empty query sees an unperturbed stream) —
+    /// callers must treat "no Surveyor available" as a deferred join,
+    /// not an error.
     pub fn sample<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<&SurveyorInfo> {
+        if self.surveyors.is_empty() {
+            return Vec::new();
+        }
         let take = k.min(self.surveyors.len());
         sample_indices(rng, self.surveyors.len(), take)
             .into_iter()
@@ -89,12 +97,38 @@ impl SurveyorRegistry {
 
     /// The refresh-time query: the Surveyor closest to `coord` in
     /// estimated (coordinate-space) distance.
+    ///
+    /// Returns `None` on an empty registry — a node refreshing while no
+    /// Surveyor is registered must keep its stale filter rather than
+    /// panic.
     pub fn closest_by_coordinate(&self, coord: &Coordinate) -> Option<&SurveyorInfo> {
         self.surveyors.iter().min_by(|a, b| {
             coord
                 .distance(&a.coordinate)
                 .total_cmp(&coord.distance(&b.coordinate))
         })
+    }
+
+    /// [`SurveyorRegistry::closest_by_coordinate`] restricted to
+    /// Surveyors the caller can currently reach: `is_available` gates
+    /// each candidate (typically on the network's churn schedule).
+    ///
+    /// Returns `None` when the registry is empty **or every Surveyor is
+    /// down** — the all-Surveyors-down case, where the caller falls back
+    /// to its stale-but-bounded calibration until one rejoins.
+    pub fn closest_available_by_coordinate<F: Fn(&SurveyorInfo) -> bool>(
+        &self,
+        coord: &Coordinate,
+        is_available: F,
+    ) -> Option<&SurveyorInfo> {
+        self.surveyors
+            .iter()
+            .filter(|s| is_available(s))
+            .min_by(|a, b| {
+                coord
+                    .distance(&a.coordinate)
+                    .total_cmp(&coord.distance(&b.coordinate))
+            })
     }
 
     /// The Surveyor minimizing a caller-supplied cost (e.g. a *measured*
@@ -199,6 +233,47 @@ mod tests {
             .is_none());
         let mut rng = stream_rng(4, 0);
         assert!(reg.sample(3, &mut rng).is_empty());
+        assert!(reg
+            .closest_available_by_coordinate(&Coordinate::origin(Space::with_height(2)), |_| true)
+            .is_none());
+    }
+
+    #[test]
+    fn empty_sample_leaves_rng_untouched() {
+        use rand::RngExt;
+        let reg = SurveyorRegistry::new();
+        let mut probed = stream_rng(5, 0);
+        reg.sample(3, &mut probed);
+        let mut fresh = stream_rng(5, 0);
+        assert_eq!(
+            probed.random::<u64>(),
+            fresh.random::<u64>(),
+            "an empty sample must not advance the caller's rng"
+        );
+    }
+
+    #[test]
+    fn availability_filter_skips_down_surveyors() {
+        let mut reg = SurveyorRegistry::new();
+        reg.register(info(1, 0.0));
+        reg.register(info(2, 50.0));
+        reg.register(info(3, 200.0));
+        let me = Coordinate::new(vec![60.0, 0.0], 0.0);
+        // Nearest (id 2) is down: the next-nearest live one is chosen.
+        let chosen = reg.closest_available_by_coordinate(&me, |s| s.id != 2);
+        assert_eq!(chosen.expect("live surveyor").id, 1);
+    }
+
+    #[test]
+    fn all_surveyors_down_returns_none() {
+        let mut reg = SurveyorRegistry::new();
+        reg.register(info(1, 0.0));
+        reg.register(info(2, 50.0));
+        let me = Coordinate::new(vec![60.0, 0.0], 0.0);
+        assert!(
+            reg.closest_available_by_coordinate(&me, |_| false).is_none(),
+            "a total Surveyor outage must surface as None, not a panic"
+        );
     }
 
     #[test]

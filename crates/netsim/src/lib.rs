@@ -18,7 +18,11 @@
 //!   lognormal congestion factor, and rare heavy-tailed spikes —
 //!   [`fluctuation`];
 //! * a handful of pathologically noisy hosts (the paper's "3 nodes in
-//!   India" that dominate the prediction-error tail) — [`planetlab`].
+//!   India" that dominate the prediction-error tail) — [`planetlab`];
+//! * optional deterministic fault injection — per-link probe loss and
+//!   timeouts, epoch-based node crash/rejoin churn — [`faults`]. The
+//!   default is no faults; an empty [`FaultPlan`] leaves every probe API
+//!   byte-identical to the clean network.
 //!
 //! Everything is driven by a single `u64` seed: a measurement between
 //! nodes `(a, b)` at probe-nonce `n` is a pure function of
@@ -28,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fluctuation;
 pub mod kinggen;
 pub mod network;
 pub mod planetlab;
 pub mod topology;
 
+pub use faults::{ChurnModel, FaultPlan, LinkFaults, ProbeOutcome};
 pub use fluctuation::{FluctuationModel, NoiseProfile};
 pub use kinggen::{KingConfig, RegionLayout};
 pub use network::Network;

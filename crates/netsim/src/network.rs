@@ -6,6 +6,7 @@
 //! same nonce reproduces the same value, and experiment results never
 //! depend on the order in which nodes happen to probe.
 
+use crate::faults::{FaultPlan, ProbeOutcome};
 use crate::fluctuation::{FluctuationModel, NoiseProfile};
 use crate::kinggen::Topology;
 use crate::planetlab::PlanetLab;
@@ -20,6 +21,7 @@ pub struct Network {
     profiles: Vec<NoiseProfile>,
     noise: FluctuationModel,
     seed: u64,
+    faults: FaultPlan,
 }
 
 impl Network {
@@ -45,7 +47,30 @@ impl Network {
             profiles,
             noise,
             seed,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Attach a fault plan. The default plan is empty (no faults); an
+    /// empty plan keeps every probe API byte-identical to the seed
+    /// behavior.
+    ///
+    /// # Panics
+    /// Panics if the plan is invalid (see [`FaultPlan::validate`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        plan.validate();
+        self.faults = plan;
+    }
+
+    /// The attached fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether `node` is up at driver time `tick` under the attached
+    /// churn schedule. Always true with an empty plan.
+    pub fn node_up(&self, node: usize, tick: u64) -> bool {
+        self.faults.node_up(self.seed, node, tick)
     }
 
     /// A network over a King-like topology with uniform clean profiles
@@ -142,6 +167,59 @@ impl Network {
         ];
         probes.sort_by(f64::total_cmp);
         probes[1]
+    }
+
+    /// Fallible variant of [`Network::measure_rtt`]: the probe is gated
+    /// through the attached [`FaultPlan`] before it is measured.
+    ///
+    /// A probe to or from a crashed node times out; otherwise the plan's
+    /// per-link loss/timeout draw (a pure function of `(seed, a, b,
+    /// nonce)` on a stream disjoint from measurement noise) decides its
+    /// fate. A completed probe returns exactly the value
+    /// [`Network::measure_rtt`] would: enabling faults never perturbs
+    /// the measurements that do get through, and an empty plan makes
+    /// this a zero-cost wrapper.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn try_measure_rtt(&self, a: usize, b: usize, nonce: u64, tick: u64) -> ProbeOutcome {
+        if self.faults.is_empty() {
+            return ProbeOutcome::Ok(self.measure_rtt(a, b, nonce));
+        }
+        if !self.node_up(a, tick) || !self.node_up(b, tick) {
+            return ProbeOutcome::TimedOut;
+        }
+        match self.faults.probe_fate(self.seed, a, b, nonce) {
+            Some(failure) => failure,
+            None => ProbeOutcome::Ok(self.measure_rtt(a, b, nonce)),
+        }
+    }
+
+    /// Fallible variant of [`Network::measure_rtt_smoothed`]. The
+    /// median-of-3 exchange is gated as one logical probe: a single
+    /// fault draw at `nonce` decides whether the whole exchange
+    /// completes, so a successful faulty-mode probe is bit-identical to
+    /// the clean smoothed measurement at the same nonce.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn try_measure_rtt_smoothed(
+        &self,
+        a: usize,
+        b: usize,
+        nonce: u64,
+        tick: u64,
+    ) -> ProbeOutcome {
+        if self.faults.is_empty() {
+            return ProbeOutcome::Ok(self.measure_rtt_smoothed(a, b, nonce));
+        }
+        if !self.node_up(a, tick) || !self.node_up(b, tick) {
+            return ProbeOutcome::TimedOut;
+        }
+        match self.faults.probe_fate(self.seed, a, b, nonce) {
+            Some(failure) => failure,
+            None => ProbeOutcome::Ok(self.measure_rtt_smoothed(a, b, nonce)),
+        }
     }
 }
 
@@ -261,6 +339,64 @@ mod tests {
             smoothed.variance(),
             raw.variance()
         );
+    }
+
+    #[test]
+    fn try_measure_with_empty_plan_matches_infallible_path() {
+        let net = network();
+        for nonce in 0..32 {
+            assert_eq!(
+                net.try_measure_rtt(3, 17, nonce, 0),
+                crate::faults::ProbeOutcome::Ok(net.measure_rtt(3, 17, nonce))
+            );
+            assert_eq!(
+                net.try_measure_rtt_smoothed(3, 17, nonce, 0),
+                crate::faults::ProbeOutcome::Ok(net.measure_rtt_smoothed(3, 17, nonce))
+            );
+        }
+    }
+
+    #[test]
+    fn completed_faulty_probes_match_clean_measurements() {
+        let mut net = network();
+        net.set_fault_plan(crate::faults::FaultPlan::lossy(0.3, 0.1));
+        let clean = network();
+        let mut completed = 0;
+        for nonce in 0..200 {
+            if let crate::faults::ProbeOutcome::Ok(rtt) = net.try_measure_rtt(2, 9, nonce, 0) {
+                assert_eq!(rtt, clean.measure_rtt(2, 9, nonce));
+                completed += 1;
+            }
+            if let crate::faults::ProbeOutcome::Ok(rtt) =
+                net.try_measure_rtt_smoothed(2, 9, nonce, 0)
+            {
+                assert_eq!(rtt, clean.measure_rtt_smoothed(2, 9, nonce));
+            }
+        }
+        assert!(completed > 80, "~60% of probes should complete: {completed}");
+    }
+
+    #[test]
+    fn probes_to_crashed_nodes_time_out() {
+        use crate::faults::{ChurnModel, FaultPlan, ProbeOutcome};
+        let mut net = network();
+        net.set_fault_plan(
+            FaultPlan::none().with_node_churn(5, ChurnModel::new(u64::MAX, 0.999_999)),
+        );
+        assert!(!net.node_up(5, 0), "node 5 should be crashed");
+        assert!(net.node_up(6, 0), "other nodes stay up");
+        assert_eq!(net.try_measure_rtt(5, 6, 0, 0), ProbeOutcome::TimedOut);
+        assert_eq!(net.try_measure_rtt(6, 5, 0, 0), ProbeOutcome::TimedOut);
+        assert!(net.try_measure_rtt(6, 7, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_survives_serde() {
+        let mut net = network();
+        net.set_fault_plan(crate::faults::FaultPlan::lossy(0.1, 0.0));
+        let json = serde_json::to_string(&net).expect("serialize");
+        let back: Network = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(net, back);
     }
 
     #[test]

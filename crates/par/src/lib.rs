@@ -29,15 +29,46 @@ thread_local! {
 /// Name of the environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "ICES_THREADS";
 
+/// Parse an `ICES_THREADS` value into a worker count.
+///
+/// Accepts a positive integer (surrounding whitespace ignored). Zero,
+/// negative, non-numeric, and empty values are errors — zero in
+/// particular is rejected rather than silently bumped to 1, so a typo'd
+/// configuration is surfaced instead of quietly changing the schedule.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{THREADS_ENV} must be a positive worker count, got 0 \
+             (use {THREADS_ENV}=1 for the exact sequential path)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{THREADS_ENV} must be a positive integer, got {trimmed:?}"
+        )),
+    }
+}
+
 /// Resolve the worker count: [`with_threads`] override, then
 /// `ICES_THREADS`, then available parallelism. Always at least 1.
+///
+/// An invalid `ICES_THREADS` value (zero, negative, non-numeric) is
+/// reported once on stderr with the [`parse_threads`] error and the
+/// variable is then ignored in favor of available parallelism — a loud
+/// fallback rather than a silent one or a library panic.
 pub fn max_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
     if let Ok(raw) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            return n.max(1);
+        match parse_threads(&raw) {
+            Ok(n) => return n,
+            Err(message) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!("error: {message}; ignoring it and using available parallelism");
+                });
+            }
         }
     }
     std::thread::available_parallelism()
@@ -348,6 +379,27 @@ mod tests {
             (items, out)
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_counts() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("16"), Ok(16));
+        assert_eq!(parse_threads("  4\n"), Ok(4), "whitespace is tolerated");
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage_with_clear_messages() {
+        let zero = parse_threads("0").expect_err("zero workers is invalid");
+        assert!(zero.contains(THREADS_ENV), "names the variable: {zero}");
+        assert!(zero.contains("got 0"), "names the value: {zero}");
+        for bad in ["", "abc", "-2", "1.5", "4x"] {
+            let err = parse_threads(bad).expect_err("invalid value");
+            assert!(
+                err.contains(THREADS_ENV) && err.contains("positive integer"),
+                "unclear message for {bad:?}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Chaos sweep: graceful degradation of the secured system under
+//! injected network faults.
+//!
+//! The paper evaluates the detector on a perfectly reliable measurement
+//! substrate; this experiment asks what happens on a *real* one. Each
+//! cell runs the full secured Vivaldi pipeline — clean convergence,
+//! Surveyor calibration, armed detection, the colluding isolation
+//! attack — on a network with probe loss, probe timeouts, node churn,
+//! and intermittent Surveyor outages, and reads off both the §5.1
+//! detection metrics (TPR/FPR) and the embedding accuracy. Sweeping
+//! `loss × churn` yields degradation curves: how fast detection quality
+//! and coordinate accuracy erode as the substrate gets worse, and —
+//! the key robustness claim — that the detector's false-positive rate
+//! stays bounded instead of blowing up when samples go missing.
+
+use super::Scale;
+use crate::metrics::FaultReport;
+use crate::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use crate::vivaldi_driver::VivaldiSimulation;
+use ices_attack::VivaldiIsolationAttack;
+use ices_core::EmConfig;
+use ices_netsim::{ChurnModel, FaultPlan};
+use ices_stats::Confusion;
+use serde::{Deserialize, Serialize};
+
+/// Probe-loss levels the default chaos sweep visits.
+pub const DEFAULT_LOSS_LEVELS: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// Churn down-probabilities the default chaos sweep visits.
+pub const DEFAULT_CHURN_LEVELS: [f64; 3] = [0.0, 0.05, 0.10];
+
+/// Timeouts ride along at a quarter of the loss probability (losses
+/// dominate on real paths; timeouts are the rarer, slower failure).
+const TIMEOUT_RATIO: f64 = 0.25;
+
+/// Churn epoch length in Vivaldi ticks (one tick = one neighbor slot).
+const CHURN_EPOCH_TICKS: u64 = 16;
+
+/// Surveyors churn at half the population's rate: the paper assumes
+/// they are managed infrastructure, but not that they never fail.
+const SURVEYOR_CHURN_RATIO: f64 = 0.5;
+
+/// One `(loss, churn)` operating point of the chaos sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosCell {
+    /// Per-probe loss probability (timeouts ride along at a quarter of
+    /// this).
+    pub loss: f64,
+    /// Per-epoch down probability of ordinary nodes (Surveyors churn at
+    /// half this rate).
+    pub churn: f64,
+    /// Confusion counts over all vetted steps of the attack phase.
+    pub confusion: Confusion,
+    /// Fault-path bookkeeping accumulated over the whole run.
+    pub faults: FaultReport,
+    /// Median relative embedding error of honest nodes after the run.
+    pub accuracy_median: f64,
+    /// 95th-percentile relative embedding error.
+    pub accuracy_p95: f64,
+    /// Filter refreshes (starvation feeds this under heavy faults).
+    pub filter_refreshes: u64,
+}
+
+/// A full chaos sweep over `loss × churn`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSweep {
+    /// All cells, row-major over `(churn, loss)`.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosSweep {
+    /// The cell at an exact operating point.
+    pub fn cell(&self, loss: f64, churn: f64) -> Option<&ChaosCell> {
+        self.cells
+            .iter()
+            .find(|c| (c.loss - loss).abs() < 1e-9 && (c.churn - churn).abs() < 1e-9)
+    }
+
+    /// Degradation series vs loss for one churn level: `(loss, y)`
+    /// points sorted by loss, with `y` read off each cell (e.g. TPR,
+    /// FPR, or accuracy).
+    pub fn series(&self, churn: f64, metric: impl Fn(&ChaosCell) -> f64) -> Vec<(f64, f64)> {
+        let mut points: Vec<(f64, f64)> = self
+            .cells
+            .iter()
+            .filter(|c| (c.churn - churn).abs() < 1e-9)
+            .map(|c| (c.loss, metric(c)))
+            .collect();
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        points
+    }
+}
+
+/// The fault plan for one operating point: link loss/timeouts, global
+/// churn, and a slower Surveyor churn override per Surveyor.
+fn chaos_plan(loss: f64, churn: f64, surveyors: &std::collections::BTreeSet<usize>) -> FaultPlan {
+    let mut plan = FaultPlan::lossy(loss, loss * TIMEOUT_RATIO);
+    if churn > 0.0 {
+        plan = plan.with_churn(ChurnModel::new(CHURN_EPOCH_TICKS, churn));
+        for &s in surveyors {
+            plan = plan.with_node_churn(
+                s,
+                ChurnModel::new(CHURN_EPOCH_TICKS, churn * SURVEYOR_CHURN_RATIO),
+            );
+        }
+    }
+    plan
+}
+
+fn scenario(scale: &Scale) -> ScenarioConfig {
+    ScenarioConfig {
+        seed: scale.seed,
+        topology: TopologyKind::small_planetlab(scale.planetlab_nodes),
+        surveyors: SurveyorPlacement::Random { fraction: 0.08 },
+        malicious_fraction: 0.2,
+        alpha: 0.05,
+        detection: true,
+        clean_cycles: scale.clean_passes,
+        attack_cycles: scale.measure_passes,
+        embed_against_surveyors_only: false,
+    }
+}
+
+/// Run one chaos operating point: the full secured Vivaldi pipeline
+/// with the fault plan active from the first tick (calibration included
+/// — Surveyors calibrate on whatever samples survive, as they would in
+/// deployment).
+pub fn chaos_cell(scale: &Scale, loss: f64, churn: f64) -> ChaosCell {
+    let mut sim = VivaldiSimulation::new(scenario(scale));
+    sim.set_fault_plan(chaos_plan(loss, churn, sim.surveyors()));
+    sim.run_clean(scale.clean_passes);
+    sim.calibrate_surveyors(&EmConfig::default());
+    sim.arm_detection();
+    let target = sim.normal_nodes()[0];
+    let radius = sim.network().matrix().median() / 2.0;
+    let attack = VivaldiIsolationAttack::new(
+        sim.malicious().iter().copied(),
+        sim.coordinate(target).clone(),
+        radius.max(20.0),
+        scale.seed ^ 0xC4A05,
+    );
+    sim.run(scale.measure_passes, &attack, false);
+    let accuracy = sim.accuracy_report(scale.pairs_per_node);
+    let report = sim.report();
+    ChaosCell {
+        loss,
+        churn,
+        confusion: report.confusion,
+        faults: report.faults.clone(),
+        accuracy_median: accuracy.median(),
+        accuracy_p95: accuracy.ecdf().quantile(0.95),
+        filter_refreshes: report.filter_refreshes,
+    }
+}
+
+/// The full chaos sweep over `loss × churn`. Cells are independent
+/// deterministic simulations, so they run in parallel on the
+/// [`ices_par`] executor without affecting results.
+pub fn chaos_sweep(scale: &Scale, losses: &[f64], churns: &[f64]) -> ChaosSweep {
+    let mut points = Vec::with_capacity(losses.len() * churns.len());
+    for &churn in churns {
+        for &loss in losses {
+            points.push((loss, churn));
+        }
+    }
+    let cells = ices_par::par_map(&points, |_, &(loss, churn)| chaos_cell(scale, loss, churn));
+    ChaosSweep { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_cell_reports_no_faults() {
+        let cell = chaos_cell(&Scale::test(), 0.0, 0.0);
+        assert_eq!(cell.faults, FaultReport::default());
+        assert!(cell.confusion.negatives() > 0);
+        assert!(cell.accuracy_median < 0.3, "clean accuracy sanity");
+    }
+
+    #[test]
+    fn fpr_stays_bounded_under_loss_and_churn() {
+        // The robustness acceptance criterion: at >= 10% probe loss with
+        // churn enabled, missing samples must not masquerade as attacks.
+        let cell = chaos_cell(&Scale::test(), 0.10, 0.05);
+        assert!(
+            cell.faults.total_failed_probes() > 0,
+            "the plan must actually injure probes"
+        );
+        assert!(cell.confusion.negatives() > 0, "honest steps must flow");
+        let fpr = cell.confusion.fpr();
+        assert!(
+            fpr < 0.15,
+            "detector FPR must stay bounded under 10% loss + churn, got {fpr}"
+        );
+        // Detection must still function: the blatant isolation attack
+        // should be caught more often than not.
+        if cell.confusion.positives() > 0 {
+            assert!(
+                cell.confusion.tpr() > 0.5,
+                "attack detection collapsed under faults: tpr {}",
+                cell.confusion.tpr()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_degrades_gracefully() {
+        let sweep = chaos_sweep(&Scale::test(), &[0.0, 0.10], &[0.0, 0.05]);
+        assert_eq!(sweep.cells.len(), 4);
+        let clean = sweep.cell(0.0, 0.0).expect("clean cell");
+        let worst = sweep.cell(0.10, 0.05).expect("faulty cell");
+        assert_eq!(clean.faults, FaultReport::default());
+        assert!(worst.faults.total_failed_probes() > 0);
+        // Graceful, not catastrophic: the faulty embedding stays within
+        // a loose multiple of the clean one.
+        assert!(
+            worst.accuracy_median < clean.accuracy_median.max(0.05) * 6.0,
+            "accuracy blew up under faults: clean {} vs faulty {}",
+            clean.accuracy_median,
+            worst.accuracy_median
+        );
+        let fpr_series = sweep.series(0.05, |c| c.confusion.fpr());
+        assert_eq!(fpr_series.len(), 2);
+        assert!(fpr_series.iter().all(|&(_, fpr)| fpr < 0.15));
+    }
+}

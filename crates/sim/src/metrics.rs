@@ -3,6 +3,48 @@
 use ices_stats::{Confusion, Ecdf};
 use serde::{Deserialize, Serialize};
 
+/// Fault-path bookkeeping for one run. All counters stay zero with an
+/// empty [`ices_netsim::FaultPlan`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Probes lost in the network (after exhausting retries).
+    pub lost_probes: u64,
+    /// Probes that timed out (after exhausting retries).
+    pub timed_out_probes: u64,
+    /// Probes skipped because the peer was crashed for the tick.
+    pub peer_down_probes: u64,
+    /// Probes that completed only after at least one retry.
+    pub retried_probes: u64,
+    /// Secured-node steps absorbed as detector coasts (missing sample).
+    pub coasted_steps: u64,
+    /// Persistently dead neighbors/reference points evicted.
+    pub evictions: u64,
+    /// Node-ticks spent crashed (the node skipped its own step).
+    pub node_down_ticks: u64,
+    /// Filter refreshes that found no live Surveyor and kept the stale
+    /// calibration instead.
+    pub stale_filter_fallbacks: u64,
+}
+
+impl FaultReport {
+    /// Merge another fault report into this one.
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.lost_probes += other.lost_probes;
+        self.timed_out_probes += other.timed_out_probes;
+        self.peer_down_probes += other.peer_down_probes;
+        self.retried_probes += other.retried_probes;
+        self.coasted_steps += other.coasted_steps;
+        self.evictions += other.evictions;
+        self.node_down_ticks += other.node_down_ticks;
+        self.stale_filter_fallbacks += other.stale_filter_fallbacks;
+    }
+
+    /// Probes that produced no measurement, of any failure kind.
+    pub fn total_failed_probes(&self) -> u64 {
+        self.lost_probes + self.timed_out_probes + self.peer_down_probes
+    }
+}
+
 /// Detection-quality report for one run (§5.1 metrics).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DetectionReport {
@@ -13,8 +55,11 @@ pub struct DetectionReport {
     pub replacements: u64,
     /// Number of reprieves granted to first-time peers.
     pub reprieves: u64,
-    /// Number of filter refreshes (half-round-rejected rule).
+    /// Number of filter refreshes (half-round-rejected rule, or sample
+    /// starvation under faults).
     pub filter_refreshes: u64,
+    /// Fault-injection bookkeeping (all zero on a clean network).
+    pub faults: FaultReport,
 }
 
 impl DetectionReport {
@@ -24,6 +69,7 @@ impl DetectionReport {
         self.replacements += other.replacements;
         self.reprieves += other.reprieves;
         self.filter_refreshes += other.filter_refreshes;
+        self.faults.merge(&other.faults);
     }
 }
 
@@ -70,13 +116,29 @@ mod tests {
         let mut a = DetectionReport::default();
         a.confusion.record(true, true);
         a.replacements = 2;
+        a.faults.lost_probes = 4;
         let mut b = DetectionReport::default();
         b.confusion.record(false, false);
         b.reprieves = 3;
+        b.faults.lost_probes = 1;
+        b.faults.evictions = 2;
         a.merge(&b);
         assert_eq!(a.confusion.total(), 2);
         assert_eq!(a.replacements, 2);
         assert_eq!(a.reprieves, 3);
+        assert_eq!(a.faults.lost_probes, 5);
+        assert_eq!(a.faults.evictions, 2);
+    }
+
+    #[test]
+    fn fault_report_totals_failures() {
+        let f = FaultReport {
+            lost_probes: 3,
+            timed_out_probes: 2,
+            peer_down_probes: 5,
+            ..FaultReport::default()
+        };
+        assert_eq!(f.total_failed_probes(), 10);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use ices_core::{
     calibrate, EmConfig, SecureNode, SecurityConfig, StateSpaceParams, SurveyorInfo,
     SurveyorRegistry,
 };
-use ices_netsim::Network;
+use ices_netsim::{FaultPlan, Network, ProbeOutcome};
 use ices_nps::{Hierarchy, NpsConfig, NpsNode, Role};
 use ices_stats::rng::{derive, derive2, SimRng};
 use ices_stats::sample::sample_indices;
@@ -52,6 +52,18 @@ const STEP_STREAM: u64 = 0x4E50_5350;
 
 /// Stream tag for §4.2 join probe nonces ("NPSJ").
 const JOIN_STREAM: u64 = 0x4E50_534A;
+
+/// Stream tag for probe-retry nonces ("NPSR"). Attempt 0 reuses the
+/// primary nonce, so fault-free behavior is unchanged bit for bit.
+const RETRY_STREAM: u64 = 0x4E50_5352;
+
+/// Extra probe attempts after a lost/timed-out probe within one round
+/// (bounded deterministic backoff, as in the Vivaldi driver).
+const PROBE_RETRIES: u32 = 2;
+
+/// Consecutive failed rounds toward one reference point before the node
+/// gives up and evicts it as dead.
+pub const DEAD_RP_EVICT_FAILURES: u32 = 3;
 
 #[allow(clippy::large_enum_variant)] // Plain is the common case; boxing it would cost an alloc per node
 enum Participant {
@@ -75,6 +87,14 @@ impl Participant {
     }
 }
 
+/// Why a probe produced no measurement (terminal, after retries).
+#[derive(Clone, Copy)]
+enum ProbeFate {
+    Lost,
+    TimedOut,
+    PeerDown,
+}
+
 /// What one node's positioning round asks the driver to apply globally.
 /// Collected from the parallel sweep and merged in node order.
 #[derive(Default)]
@@ -91,6 +111,19 @@ struct RoundEffect {
     rejected_rps: Vec<usize>,
     /// The node refreshed its filter at the round boundary.
     refreshed_filter: bool,
+    /// The node was crashed for this round (churn) and did nothing.
+    self_down: bool,
+    /// Probes that completed only after at least one retry.
+    retried_probes: u64,
+    /// Reference points whose probe completed: clear failure counts.
+    ok_rps: Vec<usize>,
+    /// Reference points whose probe failed after all retries.
+    failed_rps: Vec<(usize, ProbeFate)>,
+    /// Missing samples a secured node absorbed as detector coasts.
+    coasted_steps: u64,
+    /// The node wanted a filter refresh but every Surveyor was down;
+    /// it kept its stale calibration.
+    stale_fallback: bool,
 }
 
 /// The NPS system simulation.
@@ -113,6 +146,9 @@ pub struct NpsSimulation {
     round: u64,
     report: DetectionReport,
     rng: SimRng,
+    /// Per-node consecutive probe-failure counts toward each reference
+    /// point (fault mode only; empty maps on a clean network).
+    probe_failures: Vec<BTreeMap<usize, u32>>,
 }
 
 /// The probe nonce for `node`'s `k`-th reference-point probe in `round`
@@ -120,6 +156,22 @@ pub struct NpsSimulation {
 /// shared counter.
 fn probe_nonce(round: u64, node: usize, k: usize) -> u64 {
     derive2(derive(STEP_STREAM, round), node as u64, k as u64)
+}
+
+/// The probe nonce for retry `attempt` of probe `k`. Attempt 0 is
+/// exactly [`probe_nonce`] — the clean-network nonce — so an empty fault
+/// plan reproduces seed behavior bit for bit; later attempts draw from a
+/// disjoint retry stream.
+fn retry_nonce(round: u64, node: usize, k: usize, attempt: u32) -> u64 {
+    if attempt == 0 {
+        probe_nonce(round, node, k)
+    } else {
+        derive2(
+            derive(derive(RETRY_STREAM, attempt as u64), round),
+            node as u64,
+            k as u64,
+        )
+    }
 }
 
 impl NpsSimulation {
@@ -270,7 +322,17 @@ impl NpsSimulation {
             round: 0,
             report: DetectionReport::default(),
             rng,
+            probe_failures: vec![BTreeMap::new(); n],
         }
+    }
+
+    /// Attach a fault plan to the underlying network. The default plan
+    /// is empty; see [`ices_netsim::FaultPlan`].
+    ///
+    /// # Panics
+    /// Panics if the plan is invalid.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.network.set_fault_plan(plan);
     }
 
     /// Number of nodes.
@@ -409,10 +471,64 @@ impl NpsSimulation {
         let reference_points = &self.reference_points;
         let registry = &self.registry;
         let snapshot = &snapshot;
+        let faulty = !network.fault_plan().is_empty();
         let effects = ices_par::par_for_indices(&mut self.participants, members, |node, participant| {
             let mut effect = RoundEffect::default();
+            if faulty && !network.node_up(node, round) {
+                // Crashed for this epoch: the node skips its round and
+                // rejoins warm (coordinate intact) when the epoch turns.
+                effect.self_down = true;
+                return effect;
+            }
             for (k, &rp) in reference_points[node].iter().enumerate() {
-                let rtt = network.measure_rtt_smoothed(node, rp, probe_nonce(round, node, k));
+                let rtt = if !faulty {
+                    network.measure_rtt_smoothed(node, rp, probe_nonce(round, node, k))
+                } else {
+                    let mut measured = None;
+                    if !network.node_up(rp, round) {
+                        effect.failed_rps.push((rp, ProbeFate::PeerDown));
+                    } else {
+                        // Bounded deterministic backoff: immediate
+                        // re-probes under fresh retry-stream nonces.
+                        let mut fate = ProbeFate::Lost;
+                        for attempt in 0..=PROBE_RETRIES {
+                            match network.try_measure_rtt_smoothed(
+                                node,
+                                rp,
+                                retry_nonce(round, node, k, attempt),
+                                round,
+                            ) {
+                                ProbeOutcome::Ok(r) => {
+                                    measured = Some(r);
+                                    if attempt > 0 {
+                                        effect.retried_probes += 1;
+                                    }
+                                    break;
+                                }
+                                ProbeOutcome::Lost => fate = ProbeFate::Lost,
+                                ProbeOutcome::TimedOut => fate = ProbeFate::TimedOut,
+                            }
+                        }
+                        match measured {
+                            Some(_) => effect.ok_rps.push(rp),
+                            None => effect.failed_rps.push((rp, fate)),
+                        }
+                    }
+                    match measured {
+                        Some(r) => r,
+                        None => {
+                            // Missing sample: a secured node's detector
+                            // coasts so its innovation statistics widen
+                            // honestly; positioning just sees one fewer
+                            // reference point this round.
+                            if let Participant::Secured(s) = participant {
+                                s.step_missing();
+                                effect.coasted_steps += 1;
+                            }
+                            continue;
+                        }
+                    }
+                };
                 let (rp_coord, rp_error) = (&snapshot[rp].0, snapshot[rp].1);
                 let node_coord = &snapshot[node].0;
                 let tampered = adversary.intercept(rp, node, rp_coord, rp_error, rtt, node_coord);
@@ -462,10 +578,22 @@ impl NpsSimulation {
                     s.inner_mut().finish_round();
                     let coord = s.inner().coordinate().clone();
                     if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
-                        if let Some(info) = registry.closest_by_coordinate(&coord) {
-                            let (params, id) = (info.params, info.id);
-                            s.refresh_filter(params, id);
-                            effect.refreshed_filter = true;
+                        // Only Surveyors that are up right now qualify;
+                        // with every Surveyor down the node keeps its
+                        // stale-but-bounded calibration. (On a clean
+                        // network `node_up` is always true, so this is
+                        // exactly the unconditional lookup.)
+                        match registry.closest_available_by_coordinate(&coord, |info| {
+                            network.node_up(info.id, round)
+                        }) {
+                            Some(info) => {
+                                let (params, id) = (info.params, info.id);
+                                s.refresh_filter(params, id);
+                                effect.refreshed_filter = true;
+                            }
+                            None => {
+                                effect.stale_fallback = true;
+                            }
                         }
                     }
                 }
@@ -490,6 +618,62 @@ impl NpsSimulation {
             if effect.refreshed_filter {
                 self.report.filter_refreshes += 1;
             }
+            // Fault bookkeeping (all branches dead on a clean network).
+            if effect.self_down {
+                self.report.faults.node_down_ticks += 1;
+            }
+            self.report.faults.retried_probes += effect.retried_probes;
+            self.report.faults.coasted_steps += effect.coasted_steps;
+            if effect.stale_fallback {
+                self.report.faults.stale_filter_fallbacks += 1;
+            }
+            for rp in effect.ok_rps {
+                self.probe_failures[node].remove(&rp);
+            }
+            for (rp, fate) in effect.failed_rps {
+                match fate {
+                    ProbeFate::Lost => self.report.faults.lost_probes += 1,
+                    ProbeFate::TimedOut => self.report.faults.timed_out_probes += 1,
+                    ProbeFate::PeerDown => self.report.faults.peer_down_probes += 1,
+                }
+                let failures = self.probe_failures[node].entry(rp).or_insert(0);
+                *failures += 1;
+                if *failures >= DEAD_RP_EVICT_FAILURES {
+                    self.probe_failures[node].remove(&rp);
+                    self.evict_dead_reference_point(node, rp);
+                }
+            }
+        }
+    }
+
+    /// Evict a reference point that failed [`DEAD_RP_EVICT_FAILURES`]
+    /// consecutive probes. Surveyors must keep positioning against
+    /// trusted nodes only, so their replacement pool is restricted to
+    /// Surveyors of the layer above (falling back to landmarks); normal
+    /// nodes use the ordinary same-layer replacement path.
+    fn evict_dead_reference_point(&mut self, node: usize, dead: usize) {
+        self.report.faults.evictions += 1;
+        if !self.surveyors.contains(&node) && !self.config.embed_against_surveyors_only {
+            self.replace_reference_point(node, dead);
+            return;
+        }
+        let above = self.hierarchy.layer[node].wrapping_sub(1);
+        let current: BTreeSet<usize> = self.reference_points[node].iter().copied().collect();
+        let pool: Vec<usize> = (0..self.len())
+            .filter(|&i| {
+                self.surveyors.contains(&i)
+                    && (self.hierarchy.layer[i] == above
+                        || self.hierarchy.role[i] == Role::Landmark)
+                    && !current.contains(&i)
+                    && i != node
+            })
+            .collect();
+        if pool.is_empty() {
+            return; // No fresh trusted node available: keep the dead RP.
+        }
+        let candidate = pool[self.rng.random_range(0..pool.len())];
+        if let Some(slot) = self.reference_points[node].iter_mut().find(|p| **p == dead) {
+            *slot = candidate;
         }
     }
 
@@ -618,6 +802,8 @@ impl NpsSimulation {
             !self.registry.is_empty(),
             "calibrate Surveyors before arming detection"
         );
+        let faulty = !self.network.fault_plan().is_empty();
+        let round = self.round;
         for node in self.normal_nodes() {
             let candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
             let mut best: Option<(usize, f64)> = None;
@@ -626,12 +812,33 @@ impl NpsSimulation {
                 // (node, candidate index) — disjoint from the positioning
                 // rounds' probe nonces.
                 let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
-                let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
-                if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                    best = Some((s.id, rtt));
+                if !faulty {
+                    let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
+                    if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                        best = Some((s.id, rtt));
+                    }
+                } else {
+                    // A crashed or unreachable Surveyor simply drops out
+                    // of the candidate race.
+                    if !self.network.node_up(s.id, round) {
+                        continue;
+                    }
+                    match self.network.try_measure_rtt_smoothed(node, s.id, nonce, round) {
+                        ProbeOutcome::Ok(rtt) => {
+                            if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                                best = Some((s.id, rtt));
+                            }
+                        }
+                        ProbeOutcome::Lost | ProbeOutcome::TimedOut => {}
+                    }
                 }
             }
-            let (source, _) = best.expect("registry non-empty");
+            // Every probe failed (heavy loss or a full Surveyor outage):
+            // fall back to an arbitrary sampled candidate rather than
+            // refusing to arm — a stale choice beats no detector.
+            let source = best
+                .map(|(id, _)| id)
+                .unwrap_or_else(|| candidates[0].id);
             let params = self
                 .registry
                 .get(source)
@@ -818,5 +1025,131 @@ mod tests {
             sim.accuracy_report(10).median()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let clean = || {
+            let mut sim = build(8);
+            sim.run_clean(3);
+            sim.accuracy_report(10).median()
+        };
+        let explicit_empty = || {
+            let mut sim = build(8);
+            sim.set_fault_plan(FaultPlan::none());
+            sim.run_clean(3);
+            sim.accuracy_report(10).median()
+        };
+        assert_eq!(clean(), explicit_empty());
+    }
+
+    #[test]
+    fn lossy_network_still_converges_and_counts_faults() {
+        let mut sim = build(9);
+        sim.set_fault_plan(FaultPlan::lossy(0.1, 0.05));
+        sim.run_clean(6);
+        let faults = &sim.report().faults;
+        assert!(faults.retried_probes > 0, "retries should fire at 15% failure");
+        assert!(
+            faults.lost_probes + faults.timed_out_probes > 0,
+            "some probes should fail terminally"
+        );
+        let report = sim.accuracy_report(20);
+        assert!(
+            report.median() < 0.35,
+            "NPS should still converge under 15% probe failure, median {}",
+            report.median()
+        );
+    }
+
+    #[test]
+    fn churn_crashes_nodes_and_coasts_detectors() {
+        use ices_netsim::ChurnModel;
+        let mut sim = build(10);
+        sim.run_clean(4);
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection();
+        sim.set_fault_plan(FaultPlan::lossy(0.15, 0.05).with_churn(ChurnModel::new(2, 0.2)));
+        sim.run(4, &ices_attack::HonestWorld, false);
+        let faults = &sim.report().faults;
+        assert!(faults.node_down_ticks > 0, "churn should crash some nodes");
+        assert!(faults.peer_down_probes > 0, "probes should hit crashed RPs");
+        assert!(
+            faults.coasted_steps > 0,
+            "secured nodes should coast over missing samples"
+        );
+    }
+
+    #[test]
+    fn dead_reference_points_are_evicted() {
+        use ices_netsim::ChurnModel;
+        // Fewer RPs per node than the layers serve, so dependents have a
+        // spare serving node to evict toward.
+        let nps = NpsConfig {
+            rps_per_node: 4,
+            min_rps: 3,
+            ..small_nps()
+        };
+        let mut sim = NpsSimulation::with_nps_config(scenario(11, 80), nps);
+        // Pick a serving reference point that is not a landmark and
+        // crash it forever: its dependents must evict it.
+        let victim = (0..sim.len())
+            .find(|&i| sim.hierarchy().role[i] == Role::ReferencePoint)
+            .expect("hierarchy has reference points");
+        let dependents_before = (0..sim.len())
+            .filter(|&n| n != victim && sim.reference_points_of(n).contains(&victim))
+            .count();
+        assert!(dependents_before > 0, "victim must serve someone");
+        sim.set_fault_plan(
+            FaultPlan::none().with_node_churn(victim, ChurnModel::new(u64::MAX, 0.999_999)),
+        );
+        sim.run_clean(6);
+        assert!(
+            sim.report().faults.evictions > 0,
+            "a permanently dead reference point should get evicted"
+        );
+        // Some dependents may have no spare serving node in the layer
+        // above (tiny hierarchy) and keep the dead RP, but everyone with
+        // a choice must have moved off it.
+        let dependents_after = (0..sim.len())
+            .filter(|&n| n != victim && sim.reference_points_of(n).contains(&victim))
+            .count();
+        assert!(
+            dependents_after < dependents_before,
+            "eviction should strictly shrink the dead RP's dependents \
+             ({dependents_before} -> {dependents_after})"
+        );
+    }
+
+    #[test]
+    fn surveyor_evictions_stay_trusted() {
+        use ices_netsim::ChurnModel;
+        let mut sim = build(12);
+        // Crash one of a Surveyor's trusted reference points.
+        let (surveyor, victim) = sim
+            .surveyors()
+            .iter()
+            .find_map(|&s| {
+                sim.reference_points_of(s)
+                    .iter()
+                    .find(|&&rp| sim.hierarchy().role[rp] != Role::Landmark)
+                    .map(|&rp| (s, rp))
+            })
+            .expect("some surveyor has a non-landmark trusted RP");
+        let _ = surveyor;
+        sim.set_fault_plan(
+            FaultPlan::none().with_node_churn(victim, ChurnModel::new(u64::MAX, 0.999_999)),
+        );
+        sim.run_clean(6);
+        // Whatever replacements happened, every Surveyor's RP set must
+        // still be trusted-only.
+        for &s in sim.surveyors() {
+            for &rp in sim.reference_points_of(s) {
+                assert!(
+                    sim.surveyors().contains(&rp),
+                    "surveyor {s} now positions against untrusted {rp}"
+                );
+            }
+        }
     }
 }

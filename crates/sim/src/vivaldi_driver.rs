@@ -33,9 +33,9 @@ use ices_core::{
     calibrate, CalibrationOutcome, EmConfig, SecureNode, SecurityConfig, StateSpaceParams,
     SurveyorInfo, SurveyorRegistry,
 };
-use ices_netsim::Network;
+use ices_netsim::{FaultPlan, Network, ProbeOutcome};
 use ices_stats::kmeans::kmeans;
-use ices_stats::rng::{derive2, SimRng};
+use ices_stats::rng::{derive, derive2, SimRng};
 use ices_stats::sample::sample_indices;
 use ices_vivaldi::{select_neighbors, VivaldiConfig, VivaldiNode};
 use rand::RngExt;
@@ -56,6 +56,19 @@ const STEP_STREAM: u64 = 0x5354_4550;
 
 /// Stream tag for §4.2 join probe nonces ("JOIN").
 const JOIN_STREAM: u64 = 0x4A4F_494E;
+
+/// Stream tag for probe-retry nonces ("RTRY"). Attempt 0 reuses the
+/// primary nonce, so fault-free behavior is unchanged bit for bit.
+const RETRY_STREAM: u64 = 0x5254_5259;
+
+/// Extra probe attempts after a lost/timed-out probe within one tick
+/// (the bounded deterministic backoff: retries are immediate re-probes
+/// under fresh nonces, capped per tick).
+const PROBE_RETRIES: u32 = 2;
+
+/// Consecutive failed ticks toward one neighbor before the node gives
+/// up and evicts it as dead.
+pub const DEAD_PEER_EVICT_FAILURES: u32 = 3;
 
 enum Participant {
     /// No detection in front of the embedding (Surveyors, malicious
@@ -81,6 +94,14 @@ impl Participant {
     }
 }
 
+/// Why a probe produced no measurement (terminal, after retries).
+#[derive(Clone, Copy)]
+enum ProbeFate {
+    Lost,
+    TimedOut,
+    PeerDown,
+}
+
 /// What one node's embedding step asks the driver to apply globally.
 /// Collected from the parallel update phase and merged in node order.
 #[derive(Default)]
@@ -93,6 +114,16 @@ struct StepEffect {
     reprieved: bool,
     /// The detection test rejected this peer; replace it.
     rejected_peer: Option<usize>,
+    /// The node was crashed for this tick (churn) and did nothing.
+    self_down: bool,
+    /// The probe completed but needed at least one retry.
+    retried: bool,
+    /// The probe completed: clear the peer's consecutive-failure count.
+    probe_ok_peer: Option<usize>,
+    /// The probe failed after all retries: `(peer, terminal fate)`.
+    failed_probe: Option<(usize, ProbeFate)>,
+    /// A secured node absorbed the missing sample as a detector coast.
+    coasted: bool,
 }
 
 /// The Vivaldi system simulation.
@@ -114,12 +145,27 @@ pub struct VivaldiSimulation {
     tick: u64,
     report: DetectionReport,
     rng: SimRng,
+    /// Per-node consecutive probe-failure counts toward each neighbor
+    /// (fault mode only; empty maps on a clean network).
+    probe_failures: Vec<std::collections::BTreeMap<usize, u32>>,
 }
 
 /// The probe nonce for `node`'s embedding step in tick `tick` — a pure
 /// function of the pair, so concurrent workers need no shared counter.
 fn step_nonce(tick: u64, node: usize) -> u64 {
     derive2(STEP_STREAM, tick, node as u64)
+}
+
+/// The probe nonce for retry `attempt` of `node`'s step in `tick`.
+/// Attempt 0 is exactly [`step_nonce`] — the clean-network nonce — so an
+/// empty fault plan reproduces seed behavior bit for bit; later attempts
+/// draw from a disjoint retry stream.
+fn retry_nonce(tick: u64, node: usize, attempt: u32) -> u64 {
+    if attempt == 0 {
+        step_nonce(tick, node)
+    } else {
+        derive2(derive(RETRY_STREAM, attempt as u64), tick, node as u64)
+    }
 }
 
 impl VivaldiSimulation {
@@ -229,7 +275,17 @@ impl VivaldiSimulation {
             tick: 0,
             report: DetectionReport::default(),
             rng,
+            probe_failures: vec![std::collections::BTreeMap::new(); n],
         }
+    }
+
+    /// Attach a fault plan to the underlying network. The default plan
+    /// is empty; see [`ices_netsim::FaultPlan`].
+    ///
+    /// # Panics
+    /// Panics if the plan is invalid.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.network.set_fault_plan(plan);
     }
 
     /// Number of nodes.
@@ -345,13 +401,66 @@ impl VivaldiSimulation {
         let network = &self.network;
         let neighbors = &self.neighbors;
         let snapshot = &snapshot;
+        let faulty = !network.fault_plan().is_empty();
         let effects = ices_par::par_map_mut(&mut self.participants, |node, participant| {
             let degree = neighbors[node].len();
             if degree == 0 || slot >= degree {
                 return StepEffect::default();
             }
+            let mut effect = StepEffect::default();
+            if faulty && !network.node_up(node, tick) {
+                // Crashed for this epoch: the node does nothing and
+                // rejoins warm (coordinate intact) when the epoch turns.
+                effect.self_down = true;
+                return effect;
+            }
             let peer = neighbors[node][slot];
-            let rtt = network.measure_rtt_smoothed(node, peer, step_nonce(tick, node));
+            let rtt = if !faulty {
+                network.measure_rtt_smoothed(node, peer, step_nonce(tick, node))
+            } else {
+                let mut measured = None;
+                if !network.node_up(peer, tick) {
+                    effect.failed_probe = Some((peer, ProbeFate::PeerDown));
+                } else {
+                    // Bounded deterministic backoff: immediate re-probes
+                    // under fresh retry-stream nonces, capped per tick.
+                    let mut fate = ProbeFate::Lost;
+                    for attempt in 0..=PROBE_RETRIES {
+                        match network.try_measure_rtt_smoothed(
+                            node,
+                            peer,
+                            retry_nonce(tick, node, attempt),
+                            tick,
+                        ) {
+                            ProbeOutcome::Ok(r) => {
+                                measured = Some(r);
+                                effect.retried = attempt > 0;
+                                break;
+                            }
+                            ProbeOutcome::Lost => fate = ProbeFate::Lost,
+                            ProbeOutcome::TimedOut => fate = ProbeFate::TimedOut,
+                        }
+                    }
+                    match measured {
+                        Some(_) => effect.probe_ok_peer = Some(peer),
+                        None => effect.failed_probe = Some((peer, fate)),
+                    }
+                }
+                match measured {
+                    Some(r) => r,
+                    None => {
+                        // Missing sample: a secured node's detector
+                        // coasts (time-update only) so its innovation
+                        // statistics widen honestly; the embedding is
+                        // untouched either way.
+                        if let Participant::Secured(s) = participant {
+                            s.step_missing();
+                            effect.coasted = true;
+                        }
+                        return effect;
+                    }
+                }
+            };
             let (peer_coord, peer_error) = (&snapshot[peer].0, snapshot[peer].1);
             let node_coord = &snapshot[node].0;
 
@@ -372,7 +481,6 @@ impl VivaldiSimulation {
                 },
             };
 
-            let mut effect = StepEffect::default();
             match participant {
                 Participant::Plain(v) => {
                     let out = v.apply_step(&sample);
@@ -413,6 +521,32 @@ impl VivaldiSimulation {
                 self.replace_neighbor(node, peer);
                 self.report.replacements += 1;
             }
+            // Fault bookkeeping (all branches dead on a clean network).
+            if effect.self_down {
+                self.report.faults.node_down_ticks += 1;
+            }
+            if effect.retried {
+                self.report.faults.retried_probes += 1;
+            }
+            if effect.coasted {
+                self.report.faults.coasted_steps += 1;
+            }
+            if let Some(peer) = effect.probe_ok_peer {
+                self.probe_failures[node].remove(&peer);
+            }
+            if let Some((peer, fate)) = effect.failed_probe {
+                match fate {
+                    ProbeFate::Lost => self.report.faults.lost_probes += 1,
+                    ProbeFate::TimedOut => self.report.faults.timed_out_probes += 1,
+                    ProbeFate::PeerDown => self.report.faults.peer_down_probes += 1,
+                }
+                let failures = self.probe_failures[node].entry(peer).or_insert(0);
+                *failures += 1;
+                if *failures >= DEAD_PEER_EVICT_FAILURES {
+                    self.probe_failures[node].remove(&peer);
+                    self.evict_dead_neighbor(node, peer);
+                }
+            }
         }
     }
 
@@ -431,6 +565,32 @@ impl VivaldiSimulation {
             }
         }
         // Population exhausted (tiny tests): keep the peer.
+    }
+
+    /// Evict a neighbor that failed [`DEAD_PEER_EVICT_FAILURES`]
+    /// consecutive probes. Surveyors (and surveyor-only scenarios) must
+    /// draw the replacement from the Surveyor pool to preserve the §3.3
+    /// isolation invariant; everyone else uses the ordinary
+    /// random-replacement path.
+    fn evict_dead_neighbor(&mut self, node: usize, dead: usize) {
+        self.report.faults.evictions += 1;
+        if !self.surveyors.contains(&node) && !self.config.embed_against_surveyors_only {
+            self.replace_neighbor(node, dead);
+            return;
+        }
+        let pool: Vec<usize> = self
+            .surveyors
+            .iter()
+            .copied()
+            .filter(|&s| s != node && !self.neighbors[node].contains(&s))
+            .collect();
+        if pool.is_empty() {
+            return; // No fresh Surveyor available: keep the dead peer.
+        }
+        let candidate = pool[self.rng.random_range(0..pool.len())];
+        if let Some(slot) = self.neighbors[node].iter_mut().find(|p| **p == dead) {
+            *slot = candidate;
+        }
     }
 
     /// Run `passes` full embedding passes (each node visits every one of
@@ -471,16 +631,31 @@ impl VivaldiSimulation {
                 params,
             });
         }
-        // Per-node round action.
+        // Per-node round action. Refreshes only consider Surveyors that
+        // are up right now; with every Surveyor down the node keeps its
+        // stale-but-bounded calibration until one rejoins. (On a clean
+        // network `node_up` is always true, so this is exactly the
+        // unconditional closest-Surveyor lookup.)
+        let tick = self.tick;
+        let network = &self.network;
         for node in 0..self.len() {
             let coord = self.participants[node].coordinate().clone();
             if let Participant::Secured(s) = &mut self.participants[node] {
                 if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
-                    if let Some(info) = self.registry.closest_by_coordinate(&coord) {
-                        let params = info.params;
-                        let id = info.id;
-                        s.refresh_filter(params, id);
-                        self.report.filter_refreshes += 1;
+                    match self
+                        .registry
+                        .closest_available_by_coordinate(&coord, |info| {
+                            network.node_up(info.id, tick)
+                        }) {
+                        Some(info) => {
+                            let params = info.params;
+                            let id = info.id;
+                            s.refresh_filter(params, id);
+                            self.report.filter_refreshes += 1;
+                        }
+                        None => {
+                            self.report.faults.stale_filter_fallbacks += 1;
+                        }
                     }
                 }
             }
@@ -529,6 +704,8 @@ impl VivaldiSimulation {
             !self.registry.is_empty(),
             "calibrate Surveyors before arming detection"
         );
+        let faulty = !self.network.fault_plan().is_empty();
+        let tick = self.tick;
         for node in self.normal_nodes() {
             let candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
             let mut best: Option<(usize, f64)> = None;
@@ -537,12 +714,33 @@ impl VivaldiSimulation {
                 // (node, candidate index) — disjoint from the embedding
                 // ticks' step nonces.
                 let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
-                let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
-                if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                    best = Some((s.id, rtt));
+                if !faulty {
+                    let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
+                    if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                        best = Some((s.id, rtt));
+                    }
+                } else {
+                    // A crashed or unreachable Surveyor simply drops out
+                    // of the candidate race.
+                    if !self.network.node_up(s.id, tick) {
+                        continue;
+                    }
+                    match self.network.try_measure_rtt_smoothed(node, s.id, nonce, tick) {
+                        ProbeOutcome::Ok(rtt) => {
+                            if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                                best = Some((s.id, rtt));
+                            }
+                        }
+                        ProbeOutcome::Lost | ProbeOutcome::TimedOut => {}
+                    }
                 }
             }
-            let (source, _) = best.expect("registry non-empty");
+            // Every probe failed (heavy loss or a full Surveyor outage):
+            // fall back to an arbitrary sampled candidate rather than
+            // refusing to arm — a stale choice beats no detector.
+            let source = best
+                .map(|(id, _)| id)
+                .unwrap_or_else(|| candidates[0].id);
             let params = self
                 .registry
                 .get(source)
@@ -840,6 +1038,120 @@ mod tests {
             sim.accuracy_report(10).median()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let clean = || {
+            let mut sim = VivaldiSimulation::new(scenario(12));
+            sim.run_clean(3);
+            sim.accuracy_report(10).median()
+        };
+        let explicit_empty = || {
+            let mut sim = VivaldiSimulation::new(scenario(12));
+            sim.set_fault_plan(FaultPlan::none());
+            sim.run_clean(3);
+            sim.accuracy_report(10).median()
+        };
+        assert_eq!(clean(), explicit_empty());
+    }
+
+    #[test]
+    fn lossy_network_still_converges_and_counts_faults() {
+        let mut sim = VivaldiSimulation::new(scenario(13));
+        sim.set_fault_plan(FaultPlan::lossy(0.1, 0.05));
+        sim.run_clean(8);
+        let faults = &sim.report().faults;
+        assert!(faults.retried_probes > 0, "retries should fire at 15% failure");
+        assert!(
+            faults.lost_probes + faults.timed_out_probes > 0,
+            "some probes should fail terminally"
+        );
+        let report = sim.accuracy_report(20);
+        assert!(
+            report.median() < 0.3,
+            "embedding should still converge under 15% probe failure, median {}",
+            report.median()
+        );
+    }
+
+    #[test]
+    fn churn_crashes_nodes_and_coasts_detectors() {
+        use ices_netsim::ChurnModel;
+        let mut sim = VivaldiSimulation::new(scenario(14));
+        sim.run_clean(5);
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection();
+        sim.set_fault_plan(
+            FaultPlan::lossy(0.15, 0.05).with_churn(ChurnModel::new(16, 0.2)),
+        );
+        sim.run(3, &ices_attack::HonestWorld, false);
+        let faults = &sim.report().faults;
+        assert!(faults.node_down_ticks > 0, "churn should crash some nodes");
+        assert!(faults.peer_down_probes > 0, "probes should hit crashed peers");
+        assert!(
+            faults.coasted_steps > 0,
+            "secured nodes should coast over missing samples"
+        );
+    }
+
+    #[test]
+    fn dead_peers_are_evicted() {
+        use ices_netsim::ChurnModel;
+        // Small neighbor sets so the 50-node population leaves room for
+        // replacements (the paper's 64-neighbor default saturates it).
+        let vivaldi = VivaldiConfig {
+            neighbors: 8,
+            close_neighbors: 4,
+            ..VivaldiConfig::paper_default()
+        };
+        let mut sim = VivaldiSimulation::with_vivaldi_config(scenario(15), vivaldi);
+        // A node that is (almost) always down: every probe toward it
+        // fails, so its neighbors evict it after the failure limit.
+        let victim = sim.normal_nodes()[0];
+        sim.set_fault_plan(
+            FaultPlan::none().with_node_churn(victim, ChurnModel::new(u64::MAX, 0.999_999)),
+        );
+        sim.run_clean(6);
+        let faults = &sim.report().faults;
+        assert!(
+            faults.evictions > 0,
+            "a permanently dead node should get evicted by its neighbors"
+        );
+        assert!(
+            !sim.normal_nodes()
+                .iter()
+                .filter(|&&n| n != victim)
+                .any(|&n| sim.neighbors_of(n).contains(&victim)),
+            "no live node should still neighbor the dead one after eviction"
+        );
+    }
+
+    #[test]
+    fn full_surveyor_outage_falls_back_to_stale_filters() {
+        use ices_netsim::ChurnModel;
+        let mut sim = VivaldiSimulation::new(scenario(16));
+        sim.run_clean(5);
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection();
+        // Crash every Surveyor forever and make the network lossy enough
+        // (~97% terminal failure per tick even after retries) that
+        // detectors starve and ask for refreshes.
+        let mut plan = FaultPlan::lossy(0.7, 0.29);
+        let surveyor_ids: Vec<usize> = sim.surveyors().iter().copied().collect();
+        for id in surveyor_ids {
+            plan = plan.with_node_churn(id, ChurnModel::new(u64::MAX, 0.999_999));
+        }
+        sim.set_fault_plan(plan);
+        sim.run(8, &ices_attack::HonestWorld, false);
+        assert!(
+            sim.report().faults.coasted_steps > 0,
+            "nearly every secured step should coast under this plan"
+        );
+        assert!(
+            sim.report().faults.stale_filter_fallbacks > 0,
+            "with all Surveyors down, refresh requests must fall back to stale filters"
+        );
     }
 
     #[test]

@@ -12,5 +12,7 @@ cargo build --release
 cargo test -q
 
 # Tier 2: time the two-phase tick engine sequentially and on all
-# available workers; writes BENCH_sim.json at the repo root.
+# available workers, plus one faulty-network configuration per driver
+# (10% probe loss + churn) so the fault-injection layer's overhead is
+# tracked too; writes BENCH_sim.json at the repo root.
 cargo run --release -p ices-bench --bin bench_tick -- "$@"
