@@ -1,0 +1,309 @@
+#![forbid(unsafe_code)]
+//! `ices-audit`: workspace determinism & panic-hygiene static analysis.
+//!
+//! The workspace's load-bearing guarantee — bit-for-bit identical
+//! simulation results at any `ICES_THREADS` and under any `FaultPlan` —
+//! rests on invariants no compiler checks: every random draw comes from
+//! a named seeded nonce stream, no iteration over randomly seeded hash
+//! containers, all parallelism through `ices-par`, no panics in library
+//! probe/detector paths. This crate makes those invariants machine
+//! enforced: a hand-rolled lexer (`lexer`) that cannot be fooled by
+//! comments or string literals feeds a per-file rule engine (`rules`)
+//! over every `crates/*/src` file plus the root facade, and tier-1
+//! (`tests/audit_clean.rs`) fails the moment a hazard is reintroduced.
+//!
+//! Run it as `cargo run -p ices-audit -- --workspace [--json]`, or hand
+//! it explicit files/directories (audited under the strictest context,
+//! with every rule armed — this is what the fixture tests do).
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{audit_source, AllowEntry, FileContext, FileKind, Finding};
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Aggregate result over every audited file.
+#[derive(Debug, Default, Serialize)]
+pub struct Report {
+    pub files_audited: usize,
+    pub findings: Vec<Finding>,
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Report {
+    /// Findings not covered by an `audit:allow`.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Should the process exit nonzero?
+    pub fn is_dirty(&self) -> bool {
+        self.unsuppressed().next().is_some()
+    }
+
+    /// Human-readable rendering (the non-`--json` output).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in self.unsuppressed() {
+            out.push_str(&format!(
+                "{}:{}: {}: {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        let suppressed = self.findings.iter().filter(|f| f.suppressed).count();
+        if !self.allows.is_empty() {
+            out.push_str(&format!(
+                "\nallowlist inventory ({} entr{}):\n",
+                self.allows.len(),
+                if self.allows.len() == 1 { "y" } else { "ies" }
+            ));
+            for a in &self.allows {
+                let tag = if a.used { "" } else { " [unused]" };
+                out.push_str(&format!(
+                    "  {}:{}: {} — {}{}\n",
+                    a.file, a.line, a.rule, a.reason, tag
+                ));
+            }
+        }
+        let dirty = self.unsuppressed().count();
+        out.push_str(&format!(
+            "\naudit: {} files, {} finding{} ({} suppressed), {} allow{}\n",
+            self.files_audited,
+            dirty,
+            if dirty == 1 { "" } else { "s" },
+            suppressed,
+            self.allows.len(),
+            if self.allows.len() == 1 { "" } else { "s" },
+        ));
+        out
+    }
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collect `.rs` files under `dir` recursively, sorted for stable
+/// output ordering.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+}
+
+fn to_rel_string(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Build the [`FileContext`] for a source file inside crate `crate_name`
+/// whose path relative to the crate's `src/` directory is `rel_in_src`.
+fn crate_file_context(root: &Path, path: &Path, crate_name: &str, src_dir: &Path) -> FileContext {
+    let in_src = path.strip_prefix(src_dir).unwrap_or(path);
+    let in_src_str = in_src.to_string_lossy().replace('\\', "/");
+    let kind = if in_src_str.starts_with("bin/") || in_src_str == "main.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    FileContext {
+        path: to_rel_string(root, path),
+        crate_name: crate_name.to_string(),
+        kind,
+        is_crate_root: in_src_str == "lib.rs",
+    }
+}
+
+/// Every (path, context) pair of a `--workspace` run: all of
+/// `crates/*/src` plus the root facade crate's `src/`.
+pub fn workspace_targets(root: &Path) -> Vec<(PathBuf, FileContext)> {
+    let mut targets = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src_dir = crate_dir.join("src");
+        let mut files = Vec::new();
+        collect_rs(&src_dir, &mut files);
+        for file in files {
+            targets.push((
+                file.clone(),
+                crate_file_context(root, &file, &crate_name, &src_dir),
+            ));
+        }
+    }
+    // The root facade crate.
+    let root_src = root.join("src");
+    let mut files = Vec::new();
+    collect_rs(&root_src, &mut files);
+    for file in files {
+        targets.push((
+            file.clone(),
+            crate_file_context(root, &file, "ices", &root_src),
+        ));
+    }
+    targets
+}
+
+/// Contexts for explicit CLI paths: the strictest interpretation —
+/// crate `adhoc` (all determinism rules armed), library kind, crate
+/// root iff the file is named `lib.rs`. Directories recurse.
+pub fn adhoc_targets(paths: &[PathBuf]) -> Vec<(PathBuf, FileContext)> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(path, &mut files);
+        } else {
+            files.push(path.clone());
+        }
+    }
+    files
+        .into_iter()
+        .map(|file| {
+            let is_root = file
+                .file_name()
+                .map(|n| n == "lib.rs")
+                .unwrap_or(false);
+            let ctx = FileContext {
+                path: file.to_string_lossy().replace('\\', "/"),
+                crate_name: "adhoc".into(),
+                kind: FileKind::Lib,
+                is_crate_root: is_root,
+            };
+            (file, ctx)
+        })
+        .collect()
+}
+
+/// Audit the given (path, context) targets, reading each file once.
+/// Unreadable files surface as findings rather than aborting the run.
+pub fn audit_targets(targets: &[(PathBuf, FileContext)]) -> Report {
+    let mut report = Report::default();
+    for (path, ctx) in targets {
+        match fs::read_to_string(path) {
+            Ok(src) => {
+                let file_report = audit_source(ctx, &src);
+                report.findings.extend(file_report.findings);
+                report.allows.extend(file_report.allows);
+                report.files_audited += 1;
+            }
+            Err(err) => {
+                report.findings.push(Finding {
+                    file: ctx.path.clone(),
+                    line: 0,
+                    rule: "IO".into(),
+                    message: format!("cannot read file: {err}"),
+                    suppressed: false,
+                    reason: String::new(),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&here);
+        assert!(root.is_some());
+        let root = root.unwrap_or_default();
+        assert!(root.join("crates").is_dir(), "{}", root.display());
+    }
+
+    #[test]
+    fn workspace_targets_cover_every_crate() {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&here).unwrap_or_default();
+        let targets = workspace_targets(&root);
+        let mut crates: Vec<&str> = targets
+            .iter()
+            .map(|(_, c)| c.crate_name.as_str())
+            .collect();
+        crates.dedup();
+        for expected in ["audit", "coord", "core", "par", "sim", "ices"] {
+            assert!(crates.contains(&expected), "missing {expected}: {crates:?}");
+        }
+        // Crate roots are detected.
+        assert!(targets
+            .iter()
+            .any(|(_, c)| c.crate_name == "par" && c.is_crate_root));
+    }
+
+    #[test]
+    fn bin_files_are_classified() {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&here).unwrap_or_default();
+        let targets = workspace_targets(&root);
+        let bench_bin = targets
+            .iter()
+            .find(|(p, _)| p.to_string_lossy().contains("bench/src/bin"));
+        if let Some((_, ctx)) = bench_bin {
+            assert_eq!(ctx.kind, FileKind::Bin);
+        }
+        let audit_main = targets
+            .iter()
+            .find(|(p, _)| p.to_string_lossy().ends_with("audit/src/main.rs"));
+        assert!(matches!(audit_main, Some((_, c)) if c.kind == FileKind::Bin));
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = Report {
+            files_audited: 1,
+            findings: vec![Finding {
+                file: "x.rs".into(),
+                line: 3,
+                rule: "PANIC01".into(),
+                message: "boom".into(),
+                suppressed: false,
+                reason: String::new(),
+            }],
+            allows: vec![],
+        };
+        let text = report.render_text();
+        assert!(text.contains("x.rs:3: PANIC01"));
+        assert!(report.is_dirty());
+        let json = serde_json::to_string(&report).unwrap_or_default();
+        assert!(json.contains("\"rule\""), "{json}");
+    }
+}

@@ -1,0 +1,89 @@
+//! CLI for the workspace determinism & panic-hygiene audit.
+//!
+//! ```text
+//! ices-audit --workspace [--json] [--root PATH]
+//! ices-audit [--json] PATH...
+//! ```
+//!
+//! `--workspace` audits every `crates/*/src` file plus the root facade
+//! crate. Explicit paths are audited under the strictest context (all
+//! rules armed) — this is how the bad-fixture files are exercised.
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+
+use ices_audit::{adhoc_targets, audit_targets, find_workspace_root, workspace_targets};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ices-audit --workspace [--json] [--root PATH]\n\
+         \x20      ices-audit [--json] PATH..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root_override: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root_override = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => return usage(),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let targets = if workspace {
+        let start = root_override.clone().or_else(|| std::env::current_dir().ok());
+        let Some(start) = start else {
+            eprintln!("ices-audit: cannot determine a starting directory");
+            return ExitCode::from(2);
+        };
+        let Some(root) = find_workspace_root(&start) else {
+            eprintln!(
+                "ices-audit: no workspace Cargo.toml above {}",
+                start.display()
+            );
+            return ExitCode::from(2);
+        };
+        workspace_targets(&root)
+    } else if !paths.is_empty() {
+        adhoc_targets(&paths)
+    } else {
+        return usage();
+    };
+
+    let report = audit_targets(&targets);
+
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("ices-audit: cannot serialize report: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if report.is_dirty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,594 @@
+//! The audit rule set and per-file rule engine.
+//!
+//! Rules (see DESIGN.md "Determinism invariants & enforcement"):
+//!
+//! * **DET01** — no `HashMap`/`HashSet` in determinism-critical crates:
+//!   their iteration order depends on a randomly seeded hasher, so any
+//!   loop over one silently breaks bit-for-bit reproducibility. Use
+//!   `BTreeMap`/`BTreeSet`.
+//! * **DET02** — no wall-clock or OS-entropy sources (`Instant::now`,
+//!   `SystemTime`, `thread_rng`, `from_entropy`) outside `crates/bench`:
+//!   every random draw must come from a named seeded nonce stream.
+//! * **DET03** — no raw `thread::spawn`/`thread::scope` outside
+//!   `crates/par`: all parallelism goes through `ices-par`, whose
+//!   entry points are order-preserving by construction.
+//! * **PANIC01** — no `.unwrap()`/`.expect(` in non-test library code
+//!   (tests, examples, and binaries are exempt): probe/detector paths
+//!   must degrade through `Result`s, not abort a simulation.
+//! * **SAFE01** — every crate root carries `#![forbid(unsafe_code)]`.
+//! * **ALLOW01** — a malformed `audit:allow` (unknown rule or missing
+//!   reason). Never suppressible: the reason *is* the audit trail.
+//!
+//! A finding is suppressed only by an inline
+//! `// audit:allow(RULE): reason` comment on the same line or the line
+//! above; the mandatory reason feeds the allowlist inventory.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use serde::Serialize;
+
+/// Rule identifiers in report order.
+pub const RULE_IDS: [&str; 6] = ["DET01", "DET02", "DET03", "PANIC01", "SAFE01", "ALLOW01"];
+
+/// Crates whose simulation state must stay bit-for-bit reproducible.
+/// (`stats` is the seeded-RNG substrate itself and `bench` is wall-clock
+/// territory by design; `adhoc` is the context explicit CLI paths get,
+/// which arms every rule.)
+pub const DETERMINISM_CRITICAL: [&str; 10] = [
+    "coord", "netsim", "vivaldi", "nps", "core", "attack", "sim", "par", "ices", "adhoc",
+];
+
+/// How a file participates in its crate (decides PANIC01 exemptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every rule applies.
+    Lib,
+    /// `src/bin/*` or `src/main.rs`: PANIC01 exempt.
+    Bin,
+}
+
+/// Where a file sits in the workspace, for rule applicability.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path, forward slashes (used in findings).
+    pub path: String,
+    /// Crate directory name (`core`, `sim`, ...; `ices` for the root
+    /// facade crate, `adhoc` for explicit CLI paths).
+    pub crate_name: String,
+    pub kind: FileKind,
+    /// Is this a crate root (`src/lib.rs`), where SAFE01 applies?
+    pub is_crate_root: bool,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+    /// True when an `audit:allow` covers this finding.
+    pub suppressed: bool,
+    /// The allow's reason when suppressed (empty otherwise).
+    pub reason: String,
+}
+
+/// One `audit:allow(RULE): reason` comment, for the inventory.
+#[derive(Debug, Clone, Serialize)]
+pub struct AllowEntry {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+    /// Did any finding actually use this suppression?
+    pub used: bool,
+}
+
+/// Everything the engine learned about one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<AllowEntry>,
+}
+
+fn ident_at<'a>(tokens: &'a [Token], i: usize) -> Option<&'a str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(w)) => Some(w.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Parse the attribute starting at `tokens[i]` (`#` `[` ...): returns
+/// (index after the closing `]`, compact rendering like `cfg(test)`).
+fn parse_attr(tokens: &[Token], i: usize) -> (usize, String) {
+    let mut rendered = String::new();
+    let mut j = i + 2; // past '#' '['
+    let mut depth = 1usize;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokKind::Punct('[') => {
+                depth += 1;
+                rendered.push('[');
+            }
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, rendered);
+                }
+                rendered.push(']');
+            }
+            TokKind::Punct(c) => rendered.push(*c),
+            TokKind::Ident(w) => rendered.push_str(w),
+            TokKind::Literal => rendered.push('"'),
+        }
+        j += 1;
+    }
+    (j, rendered)
+}
+
+/// Does this attribute gate its item to test builds? `#[test]`,
+/// `#[cfg(test)]`, and any `cfg(...)` mentioning `test` positively
+/// (e.g. `cfg(all(test, unix))`) count; `cfg(not(test))` and
+/// `cfg_attr(test, ...)` do not.
+fn attr_is_test(attr: &str) -> bool {
+    if attr == "test" {
+        return true;
+    }
+    attr.starts_with("cfg(") && attr.contains("test") && !attr.contains("not(test")
+}
+
+/// Line spans (inclusive) of items gated to test builds: an attribute
+/// recognised by [`attr_is_test`] exempts the whole following item —
+/// to its closing brace, or to the `;` of a braceless item.
+fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // `#[...]` (skip inner attributes `#![...]`).
+        if punct_at(tokens, i) == Some('#') && punct_at(tokens, i + 1) == Some('[') {
+            let start_line = tokens[i].line;
+            let (after, attr) = parse_attr(tokens, i);
+            if !attr_is_test(&attr) {
+                i = after;
+                continue;
+            }
+            // Skip any further attributes on the same item.
+            let mut j = after;
+            while punct_at(tokens, j) == Some('#') && punct_at(tokens, j + 1) == Some('[') {
+                j = parse_attr(tokens, j).0;
+            }
+            // Consume the item: first `;` before a brace ends it, else
+            // the matching `}` of its first brace.
+            let mut depth = 0i64;
+            let mut end_line = start_line;
+            while j < tokens.len() {
+                end_line = tokens[j].line;
+                match tokens[j].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    TokKind::Punct(';') if depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spans.push((start_line, end_line));
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+/// An allow plus the line range it covers (its own line(s) and the
+/// line after, so both trailing and standalone comments work).
+struct CoveredAllow {
+    entry: AllowEntry,
+    covers: (u32, u32),
+}
+
+/// Extract `audit:allow(RULE): reason` suppressions from comments.
+/// Malformed allows (unknown rule, missing reason) become ALLOW01
+/// findings instead of suppressions.
+fn parse_allows(ctx: &FileContext, comments: &[Comment]) -> (Vec<CoveredAllow>, Vec<Finding>) {
+    const MARKER: &str = "audit:allow(";
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for comment in comments {
+        // The suppression must be the comment's entire content (leading
+        // whitespace aside): `// audit:allow(RULE): reason`. Mentions of
+        // the syntax in the middle of prose (like this one) stay inert.
+        let rest = comment.text.trim_start();
+        if let Some(after) = rest.strip_prefix(MARKER) {
+            let Some(close) = after.find(')') else {
+                malformed.push(Finding {
+                    file: ctx.path.clone(),
+                    line: comment.line,
+                    rule: "ALLOW01".into(),
+                    message: "unterminated audit:allow(...)".into(),
+                    suppressed: false,
+                    reason: String::new(),
+                });
+                continue;
+            };
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            if !RULE_IDS.contains(&rule.as_str()) || rule == "ALLOW01" {
+                malformed.push(Finding {
+                    file: ctx.path.clone(),
+                    line: comment.line,
+                    rule: "ALLOW01".into(),
+                    message: format!("audit:allow names unknown rule `{rule}`"),
+                    suppressed: false,
+                    reason: String::new(),
+                });
+                continue;
+            }
+            // Mandatory `: reason` — the reason is the audit trail.
+            let trimmed = tail.trim_start();
+            let reason = trimmed
+                .strip_prefix(':')
+                .map(|r| r.lines().next().unwrap_or("").trim().to_string())
+                .unwrap_or_default();
+            if reason.is_empty() {
+                malformed.push(Finding {
+                    file: ctx.path.clone(),
+                    line: comment.line,
+                    rule: "ALLOW01".into(),
+                    message: format!(
+                        "audit:allow({rule}) is missing its mandatory `: reason`"
+                    ),
+                    suppressed: false,
+                    reason: String::new(),
+                });
+                continue;
+            }
+            allows.push(CoveredAllow {
+                entry: AllowEntry {
+                    file: ctx.path.clone(),
+                    line: comment.line,
+                    rule,
+                    reason,
+                    used: false,
+                },
+                covers: (comment.line, comment.end_line + 1),
+            });
+        }
+    }
+    (allows, malformed)
+}
+
+/// Audit one file's source under the given context.
+pub fn audit_source(ctx: &FileContext, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let spans = test_spans(tokens);
+    let (mut allows, mut findings) = parse_allows(ctx, &lexed.comments);
+
+    let critical = DETERMINISM_CRITICAL.contains(&ctx.crate_name.as_str());
+    let det02_applies = ctx.crate_name != "bench";
+    let det03_applies = ctx.crate_name != "par";
+    let panic01_applies = ctx.kind == FileKind::Lib;
+
+    let push = |rule: &str, line: u32, message: String, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            file: ctx.path.clone(),
+            line,
+            rule: rule.into(),
+            message,
+            suppressed: false,
+            reason: String::new(),
+        });
+    };
+
+    // SAFE01: crate roots must forbid unsafe code via the inner
+    // attribute `#![forbid(unsafe_code)]`.
+    if ctx.is_crate_root {
+        let mut found = false;
+        for i in 0..tokens.len() {
+            if punct_at(tokens, i) == Some('#')
+                && punct_at(tokens, i + 1) == Some('!')
+                && punct_at(tokens, i + 2) == Some('[')
+                && ident_at(tokens, i + 3) == Some("forbid")
+                && punct_at(tokens, i + 4) == Some('(')
+                && ident_at(tokens, i + 5) == Some("unsafe_code")
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            push(
+                "SAFE01",
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".into(),
+                &mut findings,
+            );
+        }
+    }
+
+    for i in 0..tokens.len() {
+        let Some(word) = ident_at(tokens, i) else {
+            continue;
+        };
+        let line = tokens[i].line;
+        match word {
+            "HashMap" | "HashSet" if critical => {
+                let alt = if word == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+                push(
+                    "DET01",
+                    line,
+                    format!(
+                        "`{word}` has seed-dependent iteration order in a \
+                         determinism-critical crate; use `{alt}`"
+                    ),
+                    &mut findings,
+                );
+            }
+            "SystemTime" | "thread_rng" | "from_entropy" if det02_applies => {
+                push(
+                    "DET02",
+                    line,
+                    format!(
+                        "`{word}` is a wall-clock/entropy source; draw from a \
+                         named seeded nonce stream instead"
+                    ),
+                    &mut findings,
+                );
+            }
+            "Instant" if det02_applies => {
+                if punct_at(tokens, i + 1) == Some(':')
+                    && punct_at(tokens, i + 2) == Some(':')
+                    && ident_at(tokens, i + 3) == Some("now")
+                {
+                    push(
+                        "DET02",
+                        line,
+                        "`Instant::now` is a wall-clock source; only `crates/bench` \
+                         may time things"
+                            .into(),
+                        &mut findings,
+                    );
+                }
+            }
+            "thread" if det03_applies => {
+                if punct_at(tokens, i + 1) == Some(':')
+                    && punct_at(tokens, i + 2) == Some(':')
+                    && matches!(ident_at(tokens, i + 3), Some("spawn") | Some("scope"))
+                {
+                    let what = ident_at(tokens, i + 3).unwrap_or("spawn");
+                    push(
+                        "DET03",
+                        line,
+                        format!(
+                            "raw `thread::{what}` outside `crates/par`; all \
+                             parallelism must go through ices-par's \
+                             order-preserving entry points"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+            "unwrap" | "expect" if panic01_applies => {
+                let is_call = punct_at(tokens, i - 1_usize.min(i)) == Some('.')
+                    && i > 0
+                    && punct_at(tokens, i + 1) == Some('(')
+                    && (word == "expect" || punct_at(tokens, i + 2) == Some(')'));
+                if is_call && !in_spans(&spans, line) {
+                    push(
+                        "PANIC01",
+                        line,
+                        format!(
+                            "`.{word}(` in non-test library code; return a typed \
+                             error (or justify with `// audit:allow(PANIC01): reason`)"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Apply suppressions. ALLOW01 findings are never suppressible.
+    for finding in &mut findings {
+        if finding.rule == "ALLOW01" {
+            continue;
+        }
+        for allow in &mut allows {
+            if allow.entry.rule == finding.rule
+                && allow.covers.0 <= finding.line
+                && finding.line <= allow.covers.1
+            {
+                finding.suppressed = true;
+                finding.reason = allow.entry.reason.clone();
+                allow.entry.used = true;
+                break;
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule.clone()).cmp(&(b.line, b.rule.clone())));
+    FileReport {
+        findings,
+        allows: allows.into_iter().map(|a| a.entry).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx() -> FileContext {
+        FileContext {
+            path: "adhoc/lib.rs".into(),
+            crate_name: "adhoc".into(),
+            kind: FileKind::Lib,
+            is_crate_root: false,
+        }
+    }
+
+    fn rules_of(report: &FileReport) -> Vec<(&str, u32, bool)> {
+        report
+            .findings
+            .iter()
+            .map(|f| (f.rule.as_str(), f.line, f.suppressed))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_lib_is_flagged_with_line() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(rules_of(&r), [("PANIC01", 2, false)]);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_mod_is_exempt() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(rules_of(&r), [("PANIC01", 2, false)]);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 3) }\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses_and_is_inventoried() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // audit:allow(PANIC01): index proven in bounds above\n}\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(rules_of(&r), [("PANIC01", 2, true)]);
+        assert_eq!(r.allows.len(), 1);
+        assert!(r.allows[0].used);
+        assert_eq!(r.allows[0].reason, "index proven in bounds above");
+    }
+
+    #[test]
+    fn allow_on_line_above_suppresses() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    // audit:allow(PANIC01): caller guarantees Some\n    x.unwrap()\n}\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(rules_of(&r), [("PANIC01", 3, true)]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // audit:allow(PANIC01)\n}\n";
+        let r = audit_source(&lib_ctx(), src);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"ALLOW01"), "{rules:?}");
+        // And the original finding stays unsuppressed.
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == "PANIC01" && !f.suppressed));
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // audit:allow(DET01): wrong rule\n}\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == "PANIC01" && !f.suppressed));
+        assert!(!r.allows[0].used);
+    }
+
+    #[test]
+    fn det01_only_in_critical_crates() {
+        let src = "use std::collections::HashMap;\n";
+        let mut ctx = lib_ctx();
+        let r = audit_source(&ctx, src);
+        assert_eq!(rules_of(&r), [("DET01", 1, false)]);
+        ctx.crate_name = "stats".into();
+        let r = audit_source(&ctx, src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn det02_exempts_bench() {
+        let src = "let t = Instant::now();\nlet r = thread_rng();\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(
+            rules_of(&r),
+            [("DET02", 1, false), ("DET02", 2, false)]
+        );
+        let mut bench = lib_ctx();
+        bench.crate_name = "bench".into();
+        assert!(audit_source(&bench, src).findings.is_empty());
+    }
+
+    #[test]
+    fn det03_exempts_par() {
+        let src = "std::thread::scope(|s| { s.spawn(|| {}); });\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(rules_of(&r), [("DET03", 1, false)]);
+        let mut par = lib_ctx();
+        par.crate_name = "par".into();
+        assert!(audit_source(&par, src).findings.is_empty());
+    }
+
+    #[test]
+    fn safe01_checks_crate_roots_only() {
+        let src = "pub fn f() {}\n";
+        let mut ctx = lib_ctx();
+        assert!(audit_source(&ctx, src).findings.is_empty());
+        ctx.is_crate_root = true;
+        assert_eq!(rules_of(&audit_source(&ctx, src)), [("SAFE01", 1, false)]);
+        let good = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(audit_source(&ctx, good).findings.is_empty());
+    }
+
+    #[test]
+    fn bins_are_panic01_exempt_but_not_det_exempt() {
+        let src = "fn main() { Some(1).unwrap(); let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        let mut ctx = lib_ctx();
+        ctx.kind = FileKind::Bin;
+        let report = audit_source(&ctx, src);
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, ["DET01", "DET01"]);
+    }
+
+    #[test]
+    fn triggers_inside_literals_and_comments_are_invisible() {
+        let src = r#"
+pub fn f() -> String {
+    // x.unwrap() and HashMap in a comment
+    /* thread::spawn in a block comment */
+    format!("{} {}", "Instant::now()", "thread_rng() from_entropy()")
+}
+"#;
+        let r = audit_source(&lib_ctx(), src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

@@ -1,0 +1,138 @@
+//! Each bad fixture must produce exactly its rule's finding with the
+//! right `file:line`, through the library API and through the binary
+//! (which must exit nonzero on it).
+
+use ices_audit::{adhoc_targets, audit_targets, Report};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn audit_fixture(name: &str) -> Report {
+    let targets = adhoc_targets(&[fixture(name)]);
+    let report = audit_targets(&targets);
+    assert_eq!(report.files_audited, 1, "fixture {name} was not read");
+    report
+}
+
+/// Assert the fixture yields exactly one finding: `rule` at `line`.
+fn assert_single_finding(name: &str, rule: &str, line: u32) {
+    let report = audit_fixture(name);
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "{name}: expected one finding, got {:?}",
+        report.findings
+    );
+    let f = &report.findings[0];
+    assert_eq!(f.rule, rule, "{name}: wrong rule: {f:?}");
+    assert_eq!(f.line, line, "{name}: wrong line: {f:?}");
+    assert!(!f.suppressed, "{name}: must be unsuppressed: {f:?}");
+    assert!(
+        f.file.ends_with(&format!("tests/fixtures/{name}")),
+        "{name}: finding names the wrong file: {}",
+        f.file
+    );
+    assert!(report.is_dirty());
+}
+
+#[test]
+fn det01_hashmap_fixture() {
+    assert_single_finding("det01_hashmap.rs", "DET01", 3);
+}
+
+#[test]
+fn det02_clock_fixture() {
+    assert_single_finding("det02_clock.rs", "DET02", 4);
+}
+
+#[test]
+fn det03_spawn_fixture() {
+    assert_single_finding("det03_spawn.rs", "DET03", 4);
+}
+
+#[test]
+fn panic01_unwrap_fixture() {
+    assert_single_finding("panic01_unwrap.rs", "PANIC01", 4);
+}
+
+#[test]
+fn safe01_fixture_is_a_crate_root() {
+    assert_single_finding("safe01/lib.rs", "SAFE01", 1);
+}
+
+#[test]
+fn allow01_fixture_reports_malformed_allow_and_keeps_the_finding() {
+    let report = audit_fixture("allow01_missing_reason.rs");
+    let rules: Vec<(&str, u32, bool)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.line, f.suppressed))
+        .collect();
+    assert!(
+        rules.contains(&("ALLOW01", 4, false)),
+        "missing ALLOW01: {rules:?}"
+    );
+    assert!(
+        rules.contains(&("PANIC01", 4, false)),
+        "a malformed allow must not suppress: {rules:?}"
+    );
+    assert!(report.allows.is_empty(), "malformed allows are not inventoried");
+}
+
+#[test]
+fn clean_fixture_is_suppressed_with_inventoried_reason() {
+    let report = audit_fixture("clean_allowed.rs");
+    assert!(!report.is_dirty(), "{:?}", report.findings);
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].suppressed);
+    assert_eq!(report.allows.len(), 1);
+    assert!(report.allows[0].used);
+    assert_eq!(
+        report.allows[0].reason,
+        "fixture demonstrating a well-formed reasoned suppression"
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_bad_fixture() {
+    for name in [
+        "det01_hashmap.rs",
+        "det02_clock.rs",
+        "det03_spawn.rs",
+        "panic01_unwrap.rs",
+        "safe01/lib.rs",
+        "allow01_missing_reason.rs",
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_ices-audit"))
+            .arg(fixture(name))
+            .output()
+            .unwrap_or_else(|e| panic!("running ices-audit on {name}: {e}"));
+        assert!(
+            !out.status.success(),
+            "{name} should dirty the audit:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_exits_zero_and_emits_json_on_the_clean_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ices-audit"))
+        .arg("--json")
+        .arg(fixture("clean_allowed.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running ices-audit: {e}"));
+    assert!(
+        out.status.success(),
+        "clean fixture must exit 0:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\""), "not JSON: {stdout}");
+    assert!(stdout.contains("PANIC01"), "{stdout}");
+}

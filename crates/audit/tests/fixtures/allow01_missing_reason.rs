@@ -1,0 +1,5 @@
+//! ALLOW01 fixture: a suppression without its mandatory reason.
+
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().unwrap() // audit:allow(PANIC01)
+}

@@ -1,0 +1,6 @@
+//! Clean fixture: a reasoned suppression keeps the audit green.
+
+pub fn first(xs: &[u8]) -> u8 {
+    // audit:allow(PANIC01): fixture demonstrating a well-formed reasoned suppression
+    *xs.first().unwrap()
+}

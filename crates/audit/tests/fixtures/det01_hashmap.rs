@@ -1,0 +1,5 @@
+//! DET01 fixture: a seed-dependent container in library code.
+
+pub fn order(keys: &[u64]) -> std::collections::HashMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}

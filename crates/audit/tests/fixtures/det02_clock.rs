@@ -1,0 +1,6 @@
+//! DET02 fixture: wall-clock timing in library code.
+
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}

@@ -1,0 +1,6 @@
+//! DET03 fixture: raw thread parallelism outside ices-par.
+
+pub fn race() -> i32 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    handle.join().unwrap_or(0)
+}

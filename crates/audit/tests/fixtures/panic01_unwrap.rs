@@ -1,0 +1,5 @@
+//! PANIC01 fixture: a panicking path in non-test library code.
+
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,100 @@
+//! Property tests of the audit lexer: rule trigger tokens buried in
+//! comments, strings, and raw strings must never produce findings, and
+//! a real trigger must keep its exact line number under arbitrary
+//! interleavings of such noise. `audit:allow` round-trips its reason.
+
+use ices_audit::rules::{audit_source, FileContext, FileKind};
+use proptest::prelude::*;
+
+/// Identifiers that arm DET01/DET02/DET03/PANIC01 when tokenized.
+const TRIGGERS: [&str; 7] = [
+    "HashMap",
+    "HashSet",
+    "thread_rng",
+    "SystemTime",
+    "from_entropy",
+    "unwrap",
+    "expect",
+];
+
+fn ctx() -> FileContext {
+    FileContext {
+        path: "prop/input.rs".into(),
+        crate_name: "adhoc".into(),
+        kind: FileKind::Lib,
+        is_crate_root: false,
+    }
+}
+
+/// One line of noise: a trigger word hidden where the lexer must not
+/// see it (comment, nested block comment, string, raw string), or a
+/// harmless filler statement.
+fn noise(kind: usize, t: usize) -> String {
+    let trig = TRIGGERS[t % TRIGGERS.len()];
+    match kind % 6 {
+        0 => format!("// x.{trig}() and Instant::now() in a line comment\n"),
+        1 => format!("/* thread::spawn plus {trig} /* nested */ still a comment */\n"),
+        2 => format!("let s = \"a.{trig}() and std::thread::spawn(|| 1)\";\n"),
+        3 => format!("let r = r#\"raw {trig} with a \" quote and Instant::now()\"#;\n"),
+        4 => format!("let b = b\"bytes with {trig} inside\";\n"),
+        _ => "let filler = 1 + 2;\n".to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn noise_never_triggers_findings(
+        segs in proptest::collection::vec((0usize..6, 0usize..7), 1..40),
+    ) {
+        let src: String = segs.iter().map(|&(k, t)| noise(k, t)).collect();
+        let report = audit_source(&ctx(), &src);
+        prop_assert!(
+            report.findings.is_empty(),
+            "false positives {:?} from:\n{}",
+            report.findings,
+            src
+        );
+        prop_assert!(report.allows.is_empty());
+    }
+
+    #[test]
+    fn real_trigger_keeps_its_line_under_noise(
+        segs in proptest::collection::vec((0usize..6, 0usize..7), 0..30),
+    ) {
+        let prefix: String = segs.iter().map(|&(k, t)| noise(k, t)).collect();
+        let line = prefix.matches('\n').count() as u32 + 1;
+        let src = format!("{prefix}let m: HashMap<u8, u8> = Default::default();\n");
+        let report = audit_source(&ctx(), &src);
+        prop_assert!(report.findings.len() == 1, "{:?}", report.findings);
+        let f = &report.findings[0];
+        prop_assert!(f.rule == "DET01", "{f:?}");
+        prop_assert!(f.line == line, "expected line {line}, got {f:?}");
+    }
+
+    #[test]
+    fn allow_reason_round_trips(
+        reason_idx in proptest::collection::vec(0usize..26, 1..24),
+        indent in 0usize..4,
+    ) {
+        let reason: String = reason_idx
+            .iter()
+            .map(|&i| (b'a' + i as u8) as char)
+            .collect();
+        let pad = "    ".repeat(indent);
+        let src = format!(
+            "pub fn f(x: Option<u8>) -> u8 {{\n{pad}x.unwrap() // audit:allow(PANIC01): {reason}\n}}\n"
+        );
+        let report = audit_source(&ctx(), &src);
+        prop_assert!(report.findings.len() == 1, "{:?}", report.findings);
+        prop_assert!(report.findings[0].suppressed, "{:?}", report.findings);
+        prop_assert!(report.allows.len() == 1);
+        prop_assert!(report.allows[0].used);
+        prop_assert!(
+            report.allows[0].reason == reason,
+            "reason mangled: {:?} vs {reason:?}",
+            report.allows[0].reason
+        );
+    }
+}

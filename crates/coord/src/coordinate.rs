@@ -143,10 +143,12 @@ impl Coordinate {
     /// Scale position and height by `s` (heights are clamped at zero if
     /// the scale is negative, since heights cannot go negative).
     pub fn scaled(&self, s: f64) -> Coordinate {
-        Coordinate {
+        let out = Coordinate {
             position: vector::scale(&self.position, s),
             height: (self.height * s).max(0.0),
-        }
+        };
+        debug_assert!(out.is_finite(), "scaling by {s} produced a non-finite coordinate");
+        out
     }
 
     /// Move this coordinate by `delta = s · direction` (Vivaldi's update
@@ -160,6 +162,12 @@ impl Coordinate {
         );
         vector::axpy(&mut self.position, s, &direction.position);
         self.height = (self.height + s * direction.height).max(0.0);
+        debug_assert!(
+            self.is_finite(),
+            "coordinate went non-finite under force {s} (direction magnitude {})",
+            direction.magnitude()
+        );
+        debug_assert!(self.height >= 0.0, "height clamped below zero");
     }
 
     /// Replace the coordinate wholesale (used when a solver like NPS's

@@ -55,8 +55,9 @@ impl CoordinateCertificate {
     }
 }
 
-/// Reasons a certificate is rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Reasons a certificate is rejected — or a [`Certifier`] refused to be
+/// built at all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum CertificateError {
     /// The authentication tag does not verify.
     BadTag,
@@ -64,6 +65,11 @@ pub enum CertificateError {
     Expired,
     /// The claimed coordinate disagrees with the issuer's measurement.
     InconsistentCoordinate,
+    /// A certifier with `ttl = 0` would issue certificates that are
+    /// never fresh.
+    ZeroTtl,
+    /// The certifier's consistency tolerance must be positive.
+    NonPositiveTolerance(f64),
 }
 
 impl std::fmt::Display for CertificateError {
@@ -73,6 +79,12 @@ impl std::fmt::Display for CertificateError {
             CertificateError::Expired => write!(f, "certificate outside its validity period"),
             CertificateError::InconsistentCoordinate => {
                 write!(f, "claimed coordinate inconsistent with measured RTT")
+            }
+            CertificateError::ZeroTtl => {
+                write!(f, "a zero-ttl certificate can never be fresh")
+            }
+            CertificateError::NonPositiveTolerance(t) => {
+                write!(f, "tolerance must be positive, got {t}")
             }
         }
     }
@@ -98,19 +110,35 @@ impl Certifier {
     /// Create a certifier for Surveyor `issuer` with authentication key
     /// `key`, granting certificates valid for `ttl` logical time units
     /// and vouching only for coordinates within `tolerance` relative
-    /// error of its own measurement.
-    ///
-    /// # Panics
-    /// Panics if `ttl` is zero or `tolerance` is not positive.
-    pub fn new(issuer: usize, key: u64, ttl: u64, tolerance: f64) -> Self {
-        assert!(ttl > 0, "a zero-ttl certificate can never be fresh");
-        assert!(tolerance > 0.0, "tolerance must be positive");
-        Self {
+    /// error of its own measurement. Rejects a zero `ttl` or a
+    /// non-positive `tolerance` with a typed error.
+    pub fn try_new(
+        issuer: usize,
+        key: u64,
+        ttl: u64,
+        tolerance: f64,
+    ) -> Result<Self, CertificateError> {
+        if ttl == 0 {
+            return Err(CertificateError::ZeroTtl);
+        }
+        if !(tolerance > 0.0) {
+            return Err(CertificateError::NonPositiveTolerance(tolerance));
+        }
+        Ok(Self {
             issuer,
             key,
             ttl,
             tolerance,
-        }
+        })
+    }
+
+    /// [`Certifier::try_new`] for contexts that cannot propagate the
+    /// error.
+    ///
+    /// # Panics
+    /// Panics if `ttl` is zero or `tolerance` is not positive.
+    pub fn new(issuer: usize, key: u64, ttl: u64, tolerance: f64) -> Self {
+        Self::try_new(issuer, key, ttl, tolerance).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convenience constructor taking the issuer's published
@@ -290,6 +318,19 @@ mod tests {
         assert!(cert.is_fresh(109));
         assert!(!cert.is_fresh(110));
         assert!(!cert.is_fresh(99));
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            Certifier::try_new(7, 0xBEEF, 0, 0.3).err(),
+            Some(CertificateError::ZeroTtl)
+        );
+        assert_eq!(
+            Certifier::try_new(7, 0xBEEF, 100, 0.0).err(),
+            Some(CertificateError::NonPositiveTolerance(0.0))
+        );
+        assert!(Certifier::try_new(7, 0xBEEF, 100, 0.3).is_ok());
     }
 
     #[test]

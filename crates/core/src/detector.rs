@@ -16,9 +16,43 @@
 //! filter toward itself.
 
 use crate::kalman::KalmanFilter;
-use crate::model::StateSpaceParams;
+use crate::model::{ModelError, StateSpaceParams};
 use ices_stats::q_inverse;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a [`Detector`] could not be built or consulted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorError {
+    /// Significance level outside `(0, 1)`.
+    InvalidAlpha(f64),
+    /// The calibrated parameters violate a model invariant.
+    InvalidParams(ModelError),
+    /// The observation handed to the test is not a finite number.
+    NonFiniteObservation(f64),
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorError::InvalidAlpha(a) => {
+                write!(f, "significance level must be in (0, 1), got {a}")
+            }
+            DetectorError::InvalidParams(e) => write!(f, "invalid parameters: {e}"),
+            DetectorError::NonFiniteObservation(d) => {
+                write!(f, "observation must be finite, got {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {}
+
+impl From<ModelError> for DetectorError {
+    fn from(e: ModelError) -> Self {
+        DetectorError::InvalidParams(e)
+    }
+}
 
 /// Outcome of testing one embedding step.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,21 +87,27 @@ pub struct Detector {
 
 impl Detector {
     /// Build a detector from calibrated parameters and a significance
-    /// level `α ∈ (0, 1)` (the paper settles on 5%).
+    /// level `α ∈ (0, 1)` (the paper settles on 5%), rejecting invalid
+    /// inputs with a typed error instead of panicking.
+    pub fn try_new(params: StateSpaceParams, alpha: f64) -> Result<Self, DetectorError> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(DetectorError::InvalidAlpha(alpha));
+        }
+        Ok(Self {
+            filter: KalmanFilter::try_new(params)?,
+            alpha,
+            starvation_streak: 0,
+        })
+    }
+
+    /// [`Detector::try_new`] for contexts that cannot propagate the
+    /// error (the long-standing public constructor).
     ///
     /// # Panics
     /// Panics if `alpha` is outside `(0, 1)` or the parameters are
     /// invalid.
     pub fn new(params: StateSpaceParams, alpha: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha < 1.0,
-            "significance level must be in (0, 1), got {alpha}"
-        );
-        Self {
-            filter: KalmanFilter::new(params),
-            alpha,
-            starvation_streak: 0,
-        }
+        Self::try_new(params, alpha).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configured significance level.
@@ -82,25 +122,48 @@ impl Detector {
 
     /// The threshold `t_n` for an arbitrary significance level given the
     /// current prediction state (used by the reprieve mechanism, which
-    /// re-tests at level `e_l·α`).
-    pub fn threshold_at(&self, alpha: f64) -> f64 {
-        assert!(
-            alpha > 0.0 && alpha < 1.0,
-            "significance level must be in (0, 1), got {alpha}"
-        );
+    /// re-tests at level `e_l·α`), rejecting an out-of-range level with
+    /// a typed error.
+    pub fn try_threshold_at(&self, alpha: f64) -> Result<f64, DetectorError> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(DetectorError::InvalidAlpha(alpha));
+        }
         let pred = self.filter.predict();
-        pred.innovation_variance.sqrt() * q_inverse(alpha / 2.0)
+        Ok(pred.innovation_variance.sqrt() * q_inverse(alpha / 2.0))
     }
 
-    /// Evaluate a measured relative error *without* updating the filter.
+    /// [`Detector::try_threshold_at`] for contexts that cannot propagate
+    /// the error.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn threshold_at(&self, alpha: f64) -> f64 {
+        self.try_threshold_at(alpha).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Evaluate a measured relative error *without* updating the filter,
+    /// rejecting a non-finite observation with a typed error.
     ///
     /// Exposed separately so the reprieve logic can inspect a verdict,
     /// apply a second test, and only then decide whether to accept.
+    pub fn try_evaluate(&self, observation: f64) -> Result<Verdict, DetectorError> {
+        if !observation.is_finite() {
+            return Err(DetectorError::NonFiniteObservation(observation));
+        }
+        Ok(self.evaluate_finite(observation))
+    }
+
+    /// [`Detector::try_evaluate`] for contexts that cannot propagate the
+    /// error.
+    ///
+    /// # Panics
+    /// Panics on a non-finite observation.
     pub fn evaluate(&self, observation: f64) -> Verdict {
-        assert!(
-            observation.is_finite(),
-            "observation must be finite, got {observation}"
-        );
+        self.try_evaluate(observation).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The test body, after the observation has been checked finite.
+    fn evaluate_finite(&self, observation: f64) -> Verdict {
         let pred = self.filter.predict();
         let innovation = observation - pred.predicted;
         let threshold = pred.innovation_variance.sqrt() * q_inverse(self.alpha / 2.0);
@@ -409,6 +472,36 @@ mod tests {
     #[should_panic(expected = "significance level must be in (0, 1)")]
     fn rejects_alpha_of_one() {
         Detector::new(params(), 1.0);
+    }
+
+    #[test]
+    fn try_apis_report_typed_errors() {
+        assert_eq!(
+            Detector::try_new(params(), 0.0).err(),
+            Some(DetectorError::InvalidAlpha(0.0))
+        );
+        let mut bad = params();
+        bad.beta = 1.5;
+        assert!(matches!(
+            Detector::try_new(bad, 0.05),
+            Err(DetectorError::InvalidParams(ModelError::NonStationaryBeta(_)))
+        ));
+        let d = Detector::new(params(), 0.05);
+        assert_eq!(
+            d.try_threshold_at(2.0).err(),
+            Some(DetectorError::InvalidAlpha(2.0))
+        );
+        assert!(matches!(
+            d.try_evaluate(f64::NAN),
+            Err(DetectorError::NonFiniteObservation(_))
+        ));
+        // The happy paths agree with the panicking shims.
+        let v = d.try_evaluate(0.4).expect("finite observation");
+        assert_eq!(v, d.evaluate(0.4));
+        assert_eq!(
+            d.try_threshold_at(0.01).expect("valid level"),
+            d.threshold_at(0.01)
+        );
     }
 
     #[test]

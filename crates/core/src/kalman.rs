@@ -21,7 +21,7 @@
 //! paper's recalibration trigger: 10 consecutive innovations outside the
 //! ±2√v_η confidence interval.
 
-use crate::model::StateSpaceParams;
+use crate::model::{ModelError, StateSpaceParams};
 use serde::{Deserialize, Serialize};
 
 /// Number of consecutive out-of-confidence-interval innovations after
@@ -60,20 +60,26 @@ pub struct KalmanFilter {
 
 impl KalmanFilter {
     /// Initialize from calibrated parameters: `Δ̂_{0|0} = w₀`,
-    /// `P_{0|0} = p₀`.
-    ///
-    /// # Panics
-    /// Panics if the parameters are invalid (see
-    /// [`StateSpaceParams::validate`]).
-    pub fn new(params: StateSpaceParams) -> Self {
-        params.validate();
-        Self {
+    /// `P_{0|0} = p₀`, rejecting invalid parameters with a typed error.
+    pub fn try_new(params: StateSpaceParams) -> Result<Self, ModelError> {
+        params.check()?;
+        Ok(Self {
             params,
             estimate: params.w0,
             variance: params.p0,
             updates: 0,
             outside_streak: 0,
-        }
+        })
+    }
+
+    /// [`KalmanFilter::try_new`] for contexts that cannot propagate the
+    /// error (the long-standing public constructor).
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid (see
+    /// [`StateSpaceParams::check`]).
+    pub fn new(params: StateSpaceParams) -> Self {
+        Self::try_new(params).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The calibrated parameters this filter runs on.
@@ -124,6 +130,11 @@ impl KalmanFilter {
         self.estimate = pred.predicted + gain * innovation;
         self.variance =
             self.params.v_u * pred.state_variance / (pred.state_variance + self.params.v_u);
+        debug_assert!(
+            self.variance.is_finite() && self.variance >= 0.0,
+            "posterior variance must stay finite and non-negative, got {}",
+            self.variance
+        );
         self.updates += 1;
         // Recalibration bookkeeping (±2σ band, §2.2).
         let band = RECALIBRATION_BAND * pred.innovation_variance.sqrt();
@@ -153,6 +164,11 @@ impl KalmanFilter {
         let pred = self.predict();
         self.estimate = pred.predicted;
         self.variance = pred.state_variance;
+        debug_assert!(
+            self.variance.is_finite() && self.variance >= 0.0,
+            "coasting variance must stay finite and non-negative, got {}",
+            self.variance
+        );
     }
 
     /// Whether the paper's recalibration condition has fired: 10

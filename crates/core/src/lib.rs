@@ -41,10 +41,10 @@ pub mod model;
 pub mod protocol;
 pub mod surveyor;
 
-pub use certify::{Certifier, CoordinateCertificate};
-pub use detector::{Detector, Verdict, SAMPLE_STARVATION_LIMIT};
+pub use certify::{Certifier, CertificateError, CoordinateCertificate};
+pub use detector::{Detector, DetectorError, Verdict, SAMPLE_STARVATION_LIMIT};
 pub use em::{calibrate, CalibrationOutcome, EmConfig};
 pub use kalman::KalmanFilter;
-pub use model::StateSpaceParams;
+pub use model::{ModelError, StateSpaceParams};
 pub use protocol::{ConfigError, SecureNode, SecureStep, SecurityConfig};
 pub use surveyor::{SurveyorInfo, SurveyorRegistry};

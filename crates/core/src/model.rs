@@ -15,6 +15,37 @@
 //! deployed coordinate systems.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An invalid [`StateSpaceParams`] component (first violation found by
+/// [`StateSpaceParams::check`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelError {
+    /// `|β| ≥ 1` (or non-finite): the error process would not be
+    /// stationary.
+    NonStationaryBeta(f64),
+    /// A variance component (`v_w`, `v_u`, `p0`) is non-positive or
+    /// non-finite.
+    NonPositiveVariance(&'static str, f64),
+    /// A mean component (`w_bar`, `w0`) is non-finite.
+    NonFinite(&'static str, f64),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonStationaryBeta(b) => {
+                write!(f, "beta must satisfy |beta| < 1 for stationarity, got {b}")
+            }
+            ModelError::NonPositiveVariance(name, v) => {
+                write!(f, "{name} must be positive, got {v}")
+            }
+            ModelError::NonFinite(name, v) => write!(f, "{name} must be finite, got {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
 
 /// The parameter vector `θ = (β, v_W, v_U, w̄, w₀, p₀)` of the model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,34 +79,38 @@ impl StateSpaceParams {
         }
     }
 
-    /// Validate model invariants.
+    /// Validate model invariants, reporting the first violated one.
+    pub fn check(&self) -> Result<(), ModelError> {
+        if !(self.beta.is_finite() && self.beta.abs() < 1.0) {
+            return Err(ModelError::NonStationaryBeta(self.beta));
+        }
+        if !(self.v_w.is_finite() && self.v_w > 0.0) {
+            return Err(ModelError::NonPositiveVariance("v_w", self.v_w));
+        }
+        if !(self.v_u.is_finite() && self.v_u > 0.0) {
+            return Err(ModelError::NonPositiveVariance("v_u", self.v_u));
+        }
+        if !self.w_bar.is_finite() {
+            return Err(ModelError::NonFinite("w_bar", self.w_bar));
+        }
+        if !self.w0.is_finite() {
+            return Err(ModelError::NonFinite("w0", self.w0));
+        }
+        if !(self.p0.is_finite() && self.p0 > 0.0) {
+            return Err(ModelError::NonPositiveVariance("p0", self.p0));
+        }
+        Ok(())
+    }
+
+    /// [`StateSpaceParams::check`] for contexts that cannot propagate the
+    /// error (long-standing public API; EM always produces valid params).
     ///
     /// # Panics
-    /// Panics if `|β| ≥ 1`, any variance is non-positive, or any
-    /// component is non-finite.
+    /// Panics with the [`ModelError`] message on invalid parameters.
     pub fn validate(&self) {
-        assert!(
-            self.beta.is_finite() && self.beta.abs() < 1.0,
-            "beta must satisfy |beta| < 1 for stationarity, got {}",
-            self.beta
-        );
-        assert!(
-            self.v_w.is_finite() && self.v_w > 0.0,
-            "v_w must be positive, got {}",
-            self.v_w
-        );
-        assert!(
-            self.v_u.is_finite() && self.v_u > 0.0,
-            "v_u must be positive, got {}",
-            self.v_u
-        );
-        assert!(self.w_bar.is_finite(), "w_bar must be finite");
-        assert!(self.w0.is_finite(), "w0 must be finite");
-        assert!(
-            self.p0.is_finite() && self.p0 > 0.0,
-            "p0 must be positive, got {}",
-            self.p0
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Stationary mean of the nominal error process:

@@ -156,7 +156,7 @@ pub fn nelder_mead(
 
     let best = (0..=n)
         .min_by(|&a, &b| values[a].total_cmp(&values[b]))
-        .expect("simplex non-empty");
+        .unwrap_or(0);
     NelderMeadResult {
         x: simplex[best].clone(),
         value: values[best],

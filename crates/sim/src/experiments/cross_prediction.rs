@@ -120,10 +120,16 @@ pub fn fig678_cross_prediction(scale: &Scale) -> CrossPredictionResult {
         if trace.len() <= BURN_IN + 5 {
             continue;
         }
-        let mut best: Option<(usize, f64)> = None;
+        // Track the closest Surveyor's cell (by base RTT) as the cells
+        // are produced, so no back-search over `cells` is needed.
+        let mut best: Option<(usize, f64, f64)> = None;
         for &s in &surveyors {
-            let params = sim.registry().get(s).expect("calibrated").params;
-            let errors = prediction_errors(params, trace);
+            // A Surveyor absent from the registry (never calibrated)
+            // simply contributes no cell.
+            let Some(info) = sim.registry().get(s) else {
+                continue;
+            };
+            let errors = prediction_errors(info.params, trace);
             let tail = &errors[BURN_IN..];
             let max_error = tail.iter().cloned().fold(0.0, f64::max);
             let mean_error = tail.iter().sum::<f64>() / tail.len() as f64;
@@ -135,17 +141,11 @@ pub fn fig678_cross_prediction(scale: &Scale) -> CrossPredictionResult {
                 max_error,
                 mean_error,
             });
-            if best.map(|(_, d)| rtt_ms < d).unwrap_or(true) {
-                best = Some((s, rtt_ms));
+            if best.map(|(_, d, _)| rtt_ms < d).unwrap_or(true) {
+                best = Some((s, rtt_ms, max_error));
             }
         }
-        if let Some((s, _)) = best {
-            let max_err = cells
-                .iter()
-                .rev()
-                .find(|c| c.node == node && c.surveyor == s)
-                .expect("cell just pushed")
-                .max_error;
+        if let Some((s, _, max_err)) = best {
             closest.push((node, s, max_err));
         }
     }

@@ -115,11 +115,13 @@ impl Curve {
     }
 
     /// x-value at which the curve first reaches `q` (quantile read-off).
+    /// An empty curve has no quantiles: returns NaN rather than panicking.
     pub fn quantile_x(&self, q: f64) -> f64 {
         self.points
             .iter()
             .find(|(_, f)| *f >= q)
+            .or_else(|| self.points.last())
             .map(|(x, _)| *x)
-            .unwrap_or_else(|| self.points.last().expect("non-empty curve").0)
+            .unwrap_or(f64::NAN)
     }
 }

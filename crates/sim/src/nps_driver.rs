@@ -739,19 +739,18 @@ impl NpsSimulation {
     }
 
     fn refresh_registry_coordinates(&mut self) {
-        let updates: Vec<(usize, Coordinate)> = self
+        let updates: Vec<SurveyorInfo> = self
             .registry
             .all()
             .iter()
-            .map(|s| (s.id, self.participants[s.id].coordinate().clone()))
+            .map(|s| SurveyorInfo {
+                id: s.id,
+                coordinate: self.participants[s.id].coordinate().clone(),
+                params: s.params,
+            })
             .collect();
-        for (id, coordinate) in updates {
-            let params = self.registry.get(id).expect("registered").params;
-            self.registry.register(SurveyorInfo {
-                id,
-                coordinate,
-                params,
-            });
+        for info in updates {
+            self.registry.register(info);
         }
     }
 
@@ -815,7 +814,7 @@ impl NpsSimulation {
                 if !faulty {
                     let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
                     if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                        best = Some((s.id, rtt));
+                        best = Some((k, rtt));
                     }
                 } else {
                     // A crashed or unreachable Surveyor simply drops out
@@ -826,7 +825,7 @@ impl NpsSimulation {
                     match self.network.try_measure_rtt_smoothed(node, s.id, nonce, round) {
                         ProbeOutcome::Ok(rtt) => {
                             if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                                best = Some((s.id, rtt));
+                                best = Some((k, rtt));
                             }
                         }
                         ProbeOutcome::Lost | ProbeOutcome::TimedOut => {}
@@ -836,14 +835,11 @@ impl NpsSimulation {
             // Every probe failed (heavy loss or a full Surveyor outage):
             // fall back to an arbitrary sampled candidate rather than
             // refusing to arm — a stale choice beats no detector.
-            let source = best
-                .map(|(id, _)| id)
-                .unwrap_or_else(|| candidates[0].id);
-            let params = self
-                .registry
-                .get(source)
-                .expect("sampled from registry")
-                .params;
+            let chosen = best
+                .map(|(k, _)| &candidates[k])
+                .unwrap_or(&candidates[0]);
+            let source = chosen.id;
+            let params = chosen.params;
             let placeholder = Participant::Plain(NpsNode::new(node, self.nps, 0));
             let old = std::mem::replace(&mut self.participants[node], placeholder);
             let inner = match old {

@@ -617,19 +617,18 @@ impl VivaldiSimulation {
     fn end_pass(&mut self) {
         // Refresh registry coordinates so closest-Surveyor lookups stay
         // current.
-        let updates: Vec<(usize, Coordinate)> = self
+        let updates: Vec<SurveyorInfo> = self
             .registry
             .all()
             .iter()
-            .map(|s| (s.id, self.participants[s.id].coordinate().clone()))
+            .map(|s| SurveyorInfo {
+                id: s.id,
+                coordinate: self.participants[s.id].coordinate().clone(),
+                params: s.params,
+            })
             .collect();
-        for (id, coordinate) in updates {
-            let params = self.registry.get(id).expect("registered").params;
-            self.registry.register(SurveyorInfo {
-                id,
-                coordinate,
-                params,
-            });
+        for info in updates {
+            self.registry.register(info);
         }
         // Per-node round action. Refreshes only consider Surveyors that
         // are up right now; with every Surveyor down the node keeps its
@@ -717,7 +716,7 @@ impl VivaldiSimulation {
                 if !faulty {
                     let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
                     if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                        best = Some((s.id, rtt));
+                        best = Some((k, rtt));
                     }
                 } else {
                     // A crashed or unreachable Surveyor simply drops out
@@ -728,7 +727,7 @@ impl VivaldiSimulation {
                     match self.network.try_measure_rtt_smoothed(node, s.id, nonce, tick) {
                         ProbeOutcome::Ok(rtt) => {
                             if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                                best = Some((s.id, rtt));
+                                best = Some((k, rtt));
                             }
                         }
                         ProbeOutcome::Lost | ProbeOutcome::TimedOut => {}
@@ -738,14 +737,11 @@ impl VivaldiSimulation {
             // Every probe failed (heavy loss or a full Surveyor outage):
             // fall back to an arbitrary sampled candidate rather than
             // refusing to arm — a stale choice beats no detector.
-            let source = best
-                .map(|(id, _)| id)
-                .unwrap_or_else(|| candidates[0].id);
-            let params = self
-                .registry
-                .get(source)
-                .expect("sampled from registry")
-                .params;
+            let chosen = best
+                .map(|(k, _)| &candidates[k])
+                .unwrap_or(&candidates[0]);
+            let source = chosen.id;
+            let params = chosen.params;
             let placeholder = Participant::Plain(VivaldiNode::new(node, self.vivaldi, 0));
             let old = std::mem::replace(&mut self.participants[node], placeholder);
             let inner = match old {

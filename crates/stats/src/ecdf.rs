@@ -89,7 +89,7 @@ impl Ecdf {
     pub fn curve(&self, k: usize) -> Vec<(f64, f64)> {
         assert!(k >= 2, "curve needs at least 2 points");
         let lo = self.sorted[0];
-        let hi = *self.sorted.last().expect("non-empty");
+        let hi = *self.sorted.last().unwrap_or(&lo);
         (0..k)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / (k - 1) as f64;

@@ -116,8 +116,8 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iter: usize) -> Kmea
                         .min_by(|(_, a), (_, b)| {
                             sq_dist(a, centroid).total_cmp(&sq_dist(b, centroid))
                         })
-                        .expect("points is non-empty")
-                        .0
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
                 })
         })
         .collect();
@@ -172,13 +172,14 @@ fn plus_plus_seed<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec
             }
             chosen
         };
-        centroids.push(points[idx].clone());
+        let newest = points[idx].clone();
         for (i, p) in points.iter().enumerate() {
-            let d = sq_dist(p, centroids.last().expect("just pushed"));
+            let d = sq_dist(p, &newest);
             if d < d2[i] {
                 d2[i] = d;
             }
         }
+        centroids.push(newest);
     }
     centroids
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Workspace determinism & panic-hygiene audit (see DESIGN.md
+# "Determinism invariants & enforcement"). Exits nonzero on any
+# unsuppressed finding; pass --json for machine-readable output.
+#
+# Usage: scripts/audit.sh [--json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q -p ices-audit -- --workspace "$@"

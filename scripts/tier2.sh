@@ -11,6 +11,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
+# Static analysis: determinism & panic-hygiene invariants (also gated
+# in tier-1 via tests/audit_clean.rs; run here with --json for the
+# machine-readable allowlist inventory).
+cargo run -q -p ices-audit -- --workspace --json
+
 # Tier 2: time the two-phase tick engine sequentially and on all
 # available workers, plus one faulty-network configuration per driver
 # (10% probe loss + churn) so the fault-injection layer's overhead is

@@ -1,0 +1,22 @@
+//! Tier-1 gate: the workspace must pass its own static analysis
+//! (`ices-audit --workspace` — see DESIGN.md "Determinism invariants &
+//! enforcement"). Any reintroduced HashMap iteration, wall-clock read,
+//! raw thread spawn, or unjustified panic path fails this test.
+
+use std::process::Command;
+
+#[test]
+fn workspace_audit_is_clean() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-q", "-p", "ices-audit", "--", "--workspace"])
+        .current_dir(root)
+        .output()
+        .unwrap_or_else(|e| panic!("running ices-audit: {e}"));
+    assert!(
+        out.status.success(),
+        "workspace audit found violations:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
