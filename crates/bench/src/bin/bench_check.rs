@@ -1,0 +1,135 @@
+//! Non-fatal throughput regression check over two `BENCH_sim.json`
+//! files.
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json>
+//! ```
+//!
+//! Compares every matching tick-engine configuration (driver × threads
+//! × faults) and the NPS solver microbenchmark; a configuration whose
+//! throughput dropped more than 20% gets a loudly printed warning.
+//! Always exits 0 on a completed comparison — timings on shared
+//! hardware are advisory, the warning is the signal — and exits 2 only
+//! on usage or parse errors.
+
+use serde::Value;
+
+/// Fractional throughput drop that triggers a warning.
+const TOLERANCE: f64 = 0.20;
+
+fn field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn number(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// `(driver, threads, faults) → steps_per_sec` for every run entry.
+fn runs(report: &Value) -> Vec<(String, u64, bool, f64)> {
+    let mut out = Vec::new();
+    if let Some(Value::Seq(entries)) = field(report, "runs") {
+        for run in entries {
+            let driver = match field(run, "driver") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => continue,
+            };
+            let threads = match field(run, "threads").and_then(number) {
+                Some(t) => t as u64,
+                None => continue,
+            };
+            let faults = matches!(field(run, "faults"), Some(Value::Bool(true)));
+            let sps = match field(run, "steps_per_sec").and_then(number) {
+                Some(s) => s,
+                None => continue,
+            };
+            out.push((driver, threads, faults, sps));
+        }
+    }
+    out
+}
+
+fn solver_rate(report: &Value) -> Option<f64> {
+    field(report, "nps_solver").and_then(|s| field(s, "solves_per_sec").and_then(number))
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_check <baseline.json> <current.json>");
+        std::process::exit(2);
+    };
+    if std::fs::metadata(baseline_path).map(|m| m.len()).unwrap_or(0) == 0 {
+        println!("bench_check: no committed baseline to compare against — skipping");
+        return;
+    }
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench_check: {e}");
+                }
+            }
+            std::process::exit(2);
+        }
+    };
+
+    let mut warnings = 0usize;
+    let mut compared = 0usize;
+    let old_runs = runs(&baseline);
+    for (driver, threads, faults, new_sps) in runs(&current) {
+        let Some((_, _, _, old_sps)) = old_runs
+            .iter()
+            .find(|(d, t, f, _)| *d == driver && *t == threads && *f == faults)
+        else {
+            continue;
+        };
+        compared += 1;
+        if new_sps < old_sps * (1.0 - TOLERANCE) {
+            warnings += 1;
+            println!(
+                "PERF WARNING: {driver} (threads={threads}, faults={faults}) regressed \
+                 {:.0}% — {:.0} → {:.0} steps/sec",
+                100.0 * (1.0 - new_sps / old_sps),
+                old_sps,
+                new_sps
+            );
+        }
+    }
+    if let (Some(old), Some(new)) = (solver_rate(&baseline), solver_rate(&current)) {
+        compared += 1;
+        if new < old * (1.0 - TOLERANCE) {
+            warnings += 1;
+            println!(
+                "PERF WARNING: nps_solver regressed {:.0}% — {:.1} → {:.1} solves/sec",
+                100.0 * (1.0 - new / old),
+                old,
+                new
+            );
+        }
+    }
+
+    if warnings == 0 {
+        println!("bench_check: {compared} configurations within {:.0}% of baseline", 100.0 * TOLERANCE);
+    } else {
+        println!(
+            "bench_check: {warnings}/{compared} configurations regressed >{:.0}% (non-fatal; \
+             investigate or re-record BENCH_sim.json with rationale)",
+            100.0 * TOLERANCE
+        );
+    }
+}

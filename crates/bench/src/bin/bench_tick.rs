@@ -13,7 +13,9 @@
 //! ```
 
 use ices_bench::{print_header, HarnessOptions};
+use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_netsim::{ChurnModel, FaultPlan};
+use ices_nps::{NpsConfig, NpsNode};
 use ices_sim::experiments::Scale;
 use ices_sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
 use ices_sim::{NpsSimulation, VivaldiSimulation};
@@ -40,12 +42,29 @@ struct TickBench {
     steps_per_sec: f64,
 }
 
+/// NPS coordinate-solver microbenchmark: full positioning rounds
+/// (buffer samples → security filter trial solve → final solve) of a
+/// single node against a fixed synthetic reference-point set, isolated
+/// from probing and driver scheduling.
+#[derive(Debug, Serialize)]
+struct SolverBench {
+    /// Synthetic reference points per round.
+    reference_points: usize,
+    /// Coordinate-space dimensionality.
+    dims: usize,
+    /// Rounds timed (each runs the trial + final simplex solves).
+    solves: usize,
+    secs: f64,
+    solves_per_sec: f64,
+}
+
 /// The full benchmark result written to `BENCH_sim.json`.
 #[derive(Debug, Serialize)]
 struct BenchReport {
     scale: String,
     host_parallelism: usize,
     runs: Vec<TickBench>,
+    nps_solver: SolverBench,
     vivaldi_speedup: f64,
     nps_speedup: f64,
 }
@@ -112,6 +131,66 @@ fn time_nps(scale: &Scale, threads: usize, faults: bool) -> TickBench {
     }
 }
 
+/// Time the NPS positioning round on one node with the paper's 8-d
+/// configuration and a fixed synthetic reference-point layout (the same
+/// deterministic anchor grid the solver unit tests use).
+fn time_nps_solver() -> SolverBench {
+    let config = NpsConfig::paper_default();
+    let dims = config.space.dims();
+    let rps = config.rps_per_node;
+    let truth: Vec<f64> = (0..dims).map(|i| 10.0 * i as f64).collect();
+    let samples: Vec<PeerSample> = (0..rps)
+        .map(|k| {
+            let pos: Vec<f64> = (0..dims)
+                .map(|d| {
+                    if (k + d) % 3 == 0 {
+                        100.0
+                    } else {
+                        -30.0 * (d as f64 + 1.0) / (k as f64 + 1.0)
+                    }
+                })
+                .collect();
+            let dist = pos
+                .iter()
+                .zip(&truth)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            PeerSample {
+                peer: k,
+                peer_coord: Coordinate::euclidean(pos),
+                peer_error: 0.1,
+                rtt_ms: dist.max(1.0),
+            }
+        })
+        .collect();
+
+    let mut node = NpsNode::new(0, config, 42);
+    let round = |node: &mut NpsNode| {
+        for s in &samples {
+            node.apply_step(s);
+        }
+        node.finish_round();
+    };
+    // Warm up: converge the coordinate and the solver scratch buffers.
+    for _ in 0..3 {
+        round(&mut node);
+    }
+    let solves = 300;
+    let start = Instant::now();
+    for _ in 0..solves {
+        round(&mut node);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    SolverBench {
+        reference_points: rps,
+        dims,
+        solves,
+        secs,
+        solves_per_sec: solves as f64 / secs,
+    }
+}
+
 fn main() {
     let options = HarnessOptions::from_args();
     print_header(&options, "tick-engine throughput (BENCH_sim)");
@@ -119,17 +198,20 @@ fn main() {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let wide = ices_par::max_threads().max(1);
+    // Always time a wide configuration so the recorded speedups are
+    // measured ratios, never an assumed 1. Host parallelism is read
+    // directly (not `ices_par::max_threads`, which an ambient
+    // ICES_THREADS would pin); a single-core host still times two
+    // workers — an honest oversubscription measurement.
+    let wide = host.max(2);
 
-    // On a single-core host the wide configuration is the sequential
-    // path; time it once rather than twice.
-    let configs: &[usize] = if wide > 1 { &[1, wide] } else { &[1] };
+    let configs: [usize; 2] = [1, wide];
     let mut runs = Vec::new();
     for (name, timer) in [
         ("vivaldi", time_vivaldi as fn(&Scale, usize, bool) -> TickBench),
         ("nps", time_nps),
     ] {
-        for &threads in configs {
+        for threads in configs {
             let bench = timer(&options.scale, threads, false);
             println!(
                 "{name:>8}  threads={:<2}  {:>8.2}s  {:>12.0} steps/s",
@@ -147,6 +229,13 @@ fn main() {
         runs.push(bench);
     }
 
+    let solver = time_nps_solver();
+    println!(
+        "{:>8}  {} rounds × ({}-d, {} RPs)  {:>8.2}s  {:>12.1} solves/s",
+        "nps-kern", solver.solves, solver.dims, solver.reference_points, solver.secs,
+        solver.solves_per_sec
+    );
+
     // Speedup compares the clean configurations only.
     let speedup = |driver: &str| -> f64 {
         let of = |t: usize| {
@@ -155,8 +244,8 @@ fn main() {
                 .map(|r| r.steps_per_sec)
         };
         match (of(1), of(wide)) {
-            (Some(seq), Some(par)) if wide > 1 => par / seq,
-            _ => 1.0, // single configuration: no parallel speedup measured
+            (Some(seq), Some(par)) => par / seq,
+            _ => 1.0, // a configuration is missing: no speedup measured
         }
     };
     let (vivaldi_speedup, nps_speedup) = (speedup("vivaldi"), speedup("nps"));
@@ -165,6 +254,7 @@ fn main() {
         host_parallelism: host,
         vivaldi_speedup,
         nps_speedup,
+        nps_solver: solver,
         runs,
     };
     println!(

@@ -13,6 +13,7 @@ use crate::planetlab::PlanetLab;
 use crate::topology::RttMatrix;
 use ices_stats::rng::{derive, stream_rng2};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A simulated network that serves noisy RTT measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,6 +23,101 @@ pub struct Network {
     noise: FluctuationModel,
     seed: u64,
     faults: FaultPlan,
+    cache: ProfileCache,
+}
+
+/// Pairwise combined-profile table, deduplicated by profile bit pattern.
+///
+/// Topologies assign nodes a handful of *distinct* profiles (clean vs
+/// pathological), so instead of materializing `n²` pairs the table maps
+/// each node to its profile equivalence class and precombines the
+/// `k × k` class pairs. `pair(a, b)` is then two index lookups on the
+/// hot probe path instead of a three-field `combine` per measurement.
+#[derive(Debug, Default)]
+struct ProfileTable {
+    /// Node → index of its distinct profile.
+    class: Vec<u32>,
+    /// `combine` of every ordered class pair, row-major `k × k`.
+    combined: Vec<NoiseProfile>,
+    /// Number of distinct profiles (`k`).
+    classes: usize,
+}
+
+/// Exact-bits profile identity: equivalence classes must never merge
+/// profiles whose `combine` output could differ in any bit.
+fn same_bits(a: &NoiseProfile, b: &NoiseProfile) -> bool {
+    a.congestion_mult.to_bits() == b.congestion_mult.to_bits()
+        && a.jitter_mult.to_bits() == b.jitter_mult.to_bits()
+        && a.spike_mult.to_bits() == b.spike_mult.to_bits()
+}
+
+impl ProfileTable {
+    fn build(profiles: &[NoiseProfile]) -> Self {
+        let mut unique: Vec<NoiseProfile> = Vec::new();
+        let mut class = Vec::with_capacity(profiles.len());
+        for p in profiles {
+            // Linear scan keeps determinism-critical code HashMap-free;
+            // the distinct-profile count is tiny (2 in every generator).
+            let idx = match unique.iter().position(|u| same_bits(u, p)) {
+                Some(i) => i,
+                None => {
+                    unique.push(*p);
+                    unique.len() - 1
+                }
+            };
+            class.push(idx as u32);
+        }
+        let classes = unique.len();
+        let mut combined = Vec::with_capacity(classes * classes);
+        for a in &unique {
+            for b in &unique {
+                combined.push(a.combine(b));
+            }
+        }
+        Self {
+            class,
+            combined,
+            classes,
+        }
+    }
+
+    /// The precombined profile for the ordered node pair `(a, b)` —
+    /// bit-identical to `profiles[a].combine(&profiles[b])` because the
+    /// class representatives carry the nodes' exact bit patterns.
+    fn pair(&self, a: usize, b: usize) -> &NoiseProfile {
+        &self.combined[self.class[a] as usize * self.classes + self.class[b] as usize]
+    }
+}
+
+/// Lazily built [`ProfileTable`], wrapped so `Network` keeps its derived
+/// semantics: the cache is a pure function of `profiles`, so it compares
+/// equal to everything, clones cold, serializes as `null`, and
+/// deserializes cold.
+#[derive(Debug, Default)]
+struct ProfileCache(OnceLock<ProfileTable>);
+
+impl Clone for ProfileCache {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for ProfileCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for ProfileCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for ProfileCache {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self::default())
+    }
 }
 
 impl Network {
@@ -48,6 +144,7 @@ impl Network {
             noise,
             seed,
             faults: FaultPlan::default(),
+            cache: ProfileCache::default(),
         }
     }
 
@@ -142,8 +239,17 @@ impl Network {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let pair_key = derive((lo as u64) << 32 | hi as u64, 0x5052_4F42); // "PROB"
         let mut rng = stream_rng2(self.seed, pair_key, nonce);
-        let profile = self.profiles[a].combine(&self.profiles[b]);
-        self.noise.measure(base, &profile, &mut rng)
+        self.noise.measure(base, self.combined_profile(a, b), &mut rng)
+    }
+
+    /// The combined noise profile of a probe between `a` and `b`, from
+    /// the lazily built pairwise table. Bit-identical to computing
+    /// `profiles[a].combine(&profiles[b])` on every probe.
+    fn combined_profile(&self, a: usize, b: usize) -> &NoiseProfile {
+        self.cache
+            .0
+            .get_or_init(|| ProfileTable::build(&self.profiles))
+            .pair(a, b)
     }
 
     /// The node's noise profile.
@@ -388,6 +494,36 @@ mod tests {
         assert_eq!(net.try_measure_rtt(5, 6, 0, 0), ProbeOutcome::TimedOut);
         assert_eq!(net.try_measure_rtt(6, 5, 0, 0), ProbeOutcome::TimedOut);
         assert!(net.try_measure_rtt(6, 7, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn combined_profile_table_matches_direct_combine() {
+        let pl = PlanetLabConfig::small(50).generate(2);
+        let net = Network::from_planetlab(pl, 2);
+        for a in 0..net.len() {
+            for b in 0..net.len() {
+                if a == b {
+                    continue;
+                }
+                let direct = net.profiles[a].combine(&net.profiles[b]);
+                let cached = net.combined_profile(a, b);
+                assert!(
+                    same_bits(&direct, cached),
+                    "pair ({a}, {b}): {direct:?} vs {cached:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_cache_is_invisible_to_clone_and_eq() {
+        let net = network();
+        // Warm the cache on one side only; equality and measurements
+        // must not notice.
+        let warm = net.clone();
+        warm.measure_rtt(3, 17, 5);
+        assert_eq!(net, warm);
+        assert_eq!(net.measure_rtt(3, 17, 5), warm.measure_rtt(3, 17, 5));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A single NPS node.
 
 use crate::config::NpsConfig;
-use crate::simplex::nelder_mead;
+use crate::simplex::NelderMeadScratch;
 use ices_coord::{relative_error, Coordinate, Embedding, PeerSample, StepOutcome};
 use ices_stats::ewma::Ewma;
 use ices_stats::rng::SimRng;
@@ -36,6 +36,53 @@ pub struct NpsNode {
     steps: u64,
     rounds: u64,
     rng: SimRng,
+    /// Solver workspace reused across restarts and rounds. Pure scratch:
+    /// not part of the node's semantic state — it serializes as `null`
+    /// and deserialized nodes start with a cold workspace.
+    scratch: SolveScratch,
+}
+
+/// Flattened per-solve inputs plus the Nelder–Mead workspace.
+///
+/// `solve()` copies the round's reference-point coordinates and RTTs
+/// into these flat buffers once, then the objective kernel streams over
+/// plain `&[f64]` slices — no `Coordinate` construction per evaluation.
+#[derive(Debug, Clone, Default)]
+struct SolveScratch {
+    nm: NelderMeadScratch,
+    /// Reference-point positions, **dimension-major** `dims × samples`
+    /// (structure-of-arrays): per-dimension rows keep the kernel's inner
+    /// loops lane-independent, so they vectorize without any
+    /// reassociation.
+    rp_soa: Vec<f64>,
+    /// Reference-point coordinate heights, one per sample.
+    rp_heights: Vec<f64>,
+    /// Measured RTTs, one per sample.
+    rtts: Vec<f64>,
+    /// RTTs again, sorted for the median.
+    sorted_rtts: Vec<f64>,
+    /// Per-sample squared-distance accumulators (kernel buffer).
+    sq: Vec<f64>,
+    /// Per-sample squared relative errors (kernel buffer).
+    terms: Vec<f64>,
+    /// Starting point of the current restart.
+    start: Vec<f64>,
+    /// Best solution across restarts.
+    best_x: Vec<f64>,
+}
+
+// The vendored serde derive has no `#[serde(skip)]`, so the workspace
+// opts out by hand: it encodes as `null` and always deserializes cold.
+impl Serialize for SolveScratch {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for SolveScratch {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self::default())
+    }
 }
 
 impl NpsNode {
@@ -54,6 +101,7 @@ impl NpsNode {
             steps: 0,
             rounds: 0,
             rng,
+            scratch: SolveScratch::default(),
         }
     }
 
@@ -152,50 +200,146 @@ impl NpsNode {
     /// the best.
     fn solve(&mut self, samples: &[PeerSample]) -> Coordinate {
         debug_assert!(!samples.is_empty());
-        let median_rtt = {
-            let mut rtts: Vec<f64> = samples.iter().map(|s| s.rtt_ms).collect();
-            rtts.sort_by(f64::total_cmp);
-            rtts[rtts.len() / 2]
-        };
-        let objective = |x: &[f64]| -> f64 {
-            let candidate = Coordinate::euclidean(x.to_vec());
-            samples
-                .iter()
-                .map(|s| {
-                    let est = candidate.distance(&s.peer_coord);
-                    ((est - s.rtt_ms) / s.rtt_ms).powi(2)
-                })
-                .sum()
-        };
+        let dims = self.config.space.dims();
+        let scratch = &mut self.scratch;
+
+        // Flatten the reference set once per solve (transposed to
+        // dimension-major); the objective kernel then streams over plain
+        // slices. Rows are padded to a whole number of cache lines (the
+        // pad lanes are never read) so each dimension row starts aligned.
+        let ns = samples.len();
+        let stride = (ns + 7) & !7;
+        scratch.rp_soa.clear();
+        scratch.rp_soa.resize(dims * stride, 0.0);
+        scratch.rp_heights.clear();
+        scratch.rtts.clear();
+        for (s_idx, s) in samples.iter().enumerate() {
+            for (d, &p) in s.peer_coord.position().iter().enumerate() {
+                scratch.rp_soa[d * stride + s_idx] = p;
+            }
+            scratch.rp_heights.push(s.peer_coord.height());
+            scratch.rtts.push(s.rtt_ms);
+        }
+        scratch.sq.clear();
+        scratch.sq.resize(ns, 0.0);
+        scratch.terms.clear();
+        scratch.terms.resize(ns, 0.0);
+        scratch.sorted_rtts.clear();
+        scratch.sorted_rtts.extend_from_slice(&scratch.rtts);
+        scratch.sorted_rtts.sort_by(f64::total_cmp);
+        let median_rtt = scratch.sorted_rtts[scratch.sorted_rtts.len() / 2];
         let step = (median_rtt / 4.0).max(1.0);
-        let mut best: Option<(f64, Vec<f64>)> = None;
+
+        let SolveScratch {
+            nm,
+            rp_soa,
+            rp_heights,
+            rtts,
+            sq,
+            terms,
+            start,
+            best_x,
+            ..
+        } = scratch;
+        // Bind plain slices once so the objective closure captures flat
+        // pointers, not `&mut Vec` indirections.
+        let rp_soa = &rp_soa[..];
+        let rp_heights = &rp_heights[..];
+        let rtts = &rtts[..];
+        let sq = &mut sq[..];
+        let terms = &mut terms[..];
+        let mut best: Option<f64> = None;
         for restart in 0..self.config.solver_restarts {
-            let start: Vec<f64> = if restart == 0 {
-                self.coordinate.position().to_vec()
+            start.clear();
+            if restart == 0 {
+                start.extend_from_slice(self.coordinate.position());
             } else {
                 // A random point at the network's scale.
-                (0..self.config.space.dims())
-                    .map(|_| (self.rng.random::<f64>() * 2.0 - 1.0) * median_rtt)
-                    .collect()
-            };
-            let result = nelder_mead(
-                &objective,
-                &start,
+                for _ in 0..dims {
+                    start.push((self.rng.random::<f64>() * 2.0 - 1.0) * median_rtt);
+                }
+            }
+            let stats = nm.minimize(
+                |x| flat_objective(x, rp_soa, stride, rp_heights, rtts, sq, terms),
+                start,
                 step,
                 self.config.solver_max_iter,
                 self.config.solver_tol,
             );
-            if best
-                .as_ref()
-                .map(|(v, _)| result.value < *v)
-                .unwrap_or(true)
-            {
-                best = Some((result.value, result.x));
+            if best.map(|v| stats.value < v).unwrap_or(true) {
+                best = Some(stats.value);
+                best_x.clear();
+                best_x.extend_from_slice(nm.best_point());
             }
         }
-        // audit:allow(PANIC01): solver_restarts >= 1 (config invariant), so the restart loop always ran at least once
-        Coordinate::euclidean(best.expect("at least one restart").1)
+        // solver_restarts >= 1 (config invariant), so best_x was written
+        // by at least one restart.
+        Coordinate::euclidean(best_x.clone())
     }
+}
+
+/// The GNP objective over flat slices: the sum of squared relative
+/// errors of candidate `x` against every reference point.
+///
+/// Bit-for-bit identical to evaluating `Coordinate::euclidean(x)` and
+/// `Coordinate::distance` per sample, but laid out for vectorization:
+/// every loop except the final reduction is lane-independent across
+/// samples, so the compiler may pack lanes freely — each lane executes
+/// the exact scalar IEEE op sequence, no reassociation required.
+///
+/// Per sample the operation order is preserved exactly: the
+/// squared-difference accumulator advances in component order from 0.0
+/// (as `vector::distance`'s `sum()` does); the candidate's height is
+/// zero, so `sqrt(sq) + peer_height` reproduces
+/// `dist + self.height + other.height` (`d + 0.0` is exact for the
+/// non-negative `d` a square root returns); and the final sum adds the
+/// per-sample terms in sample order from 0.0.
+#[inline(always)]
+fn flat_objective(
+    x: &[f64],
+    rp_soa: &[f64],
+    stride: usize,
+    rp_heights: &[f64],
+    rtts: &[f64],
+    sq: &mut [f64],
+    terms: &mut [f64],
+) -> f64 {
+    debug_assert!(!x.is_empty(), "candidate point must have dimensions");
+    // sq[s] += (x_d − p_{s,d})² in dimension order — per-sample order
+    // identical to the scalar distance, lanes independent across `s`.
+    // Rows are `stride`-spaced (cache-line padded); the pad is dead.
+    // The first dimension initializes the accumulators outright: a
+    // square is never −0.0, so `0.0 + diff²` is bitwise `diff²` and the
+    // explicit zeroing pass can be skipped.
+    let mut rows = x.iter().zip(rp_soa.chunks_exact(stride));
+    if let Some((&xd, row)) = rows.next() {
+        for (q, &p) in sq.iter_mut().zip(row) {
+            let diff = xd - p;
+            *q = diff * diff;
+        }
+    }
+    for (&xd, row) in rows {
+        for (q, &p) in sq.iter_mut().zip(row) {
+            let diff = xd - p;
+            *q += diff * diff;
+        }
+    }
+    for (((t, &q), &height), &rtt) in
+        terms.iter_mut().zip(sq.iter()).zip(rp_heights).zip(rtts)
+    {
+        debug_assert!(
+            rtt > 0.0,
+            "non-positive RTT {rtt} reached the objective kernel"
+        );
+        let est = q.sqrt() + height;
+        let rel = (est - rtt) / rtt;
+        *t = rel * rel;
+    }
+    let mut total = 0.0;
+    for &t in terms.iter() {
+        total += t;
+    }
+    total
 }
 
 fn fit_error(coord: &Coordinate, sample: &PeerSample) -> f64 {
@@ -227,6 +371,18 @@ impl Embedding for NpsNode {
     }
 
     fn apply_step(&mut self, sample: &PeerSample) -> StepOutcome {
+        // A zero, negative, or non-finite RTT is a broken measurement:
+        // the GNP objective divides by it, so one such sample would feed
+        // NaN/Inf into every evaluation of the round's solve. Refuse to
+        // buffer it — the node observes nothing and the coordinate
+        // holds.
+        if !(sample.rtt_ms.is_finite() && sample.rtt_ms > 0.0) {
+            return StepOutcome {
+                relative_error: f64::INFINITY,
+                local_error: self.local_error(),
+                moved: false,
+            };
+        }
         let d = relative_error(&self.coordinate, &sample.peer_coord, sample.rtt_ms);
         self.local_error.update(d);
         self.round.push(sample.clone());
@@ -291,6 +447,22 @@ mod tests {
         }
         assert_eq!(n.pending_samples(), 3);
         assert_eq!(n.coordinate(), &before);
+    }
+
+    #[test]
+    fn non_positive_rtt_samples_are_rejected() {
+        let mut n = NpsNode::new(0, small_config(), 9);
+        let before_err = n.local_error();
+        let mut bad = anchors_and_samples(&[30.0, 40.0]).remove(0);
+        for rtt in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            bad.rtt_ms = rtt;
+            let out = n.apply_step(&bad);
+            assert!(!out.moved);
+            assert!(out.relative_error.is_infinite());
+        }
+        assert_eq!(n.pending_samples(), 0, "broken samples must not buffer");
+        assert_eq!(n.steps(), 0);
+        assert_eq!(n.local_error(), before_err, "EWMA must not absorb garbage");
     }
 
     #[test]

@@ -7,6 +7,22 @@
 //!
 //! Standard coefficients: reflection 1, expansion 2, contraction ½,
 //! shrink ½.
+//!
+//! The solver runs inside every NPS positioning round, so the hot entry
+//! point is [`NelderMeadScratch::minimize`]: the simplex lives in one
+//! flat row-major buffer and every intermediate (centroid, reflection,
+//! expansion/contraction candidate, vertex ordering) is a preallocated
+//! buffer reused across iterations and across calls. After the first
+//! call at a given dimensionality, an iteration performs zero heap
+//! allocations. The free function [`nelder_mead`] is a thin shim that
+//! builds a one-shot scratch, for callers that don't care.
+//!
+//! Bit-for-bit guarantee: `minimize` executes the exact floating-point
+//! operation sequence of the original allocating implementation — same
+//! evaluation order, same accumulation order, same tie-breaking (the
+//! vertex ordering maintains the permutation a stable sort of the
+//! identity produces, i.e. sorted by `(value, vertex index)`). The
+//! golden `to_bits` regression tests pin this.
 
 /// Result of a Nelder–Mead run.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,10 +38,350 @@ pub struct NelderMeadResult {
     pub converged: bool,
 }
 
+/// Outcome of a scratch-based run; the best point itself stays in the
+/// scratch (read it with [`NelderMeadScratch::best_point`]) so the
+/// solver never has to allocate for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadStats {
+    /// Objective value at the best point.
+    pub value: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the simplex diameter converged below tolerance.
+    pub converged: bool,
+}
+
 const ALPHA: f64 = 1.0; // reflection
 const GAMMA: f64 = 2.0; // expansion
 const RHO: f64 = 0.5; // contraction
 const SIGMA: f64 = 0.5; // shrink
+
+/// Reusable workspace for Nelder–Mead runs.
+///
+/// All buffers are grown on demand and kept between calls, so repeated
+/// solves at the same dimensionality (the NPS restart loop, successive
+/// rounds) never touch the allocator: after warm-up, `minimize` performs
+/// zero heap allocations per iteration — the `&mut self` contract is
+/// exactly that the workspace owns every byte the solver needs.
+#[derive(Debug, Clone, Default)]
+pub struct NelderMeadScratch {
+    /// The simplex: `n + 1` vertices of dimension `n`, flat row-major.
+    simplex: Vec<f64>,
+    /// Objective value of each vertex.
+    values: Vec<f64>,
+    /// Vertex indices sorted by `(value, index)` — the permutation a
+    /// stable sort of `0..=n` by value produces. Maintained
+    /// incrementally: accepted moves re-insert the single replaced
+    /// vertex; only a shrink (which re-evaluates every vertex) rebuilds.
+    order: Vec<usize>,
+    /// Centroid of all vertices but the worst.
+    centroid: Vec<f64>,
+    /// Reflection candidate.
+    reflect: Vec<f64>,
+    /// Expansion *and* contraction candidate (never both live at once).
+    expand: Vec<f64>,
+    /// Copy of the best vertex pinned during an in-place shrink.
+    best_copy: Vec<f64>,
+    /// Best point of the last run.
+    best_x: Vec<f64>,
+}
+
+/// Dimensionality parameter for the solver core: either a compile-time
+/// constant (so the per-iteration loops unroll and vectorize into
+/// straight-line code) or a runtime value. Both instantiations are the
+/// same source body, so they execute the same floating-point operation
+/// sequence — monomorphization changes code generation, never op order.
+trait Dim: Copy {
+    fn get(self) -> usize;
+}
+
+/// Compile-time dimensionality (the production NPS configuration runs
+/// 8-d, so `Fixed::<8>` carries the hot path).
+#[derive(Copy, Clone)]
+struct Fixed<const N: usize>;
+
+impl<const N: usize> Dim for Fixed<N> {
+    #[inline(always)]
+    fn get(self) -> usize {
+        N
+    }
+}
+
+/// Runtime dimensionality — the fallback for every other `n`.
+#[derive(Copy, Clone)]
+struct Dyn(usize);
+
+impl Dim for Dyn {
+    #[inline(always)]
+    fn get(self) -> usize {
+        self.0
+    }
+}
+
+/// `(value, index)` strict less-than — the total order the vertex
+/// ranking maintains. Ties on value break by vertex index, which is
+/// exactly what a stable sort of the identity permutation yields.
+#[inline]
+fn rank_less(values: &[f64], a: usize, b: usize) -> bool {
+    match values[a].total_cmp(&values[b]) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a < b,
+    }
+}
+
+/// Rebuild `order` as `0..values.len()` sorted by `(value, index)`.
+/// Insertion sort: the simplex has at most a handful of vertices.
+fn rebuild_order(order: &mut Vec<usize>, values: &[f64]) {
+    order.clear();
+    for i in 0..values.len() {
+        order.push(i);
+        let mut j = order.len() - 1;
+        while j > 0 && rank_less(values, order[j], order[j - 1]) {
+            order.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+/// Re-insert the (just replaced) last-ranked vertex into its sorted
+/// position after its value changed.
+fn reposition_last(order: &mut [usize], values: &[f64]) {
+    let mut j = order.len() - 1;
+    let moved = order[j];
+    while j > 0 && rank_less(values, moved, order[j - 1]) {
+        order[j] = order[j - 1];
+        j -= 1;
+    }
+    order[j] = moved;
+}
+
+impl NelderMeadScratch {
+    /// Create an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Best point found by the most recent [`minimize`](Self::minimize)
+    /// call. Empty before the first call.
+    pub fn best_point(&self) -> &[f64] {
+        &self.best_x
+    }
+
+    /// Size every buffer for dimensionality `n` without shrinking
+    /// capacity, so repeat calls at the same `n` never reallocate.
+    fn prepare(&mut self, n: usize) {
+        self.simplex.clear();
+        self.simplex.resize((n + 1) * n, 0.0);
+        self.values.clear();
+        self.values.reserve(n + 1);
+        self.order.clear();
+        self.order.reserve(n + 1);
+        self.centroid.clear();
+        self.centroid.resize(n, 0.0);
+        self.reflect.clear();
+        self.reflect.resize(n, 0.0);
+        self.expand.clear();
+        self.expand.resize(n, 0.0);
+        self.best_copy.clear();
+        self.best_copy.resize(n, 0.0);
+        self.best_x.reserve(n);
+    }
+
+    /// Minimize `f` starting from `x0`, building the initial simplex by
+    /// stepping `initial_step` along each axis.
+    ///
+    /// Stops when the simplex's objective spread and diameter fall below
+    /// `tol`, or after `max_iter` iterations. The best point is left in
+    /// the scratch — read it with [`best_point`](Self::best_point).
+    ///
+    /// # Panics
+    /// Panics if `x0` is empty, `initial_step` is not positive, `tol` is
+    /// not positive, or `f` returns NaN at the starting point.
+    pub fn minimize(
+        &mut self,
+        f: impl FnMut(&[f64]) -> f64,
+        x0: &[f64],
+        initial_step: f64,
+        max_iter: usize,
+        tol: f64,
+    ) -> NelderMeadStats {
+        assert!(!x0.is_empty(), "cannot optimize a zero-dimensional point");
+        assert!(initial_step > 0.0, "initial_step must be positive");
+        assert!(tol > 0.0, "tol must be positive");
+        // Dispatch to a monomorphized core when the dimensionality is the
+        // production one: with `n` a compile-time constant the centroid /
+        // reflect / shrink loops become straight-line vector code. Both
+        // arms run the identical source body (see [`Dim`]).
+        match x0.len() {
+            8 => self.minimize_impl(Fixed::<8>, f, x0, initial_step, max_iter, tol),
+            n => self.minimize_impl(Dyn(n), f, x0, initial_step, max_iter, tol),
+        }
+    }
+
+    fn minimize_impl<D: Dim>(
+        &mut self,
+        dim: D,
+        mut f: impl FnMut(&[f64]) -> f64,
+        x0: &[f64],
+        initial_step: f64,
+        max_iter: usize,
+        tol: f64,
+    ) -> NelderMeadStats {
+        let n = dim.get();
+        debug_assert_eq!(n, x0.len());
+        self.prepare(n);
+
+        // Re-slice every buffer through the `Dim`-provided length so the
+        // monomorphized instantiation sees compile-time trip counts (the
+        // `Vec` lengths alone are opaque to the optimizer). Pure
+        // re-slicing — no arithmetic is touched.
+        let Self {
+            simplex,
+            values,
+            order,
+            centroid,
+            reflect,
+            expand,
+            best_copy,
+            best_x,
+        } = self;
+        let simplex = &mut simplex[..(n + 1) * n];
+        let centroid = &mut centroid[..n];
+        let reflect = &mut reflect[..n];
+        let expand = &mut expand[..n];
+        let best_copy = &mut best_copy[..n];
+
+        // Initial simplex: x0 plus one axis-step vertex per dimension.
+        for (row, v) in simplex.chunks_exact_mut(n).enumerate() {
+            v.copy_from_slice(x0);
+            if row > 0 {
+                v[row - 1] += initial_step;
+            }
+        }
+        for v in simplex.chunks_exact(n) {
+            let value = f(v);
+            values.push(value);
+        }
+        assert!(!values[0].is_nan(), "objective is NaN at the starting point");
+        let values = &mut values[..n + 1];
+        rebuild_order(order, values);
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < max_iter {
+            iterations += 1;
+
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+
+            // Convergence: objective spread and simplex diameter. The
+            // O(n²) diameter is only consulted once the spread is below
+            // tolerance (`&&` short-circuit), so the common far-from-
+            // converged iteration skips it entirely — a pure-function
+            // elision with no observable effect.
+            let spread = values[worst] - values[best];
+            if spread.abs() < tol {
+                let best_row = &simplex[best * n..(best + 1) * n];
+                let diameter = simplex
+                    .chunks_exact(n)
+                    .map(|v| {
+                        v.iter()
+                            .zip(best_row)
+                            .map(|(a, b)| (a - b).abs())
+                            .fold(0.0, f64::max)
+                    })
+                    .fold(0.0, f64::max);
+                if diameter < tol {
+                    converged = true;
+                    break;
+                }
+            }
+
+            // Centroid of all but the worst vertex: rows below the worst,
+            // then rows above it — the same row-ascending accumulation
+            // order as a skip-one scan, without a per-row branch.
+            for c in centroid.iter_mut() {
+                *c = 0.0;
+            }
+            for v in simplex[..worst * n].chunks_exact(n) {
+                for (c, &x) in centroid.iter_mut().zip(v) {
+                    *c += x;
+                }
+            }
+            for v in simplex[(worst + 1) * n..].chunks_exact(n) {
+                for (c, &x) in centroid.iter_mut().zip(v) {
+                    *c += x;
+                }
+            }
+            for c in centroid.iter_mut() {
+                *c /= n as f64;
+            }
+
+            let worst_row = &simplex[worst * n..(worst + 1) * n];
+            for ((r, c), w) in reflect.iter_mut().zip(centroid.iter()).zip(worst_row) {
+                *r = c + ALPHA * (c - w);
+            }
+            let f_reflect = f(reflect);
+
+            if f_reflect < values[best] {
+                // Try expanding further.
+                for ((e, c), w) in expand.iter_mut().zip(centroid.iter()).zip(worst_row) {
+                    *e = c + GAMMA * (c - w);
+                }
+                let f_expand = f(expand);
+                if f_expand < f_reflect {
+                    simplex[worst * n..(worst + 1) * n].copy_from_slice(expand);
+                    values[worst] = f_expand;
+                } else {
+                    simplex[worst * n..(worst + 1) * n].copy_from_slice(reflect);
+                    values[worst] = f_reflect;
+                }
+                reposition_last(order, values);
+            } else if f_reflect < values[second_worst] {
+                simplex[worst * n..(worst + 1) * n].copy_from_slice(reflect);
+                values[worst] = f_reflect;
+                reposition_last(order, values);
+            } else {
+                // Contract toward the centroid (reusing the expansion
+                // buffer — the two candidates are never live together).
+                for ((e, c), w) in expand.iter_mut().zip(centroid.iter()).zip(worst_row) {
+                    *e = c + RHO * (w - c);
+                }
+                let f_contract = f(expand);
+                if f_contract < values[worst] {
+                    simplex[worst * n..(worst + 1) * n].copy_from_slice(expand);
+                    values[worst] = f_contract;
+                    reposition_last(order, values);
+                } else {
+                    // Shrink everything toward the best vertex, in place.
+                    best_copy.copy_from_slice(&simplex[best * n..(best + 1) * n]);
+                    for (i, v) in simplex.chunks_exact_mut(n).enumerate() {
+                        if i != best {
+                            for (x, &b) in v.iter_mut().zip(best_copy.iter()) {
+                                *x = b + SIGMA * (*x - b);
+                            }
+                            values[i] = f(v);
+                        }
+                    }
+                    rebuild_order(order, values);
+                }
+            }
+        }
+
+        let best = (0..=n)
+            .min_by(|&a, &b| values[a].total_cmp(&values[b]))
+            .unwrap_or(0);
+        best_x.clear();
+        best_x.extend_from_slice(&simplex[best * n..(best + 1) * n]);
+        NelderMeadStats {
+            value: values[best],
+            iterations,
+            converged,
+        }
+    }
+}
 
 /// Minimize `f` starting from `x0`, building the initial simplex by
 /// stepping `initial_step` along each axis.
@@ -33,135 +389,26 @@ const SIGMA: f64 = 0.5; // shrink
 /// Stops when the simplex's objective spread and diameter fall below
 /// `tol`, or after `max_iter` iterations.
 ///
+/// Thin shim over [`NelderMeadScratch::minimize`] for one-shot callers;
+/// hot paths should hold a scratch and call it directly.
+///
 /// # Panics
 /// Panics if `x0` is empty, `initial_step` is not positive, `tol` is not
 /// positive, or `f` returns NaN at the starting point.
 pub fn nelder_mead(
-    mut f: impl FnMut(&[f64]) -> f64,
+    f: impl FnMut(&[f64]) -> f64,
     x0: &[f64],
     initial_step: f64,
     max_iter: usize,
     tol: f64,
 ) -> NelderMeadResult {
-    assert!(!x0.is_empty(), "cannot optimize a zero-dimensional point");
-    assert!(initial_step > 0.0, "initial_step must be positive");
-    assert!(tol > 0.0, "tol must be positive");
-    let n = x0.len();
-
-    // Initial simplex: x0 plus one axis-step vertex per dimension.
-    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-    simplex.push(x0.to_vec());
-    for d in 0..n {
-        let mut v = x0.to_vec();
-        v[d] += initial_step;
-        simplex.push(v);
-    }
-    let mut values: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
-    assert!(
-        !values[0].is_nan(),
-        "objective is NaN at the starting point"
-    );
-
-    let mut iterations = 0;
-    let mut converged = false;
-    while iterations < max_iter {
-        iterations += 1;
-
-        // Order vertices by objective.
-        let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
-        let best = order[0];
-        let worst = order[n];
-        let second_worst = order[n - 1];
-
-        // Convergence: objective spread and simplex diameter.
-        let spread = values[worst] - values[best];
-        let diameter = simplex
-            .iter()
-            .map(|v| {
-                v.iter()
-                    .zip(&simplex[best])
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0, f64::max)
-            })
-            .fold(0.0, f64::max);
-        if spread.abs() < tol && diameter < tol {
-            converged = true;
-            break;
-        }
-
-        // Centroid of all but the worst vertex.
-        let mut centroid = vec![0.0; n];
-        for (i, v) in simplex.iter().enumerate() {
-            if i != worst {
-                for (c, &x) in centroid.iter_mut().zip(v) {
-                    *c += x;
-                }
-            }
-        }
-        for c in &mut centroid {
-            *c /= n as f64;
-        }
-
-        let reflect: Vec<f64> = centroid
-            .iter()
-            .zip(&simplex[worst])
-            .map(|(c, w)| c + ALPHA * (c - w))
-            .collect();
-        let f_reflect = f(&reflect);
-
-        if f_reflect < values[best] {
-            // Try expanding further.
-            let expand: Vec<f64> = centroid
-                .iter()
-                .zip(&simplex[worst])
-                .map(|(c, w)| c + GAMMA * (c - w))
-                .collect();
-            let f_expand = f(&expand);
-            if f_expand < f_reflect {
-                simplex[worst] = expand;
-                values[worst] = f_expand;
-            } else {
-                simplex[worst] = reflect;
-                values[worst] = f_reflect;
-            }
-        } else if f_reflect < values[second_worst] {
-            simplex[worst] = reflect;
-            values[worst] = f_reflect;
-        } else {
-            // Contract toward the centroid.
-            let contract: Vec<f64> = centroid
-                .iter()
-                .zip(&simplex[worst])
-                .map(|(c, w)| c + RHO * (w - c))
-                .collect();
-            let f_contract = f(&contract);
-            if f_contract < values[worst] {
-                simplex[worst] = contract;
-                values[worst] = f_contract;
-            } else {
-                // Shrink everything toward the best vertex.
-                let best_point = simplex[best].clone();
-                for (i, v) in simplex.iter_mut().enumerate() {
-                    if i != best {
-                        for (x, &b) in v.iter_mut().zip(&best_point) {
-                            *x = b + SIGMA * (*x - b);
-                        }
-                        values[i] = f(v);
-                    }
-                }
-            }
-        }
-    }
-
-    let best = (0..=n)
-        .min_by(|&a, &b| values[a].total_cmp(&values[b]))
-        .unwrap_or(0);
+    let mut scratch = NelderMeadScratch::new();
+    let stats = scratch.minimize(f, x0, initial_step, max_iter, tol);
     NelderMeadResult {
-        x: simplex[best].clone(),
-        value: values[best],
-        iterations,
-        converged,
+        x: scratch.best_x,
+        value: stats.value,
+        iterations: stats.iterations,
+        converged: stats.converged,
     }
 }
 
@@ -270,6 +517,43 @@ mod tests {
             "recovered {:?}",
             r.x
         );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One workspace reused across different objectives and
+        // dimensionalities must reproduce each one-shot result exactly.
+        let bowl = |x: &[f64]| -> f64 { x.iter().map(|v| (v - 3.0) * (v - 3.0)).sum() };
+        let rosen = |x: &[f64]| {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let mut scratch = NelderMeadScratch::new();
+        for _ in 0..3 {
+            let stats = scratch.minimize(rosen, &[-1.2, 1.0], 0.5, 5000, 1e-12);
+            let fresh = nelder_mead(rosen, &[-1.2, 1.0], 0.5, 5000, 1e-12);
+            assert_eq!(scratch.best_point(), &fresh.x[..]);
+            assert_eq!(stats.value.to_bits(), fresh.value.to_bits());
+            assert_eq!(stats.iterations, fresh.iterations);
+            assert_eq!(stats.converged, fresh.converged);
+
+            // Interleave a different dimensionality to exercise regrowth.
+            let stats = scratch.minimize(bowl, &[0.0; 5], 1.0, 2000, 1e-10);
+            let fresh = nelder_mead(bowl, &[0.0; 5], 1.0, 2000, 1e-10);
+            assert_eq!(scratch.best_point(), &fresh.x[..]);
+            assert_eq!(stats.value.to_bits(), fresh.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_order_handles_ties() {
+        // A flat objective makes every vertex value identical, so the
+        // ordering is decided purely by the stable-sort index tie-break;
+        // every iteration shrinks until the diameter converges.
+        let r = nelder_mead(|_| 1.0, &[2.0, 4.0], 1.0, 100, 1e-6);
+        assert_eq!(r.value, 1.0);
+        assert!(r.converged, "flat objective converges by diameter");
+        assert_eq!(r.x, vec![2.0, 4.0], "tie-break keeps the first vertex");
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Golden `to_bits` regression tests for the Nelder–Mead solver.
+//!
+//! The expected values were captured from the original (allocating)
+//! implementation before the scratch-space rewrite; the optimized solver
+//! must reproduce every bit. Any future "optimization" that perturbs the
+//! floating-point operation order — reassociating the accumulation,
+//! changing the vertex tie-break, fusing operations — fails here loudly
+//! instead of silently shifting every simulation result downstream.
+
+use ices_nps::{nelder_mead, NelderMeadResult};
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[track_caller]
+fn assert_bits(r: &NelderMeadResult, x_bits: &[u64], value_bits: u64, iterations: usize, converged: bool) {
+    let got: Vec<u64> = r.x.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, x_bits, "x drifted: {:?}", r.x);
+    assert_eq!(r.value.to_bits(), value_bits, "value drifted: {}", r.value);
+    assert_eq!(r.iterations, iterations, "iteration count drifted");
+    assert_eq!(r.converged, converged, "convergence flag drifted");
+}
+
+#[test]
+fn rosenbrock_2d_bits_are_stable() {
+    let rosen = |x: &[f64]| {
+        let (a, b) = (x[0], x[1]);
+        (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+    };
+    let r = nelder_mead(rosen, &[-1.2, 1.0], 0.5, 5000, 1e-12);
+    assert_bits(
+        &r,
+        &[4607182418800017448, 4607182418800017573],
+        4226092822484221952,
+        150,
+        true,
+    );
+}
+
+#[test]
+fn gnp_2d_objective_bits_are_stable() {
+    // 5 anchors, exact distances to a hidden point — the GNP objective
+    // shape an NPS node minimizes every round.
+    let anchors: [[f64; 2]; 5] = [
+        [0.0, 0.0],
+        [100.0, 0.0],
+        [0.0, 100.0],
+        [100.0, 100.0],
+        [50.0, 120.0],
+    ];
+    let truth = [37.0, 61.0];
+    let rtts: Vec<f64> = anchors.iter().map(|a| dist(a, &truth)).collect();
+    let objective = |x: &[f64]| -> f64 {
+        anchors
+            .iter()
+            .zip(&rtts)
+            .map(|(a, &rtt)| {
+                let est = dist(a, x);
+                ((est - rtt) / rtt).powi(2)
+            })
+            .sum()
+    };
+    let r = nelder_mead(objective, &[0.0, 0.0], 10.0, 5000, 1e-14);
+    assert_bits(
+        &r,
+        &[4630404104378646528, 4633781804099174400],
+        0, // the solve bottoms out at exactly +0.0
+        139,
+        true,
+    );
+}
+
+#[test]
+fn gnp_8d_objective_bits_are_stable() {
+    // The paper's 8-d configuration: 20 deterministic anchors, iteration
+    // cap at the production solver_max_iter so the capped path is pinned
+    // too.
+    let truth: Vec<f64> = (0..8).map(|i| 10.0 * i as f64).collect();
+    let anchors: Vec<Vec<f64>> = (0..20usize)
+        .map(|k| {
+            (0..8)
+                .map(|d| {
+                    if (k + d) % 3 == 0 {
+                        100.0
+                    } else {
+                        -30.0 * (d as f64 + 1.0) / (k as f64 + 1.0)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let rtts: Vec<f64> = anchors.iter().map(|a| dist(a, &truth)).collect();
+    let objective = |x: &[f64]| -> f64 {
+        anchors
+            .iter()
+            .zip(&rtts)
+            .map(|(a, &rtt)| {
+                let est = dist(a, x);
+                ((est - rtt) / rtt).powi(2)
+            })
+            .sum()
+    };
+    let r = nelder_mead(objective, &[0.0; 8], 25.0, 600, 1e-8);
+    assert_bits(
+        &r,
+        &[
+            13837690620005887472,
+            4624078763543945294,
+            4625399041461412575,
+            4632791086344457034,
+            4633923935935641159,
+            4633384838249820440,
+            4631526973022107598,
+            4632338435002074422,
+        ],
+        4547130067293897008,
+        600,
+        false,
+    );
+}

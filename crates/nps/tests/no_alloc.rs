@@ -1,0 +1,75 @@
+//! Counting-allocator proof of the scratch solver's zero-allocation
+//! contract: after a warm-up call, [`NelderMeadScratch::minimize`]
+//! performs no heap allocation at all — not per iteration, not per call.
+//!
+//! This integration test is its own binary with exactly one test, so the
+//! global counting allocator observes only the harness and the solver;
+//! the measured window brackets the solve alone.
+
+use ices_nps::NelderMeadScratch;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator with an allocation-event counter. `dealloc` is
+/// uncounted on purpose: freeing warm-up garbage is fine, acquiring new
+/// memory inside the measured window is not.
+struct CountingAllocator;
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is
+// a relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn rosenbrock(x: &[f64]) -> f64 {
+    let (a, b) = (x[0], x[1]);
+    (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+}
+
+fn bowl8(x: &[f64]) -> f64 {
+    x.iter().map(|v| (v - 3.0) * (v - 3.0)).sum()
+}
+
+#[test]
+fn warm_scratch_minimize_does_not_allocate() {
+    let mut scratch = NelderMeadScratch::new();
+    // Warm up both dimensionalities the measured window exercises.
+    scratch.minimize(rosenbrock, &[-1.2, 1.0], 0.5, 5000, 1e-12);
+    scratch.minimize(bowl8, &[0.0; 8], 1.0, 2000, 1e-10);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..5 {
+        let stats = scratch.minimize(rosenbrock, &[-1.2, 1.0], 0.5, 5000, 1e-12);
+        assert!(stats.converged);
+        let stats = scratch.minimize(bowl8, &[0.0; 8], 1.0, 2000, 1e-10);
+        assert!(stats.converged);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm NelderMeadScratch::minimize must not touch the allocator"
+    );
+}

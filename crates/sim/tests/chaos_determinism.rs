@@ -101,6 +101,31 @@ fn faulty_vivaldi_parallel_matches_sequential_bit_for_bit() {
     );
 }
 
+/// The scratch-space NPS solver reuses one per-node workspace across
+/// simplex restarts, successive rounds, and the security filter's trial
+/// solves. This extends the determinism suite over that kernel at a
+/// fresh seed: the `DetectionReport` — and every other observable — of
+/// a faulty NPS run must be bit-identical between the exact sequential
+/// path (`ICES_THREADS=1`) and four workers, proving buffer reuse
+/// carries no state between evaluations or across the thread schedule.
+#[test]
+fn nps_scratch_solver_is_thread_count_invariant() {
+    let sequential = ices_par::with_threads(1, || nps_fingerprint(73));
+    let parallel = ices_par::with_threads(4, || nps_fingerprint(73));
+    assert!(
+        sequential.report.faults.total_failed_probes() > 0,
+        "the fault plan must actually fire for this test to mean anything"
+    );
+    assert_eq!(
+        sequential.report, parallel.report,
+        "DetectionReports diverged between thread counts"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "4-thread NPS run diverged from the sequential path"
+    );
+}
+
 #[test]
 fn faulty_nps_parallel_matches_sequential_bit_for_bit() {
     let sequential = ices_par::with_threads(1, || nps_fingerprint(67));

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Perf-regression guard: re-run the tick-engine benchmark and compare
+# the fresh numbers against the committed BENCH_sim.json baseline.
+# A >20% throughput drop in any configuration prints a loud PERF
+# WARNING but never fails the build — timings on shared hardware are
+# advisory; the warning is the signal to investigate (or to re-record
+# the baseline with rationale).
+#
+# Usage: scripts/bench_check.sh [bench_tick args, e.g. --scale test]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="$(mktemp)"
+trap 'rm -f "$baseline"' EXIT
+if [[ -f BENCH_sim.json ]]; then
+  cp BENCH_sim.json "$baseline"
+fi
+
+# Re-record BENCH_sim.json, then compare it with the saved baseline.
+cargo run --release -p ices-bench --bin bench_tick -- "$@"
+cargo run --release -p ices-bench --bin bench_check -- "$baseline" BENCH_sim.json

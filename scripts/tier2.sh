@@ -16,8 +16,9 @@ cargo test -q
 # machine-readable allowlist inventory).
 cargo run -q -p ices-audit -- --workspace --json
 
-# Tier 2: time the two-phase tick engine sequentially and on all
-# available workers, plus one faulty-network configuration per driver
-# (10% probe loss + churn) so the fault-injection layer's overhead is
-# tracked too; writes BENCH_sim.json at the repo root.
-cargo run --release -p ices-bench --bin bench_tick -- "$@"
+# Tier 2: time the two-phase tick engine sequentially and at host
+# parallelism, plus one faulty-network configuration per driver
+# (10% probe loss + churn) and the NPS solver microbenchmark; rewrites
+# BENCH_sim.json at the repo root and warns (non-fatally) if any
+# configuration regressed >20% against the committed baseline.
+scripts/bench_check.sh "$@"
