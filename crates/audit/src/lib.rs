@@ -184,6 +184,14 @@ pub fn workspace_targets(root: &Path) -> Vec<(PathBuf, FileContext)> {
 /// crate `adhoc` (all determinism rules armed), library kind, crate
 /// root iff the file is named `lib.rs`. Directories recurse.
 pub fn adhoc_targets(paths: &[PathBuf]) -> Vec<(PathBuf, FileContext)> {
+    adhoc_targets_as(paths, "adhoc")
+}
+
+/// [`adhoc_targets`] under a chosen crate context (`--context NAME`):
+/// lets explicit paths be audited with the rule set of a specific crate
+/// — e.g. `--context obs` arms OBS01, `--context bench` relaxes DET02 —
+/// which is how the fixture tests pin per-crate behavior.
+pub fn adhoc_targets_as(paths: &[PathBuf], crate_name: &str) -> Vec<(PathBuf, FileContext)> {
     let mut files = Vec::new();
     for path in paths {
         if path.is_dir() {
@@ -201,7 +209,7 @@ pub fn adhoc_targets(paths: &[PathBuf]) -> Vec<(PathBuf, FileContext)> {
                 .unwrap_or(false);
             let ctx = FileContext {
                 path: file.to_string_lossy().replace('\\', "/"),
-                crate_name: "adhoc".into(),
+                crate_name: crate_name.to_string(),
                 kind: FileKind::Lib,
                 is_crate_root: is_root,
             };

@@ -2,23 +2,25 @@
 //!
 //! ```text
 //! ices-audit --workspace [--json] [--root PATH]
-//! ices-audit [--json] PATH...
+//! ices-audit [--json] [--context CRATE] PATH...
 //! ```
 //!
 //! `--workspace` audits every `crates/*/src` file plus the root facade
 //! crate. Explicit paths are audited under the strictest context (all
-//! rules armed) — this is how the bad-fixture files are exercised.
+//! rules armed) — this is how the bad-fixture files are exercised —
+//! unless `--context CRATE` selects a specific crate's rule set (e.g.
+//! `--context obs` arms OBS01, `--context bench` relaxes DET02).
 //!
 //! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
 
-use ices_audit::{adhoc_targets, audit_targets, find_workspace_root, workspace_targets};
+use ices_audit::{adhoc_targets_as, audit_targets, find_workspace_root, workspace_targets};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ices-audit --workspace [--json] [--root PATH]\n\
-         \x20      ices-audit [--json] PATH..."
+         \x20      ices-audit [--json] [--context CRATE] PATH..."
     );
     ExitCode::from(2)
 }
@@ -27,6 +29,7 @@ fn main() -> ExitCode {
     let mut workspace = false;
     let mut json = false;
     let mut root_override: Option<PathBuf> = None;
+    let mut context = "adhoc".to_string();
     let mut paths: Vec<PathBuf> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -36,6 +39,10 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--root" => match args.next() {
                 Some(p) => root_override = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--context" => match args.next() {
+                Some(name) => context = name,
                 None => return usage(),
             },
             "--help" | "-h" => {
@@ -62,7 +69,7 @@ fn main() -> ExitCode {
         };
         workspace_targets(&root)
     } else if !paths.is_empty() {
-        adhoc_targets(&paths)
+        adhoc_targets_as(&paths, &context)
     } else {
         return usage();
     };

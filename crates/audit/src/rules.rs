@@ -16,6 +16,11 @@
 //!   (tests, examples, and binaries are exempt): probe/detector paths
 //!   must degrade through `Result`s, not abort a simulation.
 //! * **SAFE01** — every crate root carries `#![forbid(unsafe_code)]`.
+//! * **OBS01** — no wall-clock or entropy source anywhere in
+//!   `crates/obs`: observability time flows exclusively through the
+//!   `ices_obs::Clock` trait, and the only sanctioned wall-clock impl
+//!   lives in `crates/bench` (`WallClock`). Inside `crates/obs` this
+//!   rule supersedes DET02 — same triggers, sharper message.
 //! * **ALLOW01** — a malformed `audit:allow` (unknown rule or missing
 //!   reason). Never suppressible: the reason *is* the audit trail.
 //!
@@ -27,14 +32,16 @@ use crate::lexer::{lex, Comment, TokKind, Token};
 use serde::Serialize;
 
 /// Rule identifiers in report order.
-pub const RULE_IDS: [&str; 6] = ["DET01", "DET02", "DET03", "PANIC01", "SAFE01", "ALLOW01"];
+pub const RULE_IDS: [&str; 7] = [
+    "DET01", "DET02", "DET03", "PANIC01", "SAFE01", "OBS01", "ALLOW01",
+];
 
 /// Crates whose simulation state must stay bit-for-bit reproducible.
 /// (`stats` is the seeded-RNG substrate itself and `bench` is wall-clock
 /// territory by design; `adhoc` is the context explicit CLI paths get,
 /// which arms every rule.)
-pub const DETERMINISM_CRITICAL: [&str; 10] = [
-    "coord", "netsim", "vivaldi", "nps", "core", "attack", "sim", "par", "ices", "adhoc",
+pub const DETERMINISM_CRITICAL: [&str; 11] = [
+    "coord", "netsim", "vivaldi", "nps", "core", "attack", "sim", "par", "obs", "ices", "adhoc",
 ];
 
 /// How a file participates in its crate (decides PANIC01 exemptions).
@@ -288,6 +295,10 @@ pub fn audit_source(ctx: &FileContext, src: &str) -> FileReport {
     let det02_applies = ctx.crate_name != "bench";
     let det03_applies = ctx.crate_name != "par";
     let panic01_applies = ctx.kind == FileKind::Lib;
+    // Inside crates/obs the wall-clock rule carries the observability
+    // contract's name and message (and supersedes DET02 so one hazard
+    // never produces two findings).
+    let obs01 = ctx.crate_name == "obs";
 
     let push = |rule: &str, line: u32, message: String, out: &mut Vec<Finding>| {
         out.push(Finding {
@@ -345,29 +356,54 @@ pub fn audit_source(ctx: &FileContext, src: &str) -> FileReport {
                 );
             }
             "SystemTime" | "thread_rng" | "from_entropy" if det02_applies => {
-                push(
-                    "DET02",
-                    line,
-                    format!(
-                        "`{word}` is a wall-clock/entropy source; draw from a \
-                         named seeded nonce stream instead"
-                    ),
-                    &mut findings,
-                );
+                if obs01 {
+                    push(
+                        "OBS01",
+                        line,
+                        format!(
+                            "`{word}` in ices-obs; observability time must flow \
+                             through the `Clock` trait (the bench `WallClock` is \
+                             the only sanctioned wall-clock impl)"
+                        ),
+                        &mut findings,
+                    );
+                } else {
+                    push(
+                        "DET02",
+                        line,
+                        format!(
+                            "`{word}` is a wall-clock/entropy source; draw from a \
+                             named seeded nonce stream instead"
+                        ),
+                        &mut findings,
+                    );
+                }
             }
             "Instant" if det02_applies => {
                 if punct_at(tokens, i + 1) == Some(':')
                     && punct_at(tokens, i + 2) == Some(':')
                     && ident_at(tokens, i + 3) == Some("now")
                 {
-                    push(
-                        "DET02",
-                        line,
-                        "`Instant::now` is a wall-clock source; only `crates/bench` \
-                         may time things"
-                            .into(),
-                        &mut findings,
-                    );
+                    if obs01 {
+                        push(
+                            "OBS01",
+                            line,
+                            "`Instant::now` in ices-obs; observability time must \
+                             flow through the `Clock` trait (the bench `WallClock` \
+                             is the only sanctioned wall-clock impl)"
+                                .into(),
+                            &mut findings,
+                        );
+                    } else {
+                        push(
+                            "DET02",
+                            line,
+                            "`Instant::now` is a wall-clock source; only `crates/bench` \
+                             may time things"
+                                .into(),
+                            &mut findings,
+                        );
+                    }
                 }
             }
             "thread" if det03_applies => {
@@ -556,6 +592,27 @@ mod tests {
         let mut par = lib_ctx();
         par.crate_name = "par".into();
         assert!(audit_source(&par, src).findings.is_empty());
+    }
+
+    #[test]
+    fn obs_crate_reports_wallclock_as_obs01_not_det02() {
+        let src = "let t = Instant::now();\nlet s = SystemTime::now();\n";
+        let mut obs = lib_ctx();
+        obs.crate_name = "obs".into();
+        let r = audit_source(&obs, src);
+        assert_eq!(rules_of(&r), [("OBS01", 1, false), ("OBS01", 2, false)]);
+        assert!(r.findings.iter().all(|f| f.message.contains("Clock")));
+        // Elsewhere the same triggers stay DET02 — no double reporting.
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(rules_of(&r), [("DET02", 1, false), ("DET02", 2, false)]);
+    }
+
+    #[test]
+    fn obs_crate_is_determinism_critical() {
+        let src = "use std::collections::HashMap;\n";
+        let mut obs = lib_ctx();
+        obs.crate_name = "obs".into();
+        assert_eq!(rules_of(&audit_source(&obs, src)), [("DET01", 1, false)]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! right `file:line`, through the library API and through the binary
 //! (which must exit nonzero on it).
 
-use ices_audit::{adhoc_targets, audit_targets, Report};
+use ices_audit::{adhoc_targets, adhoc_targets_as, audit_targets, Report};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -63,6 +63,40 @@ fn panic01_unwrap_fixture() {
 #[test]
 fn safe01_fixture_is_a_crate_root() {
     assert_single_finding("safe01/lib.rs", "SAFE01", 1);
+}
+
+#[test]
+fn obs01_fixture_fires_only_under_the_obs_context() {
+    // Under the obs crate's rules the wall-clock read is an OBS01 (and
+    // exactly one finding — OBS01 supersedes DET02 there).
+    let targets = adhoc_targets_as(&[fixture("obs01_wallclock.rs")], "obs");
+    let report = audit_targets(&targets);
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "expected one finding: {:?}",
+        report.findings
+    );
+    let f = &report.findings[0];
+    assert_eq!((f.rule.as_str(), f.line), ("OBS01", 5), "{f:?}");
+    assert!(f.message.contains("Clock"), "{f:?}");
+    // The default (strictest) context reports the same line as DET02.
+    let report = audit_fixture("obs01_wallclock.rs");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "DET02");
+}
+
+#[test]
+fn binary_context_flag_selects_the_obs_rules() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ices-audit"))
+        .args(["--context", "obs"])
+        .arg(fixture("obs01_wallclock.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running ices-audit: {e}"));
+    assert!(!out.status.success(), "OBS01 must dirty the audit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OBS01"), "{stdout}");
+    assert!(!stdout.contains("DET02"), "double-reported: {stdout}");
 }
 
 #[test]

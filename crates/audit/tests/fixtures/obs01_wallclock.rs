@@ -1,0 +1,7 @@
+//! OBS01 fixture: wall-clock timing inside the observability crate,
+//! where all time must flow through the `Clock` trait.
+
+pub fn stamp_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}

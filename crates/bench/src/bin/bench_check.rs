@@ -6,16 +6,22 @@
 //! ```
 //!
 //! Compares every matching tick-engine configuration (driver × threads
-//! × faults) and the NPS solver microbenchmark; a configuration whose
-//! throughput dropped more than 20% gets a loudly printed warning.
-//! Always exits 0 on a completed comparison — timings on shared
-//! hardware are advisory, the warning is the signal — and exits 2 only
-//! on usage or parse errors.
+//! × faults × journal) and the NPS solver microbenchmark; a
+//! configuration whose throughput dropped more than 20% gets a loudly
+//! printed warning, and a journaled configuration running more than 5%
+//! below its unjournaled twin *in the current report* violates the obs
+//! layer's overhead budget. Always exits 0 on a completed comparison —
+//! timings on shared hardware are advisory, the warning is the signal —
+//! and exits 2 only on usage or parse errors.
 
 use serde::Value;
 
 /// Fractional throughput drop that triggers a warning.
 const TOLERANCE: f64 = 0.20;
+
+/// Budgeted journaling overhead: a journaled run must stay within 5% of
+/// the matching unjournaled configuration.
+const JOURNAL_BUDGET: f64 = 0.05;
 
 fn field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
     match v {
@@ -33,8 +39,10 @@ fn number(v: &Value) -> Option<f64> {
     }
 }
 
-/// `(driver, threads, faults) → steps_per_sec` for every run entry.
-fn runs(report: &Value) -> Vec<(String, u64, bool, f64)> {
+/// `(driver, threads, faults, journal) → steps_per_sec` per run entry.
+/// Reports recorded before the obs layer carry no `journal` field; those
+/// entries default to `false`, keeping old baselines comparable.
+fn runs(report: &Value) -> Vec<(String, u64, bool, bool, f64)> {
     let mut out = Vec::new();
     if let Some(Value::Seq(entries)) = field(report, "runs") {
         for run in entries {
@@ -47,11 +55,12 @@ fn runs(report: &Value) -> Vec<(String, u64, bool, f64)> {
                 None => continue,
             };
             let faults = matches!(field(run, "faults"), Some(Value::Bool(true)));
+            let journal = matches!(field(run, "journal"), Some(Value::Bool(true)));
             let sps = match field(run, "steps_per_sec").and_then(number) {
                 Some(s) => s,
                 None => continue,
             };
-            out.push((driver, threads, faults, sps));
+            out.push((driver, threads, faults, journal, sps));
         }
     }
     out
@@ -91,22 +100,48 @@ fn main() {
     let mut warnings = 0usize;
     let mut compared = 0usize;
     let old_runs = runs(&baseline);
-    for (driver, threads, faults, new_sps) in runs(&current) {
-        let Some((_, _, _, old_sps)) = old_runs
+    let new_runs = runs(&current);
+    for (driver, threads, faults, journal, new_sps) in &new_runs {
+        let Some((_, _, _, _, old_sps)) = old_runs.iter().find(|(d, t, f, j, _)| {
+            d == driver && t == threads && f == faults && j == journal
+        }) else {
+            continue;
+        };
+        compared += 1;
+        if *new_sps < old_sps * (1.0 - TOLERANCE) {
+            warnings += 1;
+            println!(
+                "PERF WARNING: {driver} (threads={threads}, faults={faults}, \
+                 journal={journal}) regressed {:.0}% — {:.0} → {:.0} steps/sec",
+                100.0 * (1.0 - new_sps / old_sps),
+                old_sps,
+                new_sps
+            );
+        }
+    }
+    // The obs overhead budget is checked within the current report:
+    // journaled vs unjournaled twins share the hardware and the moment,
+    // so the ratio is meaningful even when absolute timings are noisy.
+    for (driver, threads, faults, journal, j_sps) in &new_runs {
+        if !journal {
+            continue;
+        }
+        let Some((_, _, _, _, clean_sps)) = new_runs
             .iter()
-            .find(|(d, t, f, _)| *d == driver && *t == threads && *f == faults)
+            .find(|(d, t, f, j, _)| d == driver && t == threads && f == faults && !j)
         else {
             continue;
         };
         compared += 1;
-        if new_sps < old_sps * (1.0 - TOLERANCE) {
+        if *j_sps < clean_sps * (1.0 - JOURNAL_BUDGET) {
             warnings += 1;
             println!(
-                "PERF WARNING: {driver} (threads={threads}, faults={faults}) regressed \
-                 {:.0}% — {:.0} → {:.0} steps/sec",
-                100.0 * (1.0 - new_sps / old_sps),
-                old_sps,
-                new_sps
+                "PERF WARNING: {driver} (threads={threads}) journaling overhead {:.1}% \
+                 exceeds the {:.0}% budget — {:.0} → {:.0} steps/sec",
+                100.0 * (1.0 - j_sps / clean_sps),
+                100.0 * JOURNAL_BUDGET,
+                clean_sps,
+                j_sps
             );
         }
     }

@@ -15,6 +15,7 @@
 use ices_bench::{print_header, HarnessOptions};
 use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_netsim::{ChurnModel, FaultPlan};
+use ices_obs::Journal;
 use ices_nps::{NpsConfig, NpsNode};
 use ices_sim::experiments::Scale;
 use ices_sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
@@ -38,6 +39,8 @@ struct TickBench {
     threads: usize,
     /// Whether the faulty-network plan (loss + churn) was active.
     faults: bool,
+    /// Whether the run emitted an `ices-obs` JSONL journal to disk.
+    journal: bool,
     secs: f64,
     steps_per_sec: f64,
 }
@@ -83,10 +86,55 @@ fn scenario(scale: &Scale) -> ScenarioConfig {
     }
 }
 
-fn time_vivaldi(scale: &Scale, threads: usize, faults: bool) -> TickBench {
+/// The journal sink a journaled configuration writes through: a real
+/// file under `target/`, so the measured overhead includes buffered I/O.
+fn bench_journal(driver: &str) -> Option<Journal> {
+    if let Err(e) = std::fs::create_dir_all("target") {
+        eprintln!("warning: cannot create target/: {e}");
+        return None;
+    }
+    let path = format!("target/bench_{driver}.jsonl");
+    match Journal::to_file(&path) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("warning: cannot open {path}: {e}");
+            None
+        }
+    }
+}
+
+/// Repetitions per configuration; the fastest is recorded. The
+/// simulations are deterministic, so reps differ only by scheduling
+/// noise — and at sub-second run lengths that noise easily exceeds the
+/// 5% journaling budget, making the minimum the honest estimator.
+const REPS: usize = 3;
+
+fn best_of(
+    timer: fn(&Scale, usize, bool, bool) -> TickBench,
+    scale: &Scale,
+    threads: usize,
+    faults: bool,
+    journal: bool,
+) -> TickBench {
+    let mut best = timer(scale, threads, faults, journal);
+    for _ in 1..REPS {
+        let run = timer(scale, threads, faults, journal);
+        if run.steps_per_sec > best.steps_per_sec {
+            best = run;
+        }
+    }
+    best
+}
+
+fn time_vivaldi(scale: &Scale, threads: usize, faults: bool, journal: bool) -> TickBench {
     let mut sim = VivaldiSimulation::new(scenario(scale));
     if faults {
         sim.set_fault_plan(faulty_plan());
+    }
+    if journal {
+        if let Some(j) = bench_journal("vivaldi") {
+            sim.enable_journal(j);
+        }
     }
     let passes = scale.clean_passes;
     let steps: usize = (0..sim.len())
@@ -96,21 +144,28 @@ fn time_vivaldi(scale: &Scale, threads: usize, faults: bool) -> TickBench {
     let start = Instant::now();
     ices_par::with_threads(threads, || sim.run_clean(passes));
     let secs = start.elapsed().as_secs_f64();
+    sim.finish_journal();
     TickBench {
         driver: "vivaldi",
         nodes: sim.len(),
         ticks: passes,
         threads,
         faults,
+        journal,
         secs,
         steps_per_sec: steps as f64 / secs,
     }
 }
 
-fn time_nps(scale: &Scale, threads: usize, faults: bool) -> TickBench {
+fn time_nps(scale: &Scale, threads: usize, faults: bool, journal: bool) -> TickBench {
     let mut sim = NpsSimulation::new(scenario(scale));
     if faults {
         sim.set_fault_plan(faulty_plan());
+    }
+    if journal {
+        if let Some(j) = bench_journal("nps") {
+            sim.enable_journal(j);
+        }
     }
     let rounds = scale.nps_clean_rounds;
     let steps: usize = (0..sim.len())
@@ -120,12 +175,14 @@ fn time_nps(scale: &Scale, threads: usize, faults: bool) -> TickBench {
     let start = Instant::now();
     ices_par::with_threads(threads, || sim.run_clean(rounds));
     let secs = start.elapsed().as_secs_f64();
+    sim.finish_journal();
     TickBench {
         driver: "nps",
         nodes: sim.len(),
         ticks: rounds,
         threads,
         faults,
+        journal,
         secs,
         steps_per_sec: steps as f64 / secs,
     }
@@ -208,11 +265,14 @@ fn main() {
     let configs: [usize; 2] = [1, wide];
     let mut runs = Vec::new();
     for (name, timer) in [
-        ("vivaldi", time_vivaldi as fn(&Scale, usize, bool) -> TickBench),
+        (
+            "vivaldi",
+            time_vivaldi as fn(&Scale, usize, bool, bool) -> TickBench,
+        ),
         ("nps", time_nps),
     ] {
         for threads in configs {
-            let bench = timer(&options.scale, threads, false);
+            let bench = best_of(timer, &options.scale, threads, false, false);
             println!(
                 "{name:>8}  threads={:<2}  {:>8.2}s  {:>12.0} steps/s",
                 bench.threads, bench.secs, bench.steps_per_sec
@@ -221,9 +281,25 @@ fn main() {
         }
         // One faulty-network configuration per driver (sequential), so
         // the fault layer's overhead is on the perf trajectory too.
-        let bench = timer(&options.scale, 1, true);
+        let bench = best_of(timer, &options.scale, 1, true, false);
         println!(
             "{name:>8}  threads={:<2}  {:>8.2}s  {:>12.0} steps/s  (faulty: 10% loss + churn)",
+            bench.threads, bench.secs, bench.steps_per_sec
+        );
+        runs.push(bench);
+        // One journaled sequential configuration per driver: the obs
+        // layer's contract is < 5% overhead with the JSONL journal
+        // streaming to disk.
+        let bench = best_of(timer, &options.scale, 1, false, true);
+        let clean = runs
+            .iter()
+            .find(|r| r.driver == name && r.threads == 1 && !r.faults && !r.journal)
+            .map(|r| r.steps_per_sec);
+        let overhead = clean
+            .map(|c| (c / bench.steps_per_sec - 1.0) * 100.0)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{name:>8}  threads={:<2}  {:>8.2}s  {:>12.0} steps/s  (journaled: {overhead:+.1}% overhead)",
             bench.threads, bench.secs, bench.steps_per_sec
         );
         runs.push(bench);
@@ -240,7 +316,7 @@ fn main() {
     let speedup = |driver: &str| -> f64 {
         let of = |t: usize| {
             runs.iter()
-                .find(|r| r.driver == driver && r.threads == t && !r.faults)
+                .find(|r| r.driver == driver && r.threads == t && !r.faults && !r.journal)
                 .map(|r| r.steps_per_sec)
         };
         match (of(1), of(wide)) {

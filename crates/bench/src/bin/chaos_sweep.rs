@@ -3,11 +3,39 @@
 //! Surveyor outages). Not a paper figure: the paper assumes a reliable
 //! measurement substrate; this maps how detection quality (TPR/FPR)
 //! and embedding accuracy erode when it is not.
+//!
+//! After the grid, the harness runs the total-blackout edge case (every
+//! Surveyor permanently down from the moment detection is armed, zero
+//! sampled honest pairs): the run must degrade — null accuracy,
+//! deferred-arm counters — instead of panicking.
 
 use ices_bench::{print_header, write_result, HarnessOptions};
 use ices_sim::experiments::chaos::{
-    chaos_sweep, DEFAULT_CHURN_LEVELS, DEFAULT_LOSS_LEVELS,
+    chaos_sweep, surveyor_blackout_cell, ChaosCell, DEFAULT_CHURN_LEVELS, DEFAULT_LOSS_LEVELS,
 };
+
+/// Render an optional accuracy figure; degraded runs print `-`.
+fn acc(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:>8.3}"),
+        None => format!("{:>8}", "-"),
+    }
+}
+
+fn row(cell: &ChaosCell) {
+    println!(
+        "{:>5.0}% {:>5.0}% | {:>7.3} {:>7.4} | {} {} | {:>9} {:>8} {:>8}",
+        cell.loss * 100.0,
+        cell.churn * 100.0,
+        cell.confusion.tpr(),
+        cell.confusion.fpr(),
+        acc(cell.accuracy_median),
+        acc(cell.accuracy_p95),
+        cell.faults.total_failed_probes(),
+        cell.faults.coasted_steps,
+        cell.faults.evictions,
+    );
+}
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -20,20 +48,19 @@ fn main() {
         "loss", "churn", "TPR", "FPR", "med err", "p95 err", "failed", "coasts", "evicted"
     );
     for cell in &sweep.cells {
-        println!(
-            "{:>5.0}% {:>5.0}% | {:>7.3} {:>7.4} | {:>8.3} {:>8.3} | {:>9} {:>8} {:>8}",
-            cell.loss * 100.0,
-            cell.churn * 100.0,
-            cell.confusion.tpr(),
-            cell.confusion.fpr(),
-            cell.accuracy_median,
-            cell.accuracy_p95,
-            cell.faults.total_failed_probes(),
-            cell.faults.coasted_steps,
-            cell.faults.evictions,
-        );
+        row(cell);
     }
     println!();
     println!("(degradation should be graceful: FPR bounded as samples go missing,");
     println!(" accuracy eroding smoothly rather than collapsing)");
+
+    let blackout = surveyor_blackout_cell(&options.scale);
+    write_result(&options, "chaos_blackout", &blackout);
+    println!();
+    println!("total Surveyor blackout (armed under 100% outage, zero sampled pairs):");
+    row(&blackout);
+    println!(
+        " deferred arms {:>4}  late arms {:>4}  (null accuracy = degraded run, not a failure)",
+        blackout.faults.deferred_arms, blackout.faults.late_arms
+    );
 }

@@ -139,15 +139,24 @@ impl ChurnModel {
         m
     }
 
+    /// The degenerate model of a node that is down for the entire run:
+    /// probability exactly 1.0 in a single epoch spanning all of
+    /// simulated time. Used as a per-node override to schedule total
+    /// outages (e.g. a Surveyor blackout).
+    pub fn permanent_outage() -> Self {
+        Self::new(u64::MAX, 1.0)
+    }
+
     /// Validate.
     ///
     /// # Panics
-    /// Panics on a zero epoch length or a probability outside `[0, 1)`.
+    /// Panics on a zero epoch length or a probability outside `[0, 1]`.
+    /// Exactly 1.0 is allowed and means the node is always down.
     pub fn validate(&self) {
         assert!(self.epoch_ticks >= 1, "epoch_ticks must be at least 1");
         assert!(
-            (0.0..1.0).contains(&self.down_probability),
-            "down_probability must be in [0,1), got {}",
+            (0.0..=1.0).contains(&self.down_probability),
+            "down_probability must be in [0,1], got {}",
             self.down_probability
         );
     }
@@ -380,6 +389,22 @@ mod tests {
     #[should_panic(expected = "epoch_ticks")]
     fn rejects_zero_epoch() {
         ChurnModel::new(0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "down_probability")]
+    fn rejects_probability_above_one() {
+        ChurnModel::new(1, 1.5);
+    }
+
+    #[test]
+    fn permanent_outage_is_always_down() {
+        let plan = FaultPlan::none().with_node_churn(4, ChurnModel::permanent_outage());
+        for tick in [0, 1, 17, 1 << 40, u64::MAX - 1] {
+            assert!(!plan.node_up(9, 4, tick), "outage must hold at tick {tick}");
+        }
+        // Nodes without the override are untouched.
+        assert!(plan.node_up(9, 5, 0));
     }
 
     #[test]

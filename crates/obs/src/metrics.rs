@@ -1,0 +1,275 @@
+//! Typed metrics registry: counters, gauges, and fixed-bucket
+//! histograms keyed by `&'static str` names.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Instruments live in `Vec`s in registration
+//!    order; iteration order is registration order, never hash order
+//!    (DET01). Registration is a linear scan over a handful of static
+//!    names — done once at simulation construction, not per tick.
+//! 2. **Zero overhead when observation is off.** The hot-path cost of
+//!    a counter bump is one `Vec` index + add through a pre-resolved
+//!    [`CounterId`]. Snapshots and deltas are only computed when a
+//!    journal asks for them.
+//! 3. **No panics.** Ids are only handed out by this registry; an id
+//!    from a different registry is a logic bug the accessors absorb by
+//!    saturating to a dead instrument rather than indexing blindly.
+
+/// Handle to a registered counter. `Copy` so call sites can keep it in
+/// a plain struct field and bump without any lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram: counts per bucket plus running sum and
+/// total, enough to derive means and coarse quantiles from a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    name: &'static str,
+    /// Upper bounds of each bucket (ascending); one overflow bucket
+    /// past the last bound is implicit.
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(name: &'static str, bounds: &'static [f64]) -> Self {
+        Self {
+            name,
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return; // non-finite samples carry no information to bucket
+        }
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Instrument name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket upper bounds (the final overflow bucket has no bound).
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts, `bounds().len() + 1` entries.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Point-in-time copy of every counter, used to compute per-tick
+/// deltas for the journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counters: Vec<u64>,
+}
+
+/// The registry: owns every instrument, hands out `Copy` ids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or find) a counter by name and return its handle.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register (or find) a gauge by name and return its handle.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| *n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name, f64::NAN));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register (or find) a histogram by name with the given bucket
+    /// bounds and return its handle. Bounds are taken from the first
+    /// registration; re-registering with different bounds returns the
+    /// existing instrument unchanged.
+    pub fn histogram(&mut self, name: &'static str, bounds: &'static [f64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|h| h.name == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push(Histogram::new(name, bounds));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let Some((_, v)) = self.counters.get_mut(id.0) {
+            *v += n;
+        }
+    }
+
+    /// Current value of a counter (0 for a foreign id).
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters.get(id.0).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Set a gauge to `value`.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        if let Some((_, v)) = self.gauges.get_mut(id.0) {
+            *v = value;
+        }
+    }
+
+    /// Current value of a gauge (NaN until first set, or foreign id).
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges.get(id.0).map(|(_, v)| *v).unwrap_or(f64::NAN)
+    }
+
+    /// Record one observation into a histogram. Non-finite values are
+    /// dropped.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        if let Some(h) = self.histograms.get_mut(id.0) {
+            h.observe(value);
+        }
+    }
+
+    /// Read a histogram (None for a foreign id).
+    pub fn histogram_state(&self, id: HistogramId) -> Option<&Histogram> {
+        self.histograms.get(id.0)
+    }
+
+    /// All counters in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// All gauges in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().copied()
+    }
+
+    /// Copy every counter value; pair with [`Registry::delta`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.iter().map(|(_, v)| *v).collect(),
+        }
+    }
+
+    /// Counters that changed since `since`, as `(name, increase)` in
+    /// registration order. Counters registered after the snapshot was
+    /// taken report their full value.
+    pub fn delta(&self, since: &Snapshot) -> Vec<(&'static str, u64)> {
+        self.counters
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (name, v))| {
+                let before = since.counters.get(i).copied().unwrap_or(0);
+                let d = v.saturating_sub(before);
+                (d > 0).then_some((*name, d))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_register_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a);
+        r.add(b, 2);
+        assert_eq!(r.counter_value(a), 3);
+    }
+
+    #[test]
+    fn delta_reports_only_changed_counters() {
+        let mut r = Registry::new();
+        let a = r.counter("a");
+        let _b = r.counter("b");
+        let snap = r.snapshot();
+        r.add(a, 5);
+        let c = r.counter("late");
+        r.inc(c);
+        assert_eq!(r.delta(&snap), vec![("a", 5), ("late", 1)]);
+        let snap2 = r.snapshot();
+        assert!(r.delta(&snap2).is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut r = Registry::new();
+        let h = r.histogram("h", &[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 100.0, f64::NAN] {
+            r.observe(h, v);
+        }
+        let state = r.histogram_state(h).unwrap();
+        assert_eq!(state.counts(), &[2, 1, 1]);
+        assert_eq!(state.count(), 4);
+        assert!((state.sum() - 106.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_defaults_nan_then_holds_value() {
+        let mut r = Registry::new();
+        let g = r.gauge("g");
+        assert!(r.gauge_value(g).is_nan());
+        r.set(g, 2.5);
+        assert_eq!(r.gauge_value(g), 2.5);
+    }
+}

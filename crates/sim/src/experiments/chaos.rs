@@ -20,6 +20,7 @@ use crate::vivaldi_driver::VivaldiSimulation;
 use ices_attack::VivaldiIsolationAttack;
 use ices_core::EmConfig;
 use ices_netsim::{ChurnModel, FaultPlan};
+use ices_obs::Journal;
 use ices_stats::Confusion;
 use serde::{Deserialize, Serialize};
 
@@ -53,10 +54,12 @@ pub struct ChaosCell {
     pub confusion: Confusion,
     /// Fault-path bookkeeping accumulated over the whole run.
     pub faults: FaultReport,
-    /// Median relative embedding error of honest nodes after the run.
-    pub accuracy_median: f64,
-    /// 95th-percentile relative embedding error.
-    pub accuracy_p95: f64,
+    /// Median relative embedding error of honest nodes after the run;
+    /// `None` (JSON `null`) when the run sampled zero honest pairs.
+    pub accuracy_median: Option<f64>,
+    /// 95th-percentile relative embedding error; `None` when the run
+    /// sampled zero honest pairs.
+    pub accuracy_p95: Option<f64>,
     /// Filter refreshes (starvation feeds this under heavy faults).
     pub filter_refreshes: u64,
 }
@@ -126,11 +129,43 @@ fn scenario(scale: &Scale) -> ScenarioConfig {
 /// — Surveyors calibrate on whatever samples survive, as they would in
 /// deployment).
 pub fn chaos_cell(scale: &Scale, loss: f64, churn: f64) -> ChaosCell {
+    run_cell(scale, loss, churn, scale.pairs_per_node, false).0
+}
+
+/// [`chaos_cell`] with an in-memory run journal attached: returns the
+/// cell plus the journal's JSONL bytes (the obs layer's bit-identity
+/// contract means the cell itself is unchanged by the journaling).
+pub fn chaos_cell_journaled(scale: &Scale, loss: f64, churn: f64) -> (ChaosCell, Vec<u8>) {
+    let (cell, journal) = run_cell(scale, loss, churn, scale.pairs_per_node, true);
+    (cell, journal.unwrap_or_default())
+}
+
+fn run_cell(
+    scale: &Scale,
+    loss: f64,
+    churn: f64,
+    pairs_per_node: usize,
+    journaled: bool,
+) -> (ChaosCell, Option<Vec<u8>>) {
     let mut sim = VivaldiSimulation::new(scenario(scale));
+    if journaled {
+        sim.enable_journal(Journal::in_memory());
+    }
     sim.set_fault_plan(chaos_plan(loss, churn, sim.surveyors()));
     sim.run_clean(scale.clean_passes);
     sim.calibrate_surveyors(&EmConfig::default());
     sim.arm_detection();
+    finish_cell(sim, scale, loss, churn, pairs_per_node)
+}
+
+/// Attack phase + metric harvest shared by every cell flavor.
+fn finish_cell(
+    mut sim: VivaldiSimulation,
+    scale: &Scale,
+    loss: f64,
+    churn: f64,
+    pairs_per_node: usize,
+) -> (ChaosCell, Option<Vec<u8>>) {
     let target = sim.normal_nodes()[0];
     let radius = sim.network().matrix().median() / 2.0;
     let attack = VivaldiIsolationAttack::new(
@@ -140,17 +175,43 @@ pub fn chaos_cell(scale: &Scale, loss: f64, churn: f64) -> ChaosCell {
         scale.seed ^ 0xC4A05,
     );
     sim.run(scale.measure_passes, &attack, false);
-    let accuracy = sim.accuracy_report(scale.pairs_per_node);
+    let accuracy = sim.accuracy_report(pairs_per_node);
     let report = sim.report();
-    ChaosCell {
+    let journal = sim.finish_journal();
+    let cell = ChaosCell {
         loss,
         churn,
         confusion: report.confusion,
         faults: report.faults.clone(),
-        accuracy_median: accuracy.median(),
-        accuracy_p95: accuracy.ecdf().quantile(0.95),
+        // A starved sample (zero honest pairs) records null accuracy
+        // rather than aborting the sweep.
+        accuracy_median: accuracy.ecdf().map(|e| e.median()),
+        accuracy_p95: accuracy.ecdf().map(|e| e.quantile(0.95)),
         filter_refreshes: report.filter_refreshes,
+    };
+    (cell, journal)
+}
+
+/// The total-blackout operating point: the run converges and calibrates
+/// cleanly, then **every Surveyor goes permanently dark** before
+/// detection is armed. Every normal node's candidate draw comes back
+/// empty, so arming is deferred (and stays deferred — the counters land
+/// in `faults.deferred_arms`), the attack phase runs against unsecured
+/// nodes, and the accuracy sample is deliberately empty (zero pairs) —
+/// the regime that used to panic twice over (`&candidates[0]` on an
+/// empty slice, `Ecdf::new` on an empty sample) now degrades to a cell
+/// full of nulls and degraded-run counters.
+pub fn surveyor_blackout_cell(scale: &Scale) -> ChaosCell {
+    let mut sim = VivaldiSimulation::new(scenario(scale));
+    sim.run_clean(scale.clean_passes);
+    sim.calibrate_surveyors(&EmConfig::default());
+    let mut plan = FaultPlan::none();
+    for &s in sim.surveyors() {
+        plan = plan.with_node_churn(s, ChurnModel::permanent_outage());
     }
+    sim.set_fault_plan(plan);
+    sim.arm_detection();
+    finish_cell(sim, scale, 0.0, 1.0, 0).0
 }
 
 /// The full chaos sweep over `loss × churn`. Cells are independent
@@ -176,7 +237,8 @@ mod tests {
         let cell = chaos_cell(&Scale::test(), 0.0, 0.0);
         assert_eq!(cell.faults, FaultReport::default());
         assert!(cell.confusion.negatives() > 0);
-        assert!(cell.accuracy_median < 0.3, "clean accuracy sanity");
+        let median = cell.accuracy_median.expect("clean run samples pairs");
+        assert!(median < 0.3, "clean accuracy sanity: {median}");
     }
 
     #[test]
@@ -215,14 +277,45 @@ mod tests {
         assert!(worst.faults.total_failed_probes() > 0);
         // Graceful, not catastrophic: the faulty embedding stays within
         // a loose multiple of the clean one.
+        let clean_median = clean.accuracy_median.expect("clean accuracy");
+        let worst_median = worst.accuracy_median.expect("faulty accuracy");
         assert!(
-            worst.accuracy_median < clean.accuracy_median.max(0.05) * 6.0,
-            "accuracy blew up under faults: clean {} vs faulty {}",
-            clean.accuracy_median,
-            worst.accuracy_median
+            worst_median < clean_median.max(0.05) * 6.0,
+            "accuracy blew up under faults: clean {clean_median} vs faulty {worst_median}"
         );
         let fpr_series = sweep.series(0.05, |c| c.confusion.fpr());
         assert_eq!(fpr_series.len(), 2);
         assert!(fpr_series.iter().all(|&(_, fpr)| fpr < 0.15));
+    }
+
+    #[test]
+    fn surveyor_blackout_degrades_instead_of_panicking() {
+        // The two panic paths this cell used to hit: indexing
+        // `&candidates[0]` on an empty Surveyor draw, and building an
+        // ECDF over zero sampled pairs. Now it must complete and expose
+        // the degradation through counters and null accuracy.
+        let cell = surveyor_blackout_cell(&Scale::test());
+        assert!(
+            cell.faults.deferred_arms > 0,
+            "total outage must defer arming: {:?}",
+            cell.faults
+        );
+        assert_eq!(cell.faults.late_arms, 0, "outage never lifts");
+        assert_eq!(cell.accuracy_median, None, "zero pairs => null accuracy");
+        assert_eq!(cell.accuracy_p95, None);
+        // No node armed, so no verdicts flow at all.
+        assert_eq!(cell.confusion.total(), 0);
+    }
+
+    #[test]
+    fn journaled_cell_matches_plain_cell() {
+        let scale = Scale::test();
+        let plain = chaos_cell(&scale, 0.05, 0.05);
+        let (journaled, bytes) = chaos_cell_journaled(&scale, 0.05, 0.05);
+        assert_eq!(plain, journaled, "journaling must not perturb the run");
+        let text = String::from_utf8(bytes).expect("utf8 journal");
+        let (run, errors) = ices_obs::report::parse(&text);
+        assert!(errors.is_empty(), "journal must validate: {errors:?}");
+        assert!(!run.ticks.is_empty(), "journal must carry tick deltas");
     }
 }

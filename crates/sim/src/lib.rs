@@ -30,6 +30,7 @@
 pub mod experiments;
 pub mod metrics;
 pub mod nps_driver;
+pub mod obs;
 pub mod replay;
 pub mod scenario;
 pub mod trace;
@@ -37,6 +38,7 @@ pub mod vivaldi_driver;
 
 pub use metrics::{AccuracyReport, DetectionReport};
 pub use nps_driver::NpsSimulation;
+pub use obs::SimObs;
 pub use replay::{prediction_errors, replay_filter};
 pub use scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
 pub use vivaldi_driver::VivaldiSimulation;

@@ -24,6 +24,13 @@ pub struct FaultReport {
     /// Filter refreshes that found no live Surveyor and kept the stale
     /// calibration instead.
     pub stale_filter_fallbacks: u64,
+    /// Nodes whose detection arming was deferred because the Surveyor
+    /// registry produced an empty candidate draw (total outage at arm
+    /// time); each deferral is retried on the following ticks.
+    pub deferred_arms: u64,
+    /// Deferred nodes that successfully armed on a later tick once a
+    /// Surveyor came back.
+    pub late_arms: u64,
 }
 
 impl FaultReport {
@@ -37,6 +44,8 @@ impl FaultReport {
         self.evictions += other.evictions;
         self.node_down_ticks += other.node_down_ticks;
         self.stale_filter_fallbacks += other.stale_filter_fallbacks;
+        self.deferred_arms += other.deferred_arms;
+        self.late_arms += other.late_arms;
     }
 
     /// Probes that produced no measurement, of any failure kind.
@@ -85,25 +94,38 @@ pub struct AccuracyReport {
 }
 
 impl AccuracyReport {
-    /// ECDF over all sampled relative errors.
-    ///
-    /// # Panics
-    /// Panics if the report is empty.
-    pub fn ecdf(&self) -> Ecdf {
-        Ecdf::new(self.relative_errors.clone())
+    /// Whether the run sampled zero honest pairs (heavy loss/churn can
+    /// starve the sample entirely — e.g. a full Surveyor outage with
+    /// every probe dropped).
+    pub fn is_empty(&self) -> bool {
+        self.relative_errors.is_empty()
     }
 
-    /// ECDF over the per-node 95th percentiles.
-    ///
-    /// # Panics
-    /// Panics if the report is empty.
-    pub fn p95_ecdf(&self) -> Ecdf {
-        Ecdf::new(self.p95_per_node.clone())
+    /// Number of sampled honest pairs.
+    pub fn len(&self) -> usize {
+        self.relative_errors.len()
+    }
+
+    /// ECDF over all sampled relative errors, or `None` when the run
+    /// sampled zero honest pairs.
+    pub fn ecdf(&self) -> Option<Ecdf> {
+        (!self.relative_errors.is_empty()).then(|| Ecdf::new(self.relative_errors.clone()))
+    }
+
+    /// ECDF over the per-node 95th percentiles, or `None` when no node
+    /// accumulated any samples.
+    pub fn p95_ecdf(&self) -> Option<Ecdf> {
+        (!self.p95_per_node.is_empty()).then(|| Ecdf::new(self.p95_per_node.clone()))
     }
 
     /// Median relative error — the headline accuracy number.
+    ///
+    /// Returns `NaN` for an empty report (zero sampled pairs), so
+    /// callers that only ever see populated reports keep their plain
+    /// `f64` flow; degraded-run consumers should check
+    /// [`AccuracyReport::is_empty`] first.
     pub fn median(&self) -> f64 {
-        self.ecdf().median()
+        self.ecdf().map(|e| e.median()).unwrap_or(f64::NAN)
     }
 }
 
@@ -148,6 +170,39 @@ mod tests {
             p95_per_node: vec![0.35, 0.45],
         };
         assert_eq!(r.median(), 0.2);
-        assert_eq!(r.p95_ecdf().len(), 2);
+        assert_eq!(r.p95_ecdf().expect("non-empty").len(), 2);
+    }
+
+    /// Regression: a degraded run that samples zero honest pairs must
+    /// yield an inert report, not a panic (`Ecdf::new` asserts on
+    /// empty input).
+    #[test]
+    fn empty_accuracy_report_is_safe() {
+        let r = AccuracyReport {
+            relative_errors: Vec::new(),
+            p95_per_node: Vec::new(),
+        };
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.ecdf().is_none());
+        assert!(r.p95_ecdf().is_none());
+        assert!(r.median().is_nan());
+    }
+
+    #[test]
+    fn fault_report_merges_arm_deferral_counters() {
+        let mut a = FaultReport {
+            deferred_arms: 2,
+            late_arms: 1,
+            ..FaultReport::default()
+        };
+        let b = FaultReport {
+            deferred_arms: 3,
+            late_arms: 2,
+            ..FaultReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.deferred_arms, 5);
+        assert_eq!(a.late_arms, 3);
     }
 }

@@ -22,8 +22,10 @@
 //! the round is bit-for-bit reproducible at any worker count.
 
 use crate::metrics::{AccuracyReport, DetectionReport};
+use crate::obs::SimObs;
 use crate::scenario::{ScenarioConfig, TopologyKind};
 use crate::trace::TraceRing;
+use ices_obs::Journal;
 use ices_attack::Adversary;
 use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_core::{
@@ -144,11 +146,16 @@ pub struct NpsSimulation {
     /// Count of completed positioning rounds; probe nonces are derived
     /// from `(round, node, probe index)`, independent of execution order.
     round: u64,
-    report: DetectionReport,
+    /// Metrics registry + optional run journal; the single source of
+    /// truth the [`DetectionReport`] is derived from.
+    obs: SimObs,
     rng: SimRng,
     /// Per-node consecutive probe-failure counts toward each reference
     /// point (fault mode only; empty maps on a clean network).
     probe_failures: Vec<BTreeMap<usize, u32>>,
+    /// Nodes whose [`NpsSimulation::arm_detection`] found no live
+    /// Surveyor candidate (total outage); retried each round.
+    pending_arms: BTreeSet<usize>,
 }
 
 /// The probe nonce for `node`'s `k`-th reference-point probe in `round`
@@ -320,9 +327,10 @@ impl NpsSimulation {
             registry: SurveyorRegistry::new(),
             traces: vec![TraceRing::with_capacity(TRACE_CAP); n],
             round: 0,
-            report: DetectionReport::default(),
+            obs: SimObs::new(),
             rng,
             probe_failures: vec![BTreeMap::new(); n],
+            pending_arms: BTreeSet::new(),
         }
     }
 
@@ -407,9 +415,39 @@ impl NpsSimulation {
         }
     }
 
-    /// Detection metrics accumulated so far.
-    pub fn report(&self) -> &DetectionReport {
-        &self.report
+    /// Detection metrics accumulated so far, derived from the
+    /// observability registry (the counters are the primary record;
+    /// this assembles the serialized report shape from them).
+    pub fn report(&self) -> DetectionReport {
+        self.obs.detection_report()
+    }
+
+    /// Attach a run journal: every subsequent round emits a counter
+    /// delta line, and discrete events (evictions, rejections, filter
+    /// refreshes, deferred arms) are recorded as they happen. Journal
+    /// emission reads the same registry the report is derived from, so
+    /// simulation outputs are bit-identical with or without one.
+    pub fn enable_journal(&mut self, journal: Journal) {
+        let (nodes, seed) = (self.len(), self.config.seed);
+        self.obs.enable_journal(journal, "nps", nodes, seed);
+    }
+
+    /// Emit the journal's `summary` line and detach it, returning the
+    /// accumulated bytes for in-memory journals (`None` for file
+    /// journals, whose bytes are flushed to disk).
+    pub fn finish_journal(&mut self) -> Option<Vec<u8>> {
+        self.obs.finish_journal()
+    }
+
+    /// Whether `node` is currently wrapped in the detection protocol.
+    pub fn is_secured(&self, node: usize) -> bool {
+        matches!(self.participants[node], Participant::Secured(_))
+    }
+
+    /// Nodes whose detection arming is still deferred (Surveyor outage
+    /// at arm time and no live candidate since).
+    pub fn pending_arms(&self) -> &BTreeSet<usize> {
+        &self.pending_arms
     }
 
     /// A node's current coordinate.
@@ -601,40 +639,53 @@ impl NpsSimulation {
             effect
         });
 
+        let journaled = self.obs.journal_enabled();
         for (&node, effect) in members.iter().zip(effects) {
+            // Completed probes: every vetted verdict for a secured node,
+            // every recorded sample for a plain one (plain nodes have no
+            // verdicts; secured nodes record only accepted steps).
+            let ok = if effect.vetted.is_empty() {
+                effect.recorded.len()
+            } else {
+                effect.vetted.len()
+            };
+            self.obs.probes_ok(ok as u64);
             for (label_malicious, flagged) in effect.vetted {
-                self.report.confusion.record(label_malicious, flagged);
+                self.obs.record_confusion(label_malicious, flagged);
             }
-            self.report.reprieves += effect.reprieves;
-            if collect {
-                for d in effect.recorded {
+            self.obs.reprieves(effect.reprieves);
+            for d in effect.recorded {
+                if journaled {
+                    self.obs.observe_relative_error(d);
+                }
+                if collect {
                     self.traces[node].push(d);
                 }
             }
             for rp in effect.rejected_rps {
                 self.replace_reference_point(node, rp);
-                self.report.replacements += 1;
+                self.obs.replacement(node, rp);
             }
             if effect.refreshed_filter {
-                self.report.filter_refreshes += 1;
+                self.obs.filter_refresh(node);
             }
             // Fault bookkeeping (all branches dead on a clean network).
             if effect.self_down {
-                self.report.faults.node_down_ticks += 1;
+                self.obs.node_down_tick();
             }
-            self.report.faults.retried_probes += effect.retried_probes;
-            self.report.faults.coasted_steps += effect.coasted_steps;
+            self.obs.retried_probes(effect.retried_probes);
+            self.obs.coasted_steps(effect.coasted_steps);
             if effect.stale_fallback {
-                self.report.faults.stale_filter_fallbacks += 1;
+                self.obs.stale_filter_fallback(node);
             }
             for rp in effect.ok_rps {
                 self.probe_failures[node].remove(&rp);
             }
             for (rp, fate) in effect.failed_rps {
                 match fate {
-                    ProbeFate::Lost => self.report.faults.lost_probes += 1,
-                    ProbeFate::TimedOut => self.report.faults.timed_out_probes += 1,
-                    ProbeFate::PeerDown => self.report.faults.peer_down_probes += 1,
+                    ProbeFate::Lost => self.obs.lost_probe(),
+                    ProbeFate::TimedOut => self.obs.timed_out_probe(),
+                    ProbeFate::PeerDown => self.obs.peer_down_probe(),
                 }
                 let failures = self.probe_failures[node].entry(rp).or_insert(0);
                 *failures += 1;
@@ -652,7 +703,7 @@ impl NpsSimulation {
     /// Surveyors of the layer above (falling back to landmarks); normal
     /// nodes use the ordinary same-layer replacement path.
     fn evict_dead_reference_point(&mut self, node: usize, dead: usize) {
-        self.report.faults.evictions += 1;
+        self.obs.eviction(node);
         if !self.surveyors.contains(&node) && !self.config.embed_against_surveyors_only {
             self.replace_reference_point(node, dead);
             return;
@@ -721,16 +772,30 @@ impl NpsSimulation {
                     .collect()
             })
             .collect();
+        let start = self.round;
         for _ in 0..rounds {
             let round = self.round;
             self.round += 1;
+            self.obs.begin_tick(round);
+            // Nodes whose arming was deferred by a Surveyor outage retry
+            // before the round proper (no-op — and no RNG draw — unless
+            // a deferral actually happened).
+            self.retry_pending_arms();
             for members in &layers {
                 if !members.is_empty() {
                     self.layer_round(round, members, adversary, collect);
                 }
             }
             self.refresh_registry_coordinates();
+            if self.obs.journal_enabled() {
+                // Journal-only gauge: mean node-local embedding error.
+                let n = self.participants.len().max(1) as f64;
+                let sum: f64 = self.participants.iter().map(Participant::local_error).sum();
+                self.obs.set_mean_local_error(sum / n);
+            }
+            self.obs.tick_boundary(round);
         }
+        self.obs.phase("run", self.round - start);
     }
 
     /// Run attack-free rounds, collecting traces.
@@ -785,6 +850,7 @@ impl NpsSimulation {
                 params: outcome.params,
             });
         }
+        self.obs.phase("calibrate", 0);
     }
 
     /// Arm detection on every honest non-Surveyor node (closest-of-k
@@ -801,59 +867,101 @@ impl NpsSimulation {
             !self.registry.is_empty(),
             "calibrate Surveyors before arming detection"
         );
+        for node in self.normal_nodes() {
+            if !self.try_arm_node(node) {
+                // Total Surveyor outage at arm time: defer this node's
+                // arming to the next round rather than indexing an
+                // empty candidate draw.
+                self.pending_arms.insert(node);
+                self.obs.defer_arm(node);
+            }
+        }
+        self.obs.phase("arm", 0);
+    }
+
+    /// Retry every deferred arm. Nodes that secure now count as late
+    /// arms; the rest stay pending, each failed retry counting as
+    /// another deferral. No-op (and no RNG draw) when nothing is
+    /// pending, so runs without deferrals are bit-identical to the
+    /// pre-deferral behavior.
+    fn retry_pending_arms(&mut self) {
+        if self.pending_arms.is_empty() {
+            return;
+        }
+        let pending: Vec<usize> = self.pending_arms.iter().copied().collect();
+        for node in pending {
+            if self.try_arm_node(node) {
+                self.pending_arms.remove(&node);
+                self.obs.late_arm(node);
+            } else {
+                self.obs.defer_arm(node);
+            }
+        }
+    }
+
+    /// Arm one node: sample Surveyor candidates, probe them, adopt the
+    /// closest live one's filter (§4.2 join), and wrap the node in a
+    /// [`SecureNode`]. Returns `false` — deferring the arm — when the
+    /// candidate draw has no live Surveyor at all (total outage).
+    fn try_arm_node(&mut self, node: usize) -> bool {
         let faulty = !self.network.fault_plan().is_empty();
         let round = self.round;
-        for node in self.normal_nodes() {
-            let candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
-            let mut best: Option<(usize, f64)> = None;
-            for (k, s) in candidates.iter().enumerate() {
-                // Join probes draw nonces from their own stream, keyed by
-                // (node, candidate index) — disjoint from the positioning
-                // rounds' probe nonces.
-                let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
-                if !faulty {
-                    let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
-                    if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                        best = Some((k, rtt));
-                    }
-                } else {
-                    // A crashed or unreachable Surveyor simply drops out
-                    // of the candidate race.
-                    if !self.network.node_up(s.id, round) {
-                        continue;
-                    }
-                    match self.network.try_measure_rtt_smoothed(node, s.id, nonce, round) {
-                        ProbeOutcome::Ok(rtt) => {
-                            if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                                best = Some((k, rtt));
-                            }
+        let mut candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
+        if faulty {
+            // Crashed Surveyors drop out of the candidate race before
+            // anything is probed; on a clean network every node is up,
+            // so this retain is a no-op and candidate indices (and
+            // their join nonces) are unchanged from seed behavior.
+            candidates.retain(|s| self.network.node_up(s.id, round));
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (k, s) in candidates.iter().enumerate() {
+            // Join probes draw nonces from their own stream, keyed by
+            // (node, candidate index) — disjoint from the positioning
+            // rounds' probe nonces.
+            let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
+            if !faulty {
+                let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
+                if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                    best = Some((k, rtt));
+                }
+            } else {
+                match self.network.try_measure_rtt_smoothed(node, s.id, nonce, round) {
+                    ProbeOutcome::Ok(rtt) => {
+                        if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                            best = Some((k, rtt));
                         }
-                        ProbeOutcome::Lost | ProbeOutcome::TimedOut => {}
                     }
+                    ProbeOutcome::Lost | ProbeOutcome::TimedOut => {}
                 }
             }
-            // Every probe failed (heavy loss or a full Surveyor outage):
-            // fall back to an arbitrary sampled candidate rather than
-            // refusing to arm — a stale choice beats no detector.
-            let chosen = best
-                .map(|(k, _)| &candidates[k])
-                .unwrap_or(&candidates[0]);
-            let source = chosen.id;
-            let params = chosen.params;
-            let placeholder = Participant::Plain(NpsNode::new(node, self.nps, 0));
-            let old = std::mem::replace(&mut self.participants[node], placeholder);
-            let inner = match old {
-                Participant::Plain(v) => v,
-                Participant::Secured(_) => panic!("node {node} already secured"),
-            };
-            let mut secured = SecureNode::new(inner, params, source, self.security);
-            // Prime the filter with the node's recent clean history so a
-            // converged node is not mistaken for a freshly joining one.
-            let trace = &self.traces[node];
-            let tail = &trace[trace.len().saturating_sub(PRIME_SAMPLES)..];
-            secured.prime(tail);
-            self.participants[node] = Participant::Secured(Box::new(secured));
         }
+        // Every probe lost (heavy loss against live Surveyors): fall
+        // back to the first live candidate rather than refusing to arm
+        // — a stale choice beats no detector. The guard above makes the
+        // index safe: `candidates` is non-empty here by construction.
+        let chosen = best
+            .map(|(k, _)| &candidates[k])
+            .unwrap_or_else(|| &candidates[0]);
+        let source = chosen.id;
+        let params = chosen.params;
+        let placeholder = Participant::Plain(NpsNode::new(node, self.nps, 0));
+        let old = std::mem::replace(&mut self.participants[node], placeholder);
+        let inner = match old {
+            Participant::Plain(v) => v,
+            Participant::Secured(_) => panic!("node {node} already secured"),
+        };
+        let mut secured = SecureNode::new(inner, params, source, self.security);
+        // Prime the filter with the node's recent clean history so a
+        // converged node is not mistaken for a freshly joining one.
+        let trace = &self.traces[node];
+        let tail = &trace[trace.len().saturating_sub(PRIME_SAMPLES)..];
+        secured.prime(tail);
+        self.participants[node] = Participant::Secured(Box::new(secured));
+        true
     }
 
     /// System-accuracy report over honest normal nodes (Fig 15's CDF).

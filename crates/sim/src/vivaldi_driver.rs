@@ -25,8 +25,10 @@
 //! sequential `ICES_THREADS=1` path.
 
 use crate::metrics::{AccuracyReport, DetectionReport};
+use crate::obs::SimObs;
 use crate::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
 use crate::trace::TraceRing;
+use ices_obs::Journal;
 use ices_attack::Adversary;
 use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_core::{
@@ -143,11 +145,16 @@ pub struct VivaldiSimulation {
     /// Count of completed embedding ticks; each tick's probe nonces are
     /// derived from `(tick, node)`, independent of execution order.
     tick: u64,
-    report: DetectionReport,
+    /// Metrics registry + optional run journal; the single source of
+    /// truth the [`DetectionReport`] is derived from.
+    obs: SimObs,
     rng: SimRng,
     /// Per-node consecutive probe-failure counts toward each neighbor
     /// (fault mode only; empty maps on a clean network).
     probe_failures: Vec<std::collections::BTreeMap<usize, u32>>,
+    /// Nodes whose [`VivaldiSimulation::arm_detection`] found no live
+    /// Surveyor candidate (total outage); retried each tick.
+    pending_arms: BTreeSet<usize>,
 }
 
 /// The probe nonce for `node`'s embedding step in tick `tick` — a pure
@@ -273,9 +280,10 @@ impl VivaldiSimulation {
             registry: SurveyorRegistry::new(),
             traces: vec![TraceRing::with_capacity(TRACE_CAP); n],
             tick: 0,
-            report: DetectionReport::default(),
+            obs: SimObs::new(),
             rng,
             probe_failures: vec![std::collections::BTreeMap::new(); n],
+            pending_arms: BTreeSet::new(),
         }
     }
 
@@ -350,9 +358,39 @@ impl VivaldiSimulation {
         &self.registry
     }
 
-    /// Detection metrics accumulated during attack phases.
-    pub fn report(&self) -> &DetectionReport {
-        &self.report
+    /// Detection metrics accumulated during attack phases, derived
+    /// from the observability registry (the counters are the primary
+    /// record; this assembles the serialized report shape from them).
+    pub fn report(&self) -> DetectionReport {
+        self.obs.detection_report()
+    }
+
+    /// Attach a run journal: every subsequent tick emits a counter
+    /// delta line, and discrete events (evictions, rejections, filter
+    /// refreshes, deferred arms) are recorded as they happen. Journal
+    /// emission reads the same registry the report is derived from, so
+    /// simulation outputs are bit-identical with or without one.
+    pub fn enable_journal(&mut self, journal: Journal) {
+        let (nodes, seed) = (self.len(), self.config.seed);
+        self.obs.enable_journal(journal, "vivaldi", nodes, seed);
+    }
+
+    /// Emit the journal's `summary` line and detach it, returning the
+    /// accumulated bytes for in-memory journals (`None` for file
+    /// journals, whose bytes are flushed to disk).
+    pub fn finish_journal(&mut self) -> Option<Vec<u8>> {
+        self.obs.finish_journal()
+    }
+
+    /// Whether `node` is currently wrapped in the detection protocol.
+    pub fn is_secured(&self, node: usize) -> bool {
+        matches!(self.participants[node], Participant::Secured(_))
+    }
+
+    /// Nodes whose detection arming is still deferred (Surveyor outage
+    /// at arm time and no live candidate since).
+    pub fn pending_arms(&self) -> &BTreeSet<usize> {
+        &self.pending_arms
     }
 
     /// A node's current coordinate.
@@ -391,6 +429,11 @@ impl VivaldiSimulation {
     fn tick(&mut self, slot: usize, adversary: &dyn Adversary, collect_traces: bool) {
         let tick = self.tick;
         self.tick += 1;
+        self.obs.begin_tick(tick);
+        // Nodes whose arming was deferred by a Surveyor outage retry
+        // before the tick proper (no-op — and no RNG draw — unless a
+        // deferral actually happened).
+        self.retry_pending_arms();
 
         let snapshot: Vec<(Coordinate, f64)> = self
             .participants
@@ -505,40 +548,49 @@ impl VivaldiSimulation {
             effect
         });
 
+        let journaled = self.obs.journal_enabled();
         for (node, effect) in effects.into_iter().enumerate() {
+            if effect.vetted.is_some() || effect.recorded.is_some() {
+                // A measurement arrived (vetted or plain) — the probe
+                // completed, whatever the detector then decided.
+                self.obs.probe_ok();
+            }
             if let Some((label_malicious, flagged)) = effect.vetted {
-                self.report.confusion.record(label_malicious, flagged);
+                self.obs.record_confusion(label_malicious, flagged);
             }
             if effect.reprieved {
-                self.report.reprieves += 1;
+                self.obs.reprieve();
             }
-            if collect_traces {
-                if let Some(d) = effect.recorded {
+            if let Some(d) = effect.recorded {
+                if journaled {
+                    self.obs.observe_relative_error(d);
+                }
+                if collect_traces {
                     self.traces[node].push(d);
                 }
             }
             if let Some(peer) = effect.rejected_peer {
                 self.replace_neighbor(node, peer);
-                self.report.replacements += 1;
+                self.obs.replacement(node, peer);
             }
             // Fault bookkeeping (all branches dead on a clean network).
             if effect.self_down {
-                self.report.faults.node_down_ticks += 1;
+                self.obs.node_down_tick();
             }
             if effect.retried {
-                self.report.faults.retried_probes += 1;
+                self.obs.retried_probes(1);
             }
             if effect.coasted {
-                self.report.faults.coasted_steps += 1;
+                self.obs.coasted_steps(1);
             }
             if let Some(peer) = effect.probe_ok_peer {
                 self.probe_failures[node].remove(&peer);
             }
             if let Some((peer, fate)) = effect.failed_probe {
                 match fate {
-                    ProbeFate::Lost => self.report.faults.lost_probes += 1,
-                    ProbeFate::TimedOut => self.report.faults.timed_out_probes += 1,
-                    ProbeFate::PeerDown => self.report.faults.peer_down_probes += 1,
+                    ProbeFate::Lost => self.obs.lost_probe(),
+                    ProbeFate::TimedOut => self.obs.timed_out_probe(),
+                    ProbeFate::PeerDown => self.obs.peer_down_probe(),
                 }
                 let failures = self.probe_failures[node].entry(peer).or_insert(0);
                 *failures += 1;
@@ -548,6 +600,14 @@ impl VivaldiSimulation {
                 }
             }
         }
+        if journaled {
+            // Journal-only gauge: mean node-local embedding error. Only
+            // computed when someone is listening.
+            let n = self.participants.len().max(1) as f64;
+            let sum: f64 = self.participants.iter().map(Participant::local_error).sum();
+            self.obs.set_mean_local_error(sum / n);
+        }
+        self.obs.tick_boundary(tick);
     }
 
     /// Swap a rejected peer for a fresh random node (not self, not
@@ -573,7 +633,7 @@ impl VivaldiSimulation {
     /// isolation invariant; everyone else uses the ordinary
     /// random-replacement path.
     fn evict_dead_neighbor(&mut self, node: usize, dead: usize) {
-        self.report.faults.evictions += 1;
+        self.obs.eviction(node);
         if !self.surveyors.contains(&node) && !self.config.embed_against_surveyors_only {
             self.replace_neighbor(node, dead);
             return;
@@ -599,6 +659,7 @@ impl VivaldiSimulation {
     /// count comes from `ICES_THREADS` / [`ices_par::max_threads`] and
     /// never changes the result.
     pub fn run(&mut self, passes: usize, adversary: &dyn Adversary, collect_traces: bool) {
+        let start = self.tick;
         for _pass in 0..passes {
             let max_degree = self.neighbors.iter().map(|v| v.len()).max().unwrap_or(0);
             for slot in 0..max_degree {
@@ -607,6 +668,7 @@ impl VivaldiSimulation {
             // Round boundary: the half-rejected refresh rule.
             self.end_pass();
         }
+        self.obs.phase("run", self.tick - start);
     }
 
     /// Run clean (attack-free) passes, collecting traces.
@@ -650,10 +712,10 @@ impl VivaldiSimulation {
                             let params = info.params;
                             let id = info.id;
                             s.refresh_filter(params, id);
-                            self.report.filter_refreshes += 1;
+                            self.obs.filter_refresh(node);
                         }
                         None => {
-                            self.report.faults.stale_filter_fallbacks += 1;
+                            self.obs.stale_filter_fallback(node);
                         }
                     }
                 }
@@ -677,6 +739,7 @@ impl VivaldiSimulation {
                 params: outcome.params,
             });
         }
+        self.obs.phase("calibrate", 0);
     }
 
     /// EM-calibrate *every* node on its own trace (the §3.2 validation
@@ -703,63 +766,105 @@ impl VivaldiSimulation {
             !self.registry.is_empty(),
             "calibrate Surveyors before arming detection"
         );
+        for node in self.normal_nodes() {
+            if !self.try_arm_node(node) {
+                // Total Surveyor outage at arm time: defer this node's
+                // arming to the next tick rather than indexing an empty
+                // candidate draw.
+                self.pending_arms.insert(node);
+                self.obs.defer_arm(node);
+            }
+        }
+        self.obs.phase("arm", 0);
+    }
+
+    /// Retry every deferred arm. Nodes that secure now count as late
+    /// arms; the rest stay pending, each failed retry counting as
+    /// another deferral. No-op (and no RNG draw) when nothing is
+    /// pending, so runs without deferrals are bit-identical to the
+    /// pre-deferral behavior.
+    fn retry_pending_arms(&mut self) {
+        if self.pending_arms.is_empty() {
+            return;
+        }
+        let pending: Vec<usize> = self.pending_arms.iter().copied().collect();
+        for node in pending {
+            if self.try_arm_node(node) {
+                self.pending_arms.remove(&node);
+                self.obs.late_arm(node);
+            } else {
+                self.obs.defer_arm(node);
+            }
+        }
+    }
+
+    /// Arm one node: sample Surveyor candidates, probe them, adopt the
+    /// closest live one's filter (§4.2 join), and wrap the node in a
+    /// [`SecureNode`]. Returns `false` — deferring the arm — when the
+    /// candidate draw has no live Surveyor at all (total outage).
+    fn try_arm_node(&mut self, node: usize) -> bool {
         let faulty = !self.network.fault_plan().is_empty();
         let tick = self.tick;
-        for node in self.normal_nodes() {
-            let candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
-            let mut best: Option<(usize, f64)> = None;
-            for (k, s) in candidates.iter().enumerate() {
-                // Join probes draw nonces from their own stream, keyed by
-                // (node, candidate index) — disjoint from the embedding
-                // ticks' step nonces.
-                let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
-                if !faulty {
-                    let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
-                    if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                        best = Some((k, rtt));
-                    }
-                } else {
-                    // A crashed or unreachable Surveyor simply drops out
-                    // of the candidate race.
-                    if !self.network.node_up(s.id, tick) {
-                        continue;
-                    }
-                    match self.network.try_measure_rtt_smoothed(node, s.id, nonce, tick) {
-                        ProbeOutcome::Ok(rtt) => {
-                            if best.map(|(_, d)| rtt < d).unwrap_or(true) {
-                                best = Some((k, rtt));
-                            }
+        let mut candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
+        if faulty {
+            // Crashed Surveyors drop out of the candidate race before
+            // anything is probed; on a clean network every node is up,
+            // so this retain is a no-op and candidate indices (and
+            // their join nonces) are unchanged from seed behavior.
+            candidates.retain(|s| self.network.node_up(s.id, tick));
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (k, s) in candidates.iter().enumerate() {
+            // Join probes draw nonces from their own stream, keyed by
+            // (node, candidate index) — disjoint from the embedding
+            // ticks' step nonces.
+            let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
+            if !faulty {
+                let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
+                if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                    best = Some((k, rtt));
+                }
+            } else {
+                match self.network.try_measure_rtt_smoothed(node, s.id, nonce, tick) {
+                    ProbeOutcome::Ok(rtt) => {
+                        if best.map(|(_, d)| rtt < d).unwrap_or(true) {
+                            best = Some((k, rtt));
                         }
-                        ProbeOutcome::Lost | ProbeOutcome::TimedOut => {}
                     }
+                    ProbeOutcome::Lost | ProbeOutcome::TimedOut => {}
                 }
             }
-            // Every probe failed (heavy loss or a full Surveyor outage):
-            // fall back to an arbitrary sampled candidate rather than
-            // refusing to arm — a stale choice beats no detector.
-            let chosen = best
-                .map(|(k, _)| &candidates[k])
-                .unwrap_or(&candidates[0]);
-            let source = chosen.id;
-            let params = chosen.params;
-            let placeholder = Participant::Plain(VivaldiNode::new(node, self.vivaldi, 0));
-            let old = std::mem::replace(&mut self.participants[node], placeholder);
-            let inner = match old {
-                Participant::Plain(v) => v,
-                Participant::Secured(s) => panic!(
-                    "node {} already secured (filter source {})",
-                    node,
-                    s.filter_source()
-                ),
-            };
-            let mut secured = SecureNode::new(inner, params, source, self.security);
-            // Prime the filter with the node's recent clean history so a
-            // converged node is not mistaken for a freshly joining one.
-            let trace = &self.traces[node];
-            let tail = &trace[trace.len().saturating_sub(PRIME_SAMPLES)..];
-            secured.prime(tail);
-            self.participants[node] = Participant::Secured(Box::new(secured));
         }
+        // Every probe lost (heavy loss against live Surveyors): fall
+        // back to the first live candidate rather than refusing to arm
+        // — a stale choice beats no detector. The guard above makes the
+        // index safe: `candidates` is non-empty here by construction.
+        let chosen = best
+            .map(|(k, _)| &candidates[k])
+            .unwrap_or_else(|| &candidates[0]);
+        let source = chosen.id;
+        let params = chosen.params;
+        let placeholder = Participant::Plain(VivaldiNode::new(node, self.vivaldi, 0));
+        let old = std::mem::replace(&mut self.participants[node], placeholder);
+        let inner = match old {
+            Participant::Plain(v) => v,
+            Participant::Secured(s) => panic!(
+                "node {} already secured (filter source {})",
+                node,
+                s.filter_source()
+            ),
+        };
+        let mut secured = SecureNode::new(inner, params, source, self.security);
+        // Prime the filter with the node's recent clean history so a
+        // converged node is not mistaken for a freshly joining one.
+        let trace = &self.traces[node];
+        let tail = &trace[trace.len().saturating_sub(PRIME_SAMPLES)..];
+        secured.prime(tail);
+        self.participants[node] = Participant::Secured(Box::new(secured));
+        true
     }
 
     /// Rewrite every registered Surveyor's filter parameters through a

@@ -16,6 +16,12 @@ cargo test -q
 # machine-readable allowlist inventory).
 cargo run -q -p ices-audit -- --workspace --json
 
+# Observability smoke: run a small journaled secured-Vivaldi pipeline,
+# then re-validate the emitted JSONL against the schema (obs_report
+# exits nonzero on any violation).
+cargo run -q --release -p ices-bench --bin obs_report -- --smoke target/obs_smoke.jsonl
+cargo run -q --release -p ices-bench --bin obs_report -- --check target/obs_smoke.jsonl
+
 # Tier 2: time the two-phase tick engine sequentially and at host
 # parallelism, plus one faulty-network configuration per driver
 # (10% probe loss + churn) and the NPS solver microbenchmark; rewrites
