@@ -9,13 +9,18 @@
 //! * **DET02** — no wall-clock or OS-entropy sources (`Instant::now`,
 //!   `SystemTime`, `thread_rng`, `from_entropy`) outside `crates/bench`:
 //!   every random draw must come from a named seeded nonce stream.
-//! * **DET03** — no raw `thread::spawn`/`thread::scope` outside
-//!   `crates/par`: all parallelism goes through `ices-par`, whose
-//!   entry points are order-preserving by construction.
+//! * **DET03** — no raw `thread::spawn`/`thread::scope`/`thread::Builder`
+//!   outside `crates/par`: all parallelism goes through `ices-par`, whose
+//!   entry points are order-preserving by construction (the persistent
+//!   worker pool included — its named `Builder` spawns live in par).
 //! * **PANIC01** — no `.unwrap()`/`.expect(` in non-test library code
 //!   (tests, examples, and binaries are exempt): probe/detector paths
 //!   must degrade through `Result`s, not abort a simulation.
 //! * **SAFE01** — every crate root carries `#![forbid(unsafe_code)]`.
+//!   Sole exception: `crates/par` may carry `#![deny(unsafe_code)]`
+//!   instead — its worker pool erases closure lifetimes behind a
+//!   completion barrier, and that one audited module opts in with
+//!   `#[allow(unsafe_code)]` while the rest of the crate stays denied.
 //! * **OBS01** — no wall-clock or entropy source anywhere in
 //!   `crates/obs`: observability time flows exclusively through the
 //!   `ices_obs::Clock` trait, and the only sanctioned wall-clock impl
@@ -312,14 +317,24 @@ pub fn audit_source(ctx: &FileContext, src: &str) -> FileReport {
     };
 
     // SAFE01: crate roots must forbid unsafe code via the inner
-    // attribute `#![forbid(unsafe_code)]`.
+    // attribute `#![forbid(unsafe_code)]`. `crates/par` alone may use
+    // `#![deny(unsafe_code)]` — the worker pool's lifetime erasure is
+    // the workspace's one sanctioned unsafe block, and deny (unlike
+    // forbid) lets exactly that module opt in with `#[allow]` while
+    // every other file in the crate stays refused.
     if ctx.is_crate_root {
+        let par_deny_ok = ctx.crate_name == "par";
         let mut found = false;
         for i in 0..tokens.len() {
+            let level_ok = match ident_at(tokens, i + 3) {
+                Some("forbid") => true,
+                Some("deny") => par_deny_ok,
+                _ => false,
+            };
             if punct_at(tokens, i) == Some('#')
                 && punct_at(tokens, i + 1) == Some('!')
                 && punct_at(tokens, i + 2) == Some('[')
-                && ident_at(tokens, i + 3) == Some("forbid")
+                && level_ok
                 && punct_at(tokens, i + 4) == Some('(')
                 && ident_at(tokens, i + 5) == Some("unsafe_code")
             {
@@ -328,12 +343,13 @@ pub fn audit_source(ctx: &FileContext, src: &str) -> FileReport {
             }
         }
         if !found {
-            push(
-                "SAFE01",
-                1,
-                "crate root is missing `#![forbid(unsafe_code)]`".into(),
-                &mut findings,
-            );
+            let wanted = if par_deny_ok {
+                "crate root is missing `#![forbid(unsafe_code)]` \
+                 (or, for `crates/par` only, `#![deny(unsafe_code)]`)"
+            } else {
+                "crate root is missing `#![forbid(unsafe_code)]`"
+            };
+            push("SAFE01", 1, wanted.into(), &mut findings);
         }
     }
 
@@ -409,7 +425,10 @@ pub fn audit_source(ctx: &FileContext, src: &str) -> FileReport {
             "thread" if det03_applies => {
                 if punct_at(tokens, i + 1) == Some(':')
                     && punct_at(tokens, i + 2) == Some(':')
-                    && matches!(ident_at(tokens, i + 3), Some("spawn") | Some("scope"))
+                    && matches!(
+                        ident_at(tokens, i + 3),
+                        Some("spawn") | Some("scope") | Some("Builder")
+                    )
                 {
                     let what = ident_at(tokens, i + 3).unwrap_or("spawn");
                     push(
@@ -624,6 +643,36 @@ mod tests {
         assert_eq!(rules_of(&audit_source(&ctx, src)), [("SAFE01", 1, false)]);
         let good = "#![forbid(unsafe_code)]\npub fn f() {}\n";
         assert!(audit_source(&ctx, good).findings.is_empty());
+    }
+
+    #[test]
+    fn safe01_accepts_deny_for_par_crate_root_only() {
+        let deny = "#![deny(unsafe_code)]\npub fn f() {}\n";
+        let mut par = lib_ctx();
+        par.crate_name = "par".into();
+        par.is_crate_root = true;
+        assert!(
+            audit_source(&par, deny).findings.is_empty(),
+            "par may deny instead of forbid"
+        );
+        // Everyone else must still forbid — deny is not enough.
+        let mut other = lib_ctx();
+        other.is_crate_root = true;
+        assert_eq!(rules_of(&audit_source(&other, deny)), [("SAFE01", 1, false)]);
+        // And par with neither attribute is still flagged.
+        let bare = "pub fn f() {}\n";
+        assert_eq!(rules_of(&audit_source(&par, bare)), [("SAFE01", 1, false)]);
+    }
+
+    #[test]
+    fn det03_flags_thread_builder_outside_par() {
+        let src = "let h = std::thread::Builder::new().spawn(|| {});\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(rules_of(&r), [("DET03", 1, false)]);
+        assert!(r.findings[0].message.contains("thread::Builder"));
+        let mut par = lib_ctx();
+        par.crate_name = "par".into();
+        assert!(audit_source(&par, src).findings.is_empty());
     }
 
     #[test]

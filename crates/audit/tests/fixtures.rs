@@ -56,6 +56,37 @@ fn det03_spawn_fixture() {
 }
 
 #[test]
+fn det03_builder_fixture() {
+    assert_single_finding("det03_builder.rs", "DET03", 5);
+    // The same pool-style spawn site is sanctioned inside crates/par.
+    let targets = adhoc_targets_as(&[fixture("det03_builder.rs")], "par");
+    let report = audit_targets(&targets);
+    assert!(
+        report.findings.is_empty(),
+        "Builder spawns are par's to make: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn rtt_source_wallclock_fixture_fires_det02_under_netsim() {
+    // An RttSource impl that consults the wall clock must dirty the
+    // audit in netsim's context: base RTT synthesis is required to be
+    // a pure function of (seed, lo, hi).
+    let targets = adhoc_targets_as(&[fixture("det02_rtt_source.rs")], "netsim");
+    let report = audit_targets(&targets);
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "expected one finding: {:?}",
+        report.findings
+    );
+    let f = &report.findings[0];
+    assert_eq!((f.rule.as_str(), f.line), ("DET02", 19), "{f:?}");
+    assert!(report.is_dirty());
+}
+
+#[test]
 fn panic01_unwrap_fixture() {
     assert_single_finding("panic01_unwrap.rs", "PANIC01", 4);
 }
@@ -137,7 +168,9 @@ fn binary_exits_nonzero_on_each_bad_fixture() {
     for name in [
         "det01_hashmap.rs",
         "det02_clock.rs",
+        "det02_rtt_source.rs",
         "det03_spawn.rs",
+        "det03_builder.rs",
         "panic01_unwrap.rs",
         "safe01/lib.rs",
         "allow01_missing_reason.rs",

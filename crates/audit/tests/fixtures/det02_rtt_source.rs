@@ -1,0 +1,22 @@
+//! DET02 fixture: an `RttSource`-shaped impl that reads the wall clock
+//! inside `base_rtt`. Under the netsim context this must be flagged —
+//! per-pair RTT synthesis has to be a pure function of
+//! `(seed, min(a,b), max(a,b))`, never of when the probe was issued.
+
+pub trait RttSource {
+    fn node_count(&self) -> usize;
+    fn base_rtt(&self, a: usize, b: usize) -> f64;
+}
+
+pub struct JitterySource;
+
+impl RttSource for JitterySource {
+    fn node_count(&self) -> usize {
+        0
+    }
+
+    fn base_rtt(&self, _a: usize, _b: usize) -> f64 {
+        let t = std::time::Instant::now();
+        t.elapsed().as_secs_f64()
+    }
+}

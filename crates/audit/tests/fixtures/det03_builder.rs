@@ -1,0 +1,9 @@
+//! DET03 fixture: a named worker spawned via `thread::Builder` outside
+//! ices-par — the pool-style spawn site the pool rule must still catch.
+
+pub fn named_worker() {
+    let handle = std::thread::Builder::new()
+        .name("rogue-worker".into())
+        .spawn(|| 1 + 1);
+    drop(handle);
+}

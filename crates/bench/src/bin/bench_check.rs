@@ -6,18 +6,33 @@
 //! ```
 //!
 //! Compares every matching tick-engine configuration (driver × threads
-//! × faults × journal) and the NPS solver microbenchmark; a
-//! configuration whose throughput dropped more than 20% gets a loudly
-//! printed warning, and a journaled configuration running more than 5%
-//! below its unjournaled twin *in the current report* violates the obs
-//! layer's overhead budget. Always exits 0 on a completed comparison —
-//! timings on shared hardware are advisory, the warning is the signal —
-//! and exits 2 only on usage or parse errors.
+//! × faults × journal), the streamed-topology scale-sweep rows (with a
+//! wider 30% budget at ≥50k nodes, where run-to-run variance grows with
+//! the constant-factor work per probe), and the NPS solver
+//! microbenchmark; a configuration whose throughput dropped more than
+//! its budget gets a loudly printed warning, and a journaled
+//! configuration running more than 5% below its unjournaled twin *in
+//! the current report* violates the obs layer's overhead budget.
+//!
+//! When the two reports disagree on `host_parallelism`, only the
+//! `threads == 1` configurations are compared: multi-thread rows (and
+//! the recorded speedups, which may legitimately be `null` on
+//! single-core hosts) are functions of the machine, not of the code,
+//! so cross-host comparison of them is noise presented as signal.
+//!
+//! Always exits 0 on a completed comparison — timings on shared
+//! hardware are advisory, the warning is the signal — and exits 2 only
+//! on usage or parse errors.
 
 use serde::Value;
 
 /// Fractional throughput drop that triggers a warning.
 const TOLERANCE: f64 = 0.20;
+
+/// Wider budget for scale-sweep rows at or above this population: big
+/// streamed runs are single-rep and allocator/page-cache sensitive.
+const SWEEP_BIG_NODES: u64 = 50_000;
+const SWEEP_BIG_TOLERANCE: f64 = 0.30;
 
 /// Budgeted journaling overhead: a journaled run must stay within 5% of
 /// the matching unjournaled configuration.
@@ -66,6 +81,30 @@ fn runs(report: &Value) -> Vec<(String, u64, bool, bool, f64)> {
     out
 }
 
+/// `(nodes, threads) → steps_per_sec` per scale-sweep row. Reports
+/// recorded before the streamed sweep carry no `scale_sweep` field;
+/// those yield no rows and the comparison is skipped.
+fn sweep_rows(report: &Value) -> Vec<(u64, u64, f64)> {
+    let mut out = Vec::new();
+    if let Some(Value::Seq(entries)) = field(report, "scale_sweep") {
+        for row in entries {
+            let (Some(nodes), Some(threads), Some(sps)) = (
+                field(row, "nodes").and_then(number),
+                field(row, "threads").and_then(number),
+                field(row, "steps_per_sec").and_then(number),
+            ) else {
+                continue;
+            };
+            out.push((nodes as u64, threads as u64, sps));
+        }
+    }
+    out
+}
+
+fn host_parallelism(report: &Value) -> Option<u64> {
+    field(report, "host_parallelism").and_then(number).map(|n| n as u64)
+}
+
 fn solver_rate(report: &Value) -> Option<f64> {
     field(report, "nps_solver").and_then(|s| field(s, "solves_per_sec").and_then(number))
 }
@@ -99,9 +138,24 @@ fn main() {
 
     let mut warnings = 0usize;
     let mut compared = 0usize;
+    // Differently-sized hosts make every multi-thread row (and any
+    // recorded speedup) incomparable; restrict to the sequential rows.
+    let same_host = match (host_parallelism(&baseline), host_parallelism(&current)) {
+        (Some(b), Some(c)) => b == c,
+        _ => true, // a pre-sweep report: keep the old permissive behavior
+    };
+    if !same_host {
+        println!(
+            "bench_check: host_parallelism differs between reports — \
+             comparing threads=1 configurations only"
+        );
+    }
     let old_runs = runs(&baseline);
     let new_runs = runs(&current);
     for (driver, threads, faults, journal, new_sps) in &new_runs {
+        if !same_host && *threads != 1 {
+            continue;
+        }
         let Some((_, _, _, _, old_sps)) = old_runs.iter().find(|(d, t, f, j, _)| {
             d == driver && t == threads && f == faults && j == journal
         }) else {
@@ -142,6 +196,36 @@ fn main() {
                 100.0 * JOURNAL_BUDGET,
                 clean_sps,
                 j_sps
+            );
+        }
+    }
+    // Scale-sweep rows: per-scale budgets (big streamed runs get 30%).
+    let old_sweep = sweep_rows(&baseline);
+    for (nodes, threads, new_sps) in sweep_rows(&current) {
+        if !same_host && threads != 1 {
+            continue;
+        }
+        let Some((_, _, old_sps)) = old_sweep
+            .iter()
+            .find(|(n, t, _)| *n == nodes && *t == threads)
+        else {
+            continue;
+        };
+        compared += 1;
+        let budget = if nodes >= SWEEP_BIG_NODES {
+            SWEEP_BIG_TOLERANCE
+        } else {
+            TOLERANCE
+        };
+        if new_sps < old_sps * (1.0 - budget) {
+            warnings += 1;
+            println!(
+                "PERF WARNING: streamed sweep n={nodes} (threads={threads}) regressed \
+                 {:.0}% (budget {:.0}%) — {:.0} → {:.0} steps/sec",
+                100.0 * (1.0 - new_sps / old_sps),
+                100.0 * budget,
+                old_sps,
+                new_sps
             );
         }
     }

@@ -8,13 +8,24 @@
 //! configurations directly comparable — they produce bit-for-bit
 //! identical simulations, so any throughput delta is pure scheduling.
 //!
+//! Alongside the paper-shaped PlanetLab run, a **scale sweep** times the
+//! Vivaldi engine on streamed King topologies (no dense matrix, every
+//! base RTT recomputed per probe) at 280 / 1740 / 50 000 nodes, and —
+//! behind `ICES_SCALE=xl` — smoke-tests constructing a million-node
+//! streamed network plus a probe storm over it. A pool-dispatch
+//! microbenchmark records what one persistent-pool broadcast costs
+//! per call next to what the legacy per-call `thread::scope` spawn
+//! path cost, so the pool's whole reason to exist is a number in the
+//! perf trajectory.
+//!
 //! ```text
 //! bench_tick [--scale test|harness|paper] [--seed N] [--no-json]
+//! ICES_SCALE=xl bench_tick   # adds the million-node streamed smoke
 //! ```
 
 use ices_bench::{print_header, HarnessOptions};
 use ices_coord::{Coordinate, Embedding, PeerSample};
-use ices_netsim::{ChurnModel, FaultPlan};
+use ices_netsim::{ChurnModel, FaultPlan, KingConfig, Network};
 use ices_obs::Journal;
 use ices_nps::{NpsConfig, NpsNode};
 use ices_sim::experiments::Scale;
@@ -61,15 +72,56 @@ struct SolverBench {
     solves_per_sec: f64,
 }
 
+/// One row of the streamed-topology scale sweep.
+#[derive(Debug, Serialize)]
+struct ScaleRow {
+    /// Substrate flavor; currently always `"streamed_king"`.
+    topology: &'static str,
+    nodes: usize,
+    ticks: usize,
+    threads: usize,
+    secs: f64,
+    steps_per_sec: f64,
+}
+
+/// Per-call cost of putting work on the persistent pool, next to the
+/// per-call cost of the legacy scoped-spawn path it replaced.
+#[derive(Debug, Serialize)]
+struct PoolDispatch {
+    /// Mean µs per two-partition `par_map_mut` over a warm pool.
+    pool_dispatch_us: f64,
+    /// Mean µs per legacy `thread::scope` spawn of two workers — what
+    /// every single parallel call used to pay before the pool.
+    scope_spawn_us: f64,
+}
+
+/// `ICES_SCALE=xl` smoke: can a million-node streamed topology be
+/// constructed and probed at all, and how fast.
+#[derive(Debug, Serialize)]
+struct XlSmoke {
+    nodes: usize,
+    construct_secs: f64,
+    probes: usize,
+    probes_per_sec: f64,
+}
+
 /// The full benchmark result written to `BENCH_sim.json`.
 #[derive(Debug, Serialize)]
 struct BenchReport {
     scale: String,
     host_parallelism: usize,
     runs: Vec<TickBench>,
+    scale_sweep: Vec<ScaleRow>,
+    pool_dispatch: PoolDispatch,
+    /// Present only when `ICES_SCALE=xl` requested the smoke.
+    xl_streamed: Option<XlSmoke>,
     nps_solver: SolverBench,
-    vivaldi_speedup: f64,
-    nps_speedup: f64,
+    /// `None` on single-core hosts: a wide row is still timed (it is an
+    /// oversubscription measurement), but calling its ratio to the
+    /// sequential row a "speedup" would be dishonest, so none is
+    /// recorded and bench_check must not expect one.
+    vivaldi_speedup: Option<f64>,
+    nps_speedup: Option<f64>,
 }
 
 fn scenario(scale: &Scale) -> ScenarioConfig {
@@ -185,6 +237,119 @@ fn time_nps(scale: &Scale, threads: usize, faults: bool, journal: bool) -> TickB
         journal,
         secs,
         steps_per_sec: steps as f64 / secs,
+    }
+}
+
+/// A detection-off, fault-free scenario on a **streamed** King
+/// topology: no dense matrix exists at any size, so the same code path
+/// scales from the paper's 1740 nodes to 50k and beyond in O(n) memory.
+fn streamed_scenario(seed: u64, nodes: usize, passes: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        topology: TopologyKind::StreamedKing(KingConfig::small(nodes)),
+        surveyors: SurveyorPlacement::Random { fraction: 0.08 },
+        malicious_fraction: 0.0,
+        alpha: 0.05,
+        detection: false,
+        clean_cycles: passes,
+        attack_cycles: 0,
+        embed_against_surveyors_only: false,
+    }
+}
+
+/// Time `passes` clean Vivaldi passes on a streamed King topology.
+fn time_streamed_vivaldi(seed: u64, nodes: usize, passes: usize, threads: usize) -> ScaleRow {
+    let mut sim = VivaldiSimulation::new(streamed_scenario(seed, nodes, passes));
+    let steps: usize = (0..sim.len())
+        .map(|i| sim.neighbors_of(i).len())
+        .sum::<usize>()
+        * passes;
+    let start = Instant::now();
+    ices_par::with_threads(threads, || sim.run_clean(passes));
+    let secs = start.elapsed().as_secs_f64();
+    ScaleRow {
+        topology: "streamed_king",
+        nodes: sim.len(),
+        ticks: passes,
+        threads,
+        secs,
+        steps_per_sec: steps as f64 / secs,
+    }
+}
+
+/// The streamed-topology scale sweep: `(nodes, passes, threads)` rows.
+/// The paper's two population sizes run at every scale; the 50k row —
+/// the one that only exists because RTTs stream — is skipped at
+/// `--scale test` to keep the quick configuration quick.
+fn sweep_plan(scale_name: &str) -> Vec<(usize, usize, usize)> {
+    let mut plan = vec![(280, 4, 1), (1740, 2, 1), (1740, 2, 0 /* wide */)];
+    if scale_name != "test" {
+        plan.push((50_000, 1, 1));
+    }
+    plan
+}
+
+/// Per-call pool-dispatch cost vs the retired per-call scoped-spawn
+/// path. Both numbers are means over many calls on a warm pool; the
+/// workload is deliberately trivial (64 float increments) so the
+/// measurement is dispatch overhead, not work.
+fn time_pool_dispatch() -> PoolDispatch {
+    let mut data = vec![0.0f64; 64];
+    ices_par::with_threads(2, || {
+        // Warm-up: first dispatch spawns and parks the workers.
+        for _ in 0..16 {
+            ices_par::par_map_mut(&mut data, |_, x| *x += 1.0);
+        }
+        const CALLS: usize = 4000;
+        let start = Instant::now();
+        for _ in 0..CALLS {
+            ices_par::par_map_mut(&mut data, |_, x| *x += 1.0);
+        }
+        let pool_dispatch_us = start.elapsed().as_secs_f64() * 1e6 / CALLS as f64;
+
+        const SPAWNS: usize = 400;
+        let start = Instant::now();
+        for _ in 0..SPAWNS {
+            ices_par::scope_spawn_reference(2);
+        }
+        let scope_spawn_us = start.elapsed().as_secs_f64() * 1e6 / SPAWNS as f64;
+        PoolDispatch {
+            pool_dispatch_us,
+            scope_spawn_us,
+        }
+    })
+}
+
+/// `ICES_SCALE=xl`: construct a million-node streamed King network (no
+/// simulation — the point is that the topology itself is O(n)) and
+/// storm it with deterministic pseudo-random probe pairs.
+fn xl_smoke(seed: u64) -> XlSmoke {
+    const NODES: usize = 1_000_000;
+    const PROBES: usize = 200_000;
+    let start = Instant::now();
+    let network = Network::from_king_streamed(KingConfig::small(NODES), seed);
+    let construct_secs = start.elapsed().as_secs_f64();
+
+    // Weyl-sequence pair picks: deterministic, aperiodic enough for a
+    // smoke, and free of any RNG the determinism rules care about.
+    let mut acc = 0usize;
+    let mut checksum = 0.0f64;
+    let start = Instant::now();
+    for i in 0..PROBES {
+        acc = acc.wrapping_add(0x9E37_79B9_7F4A_7C15usize);
+        let a = acc % NODES;
+        let b = (acc >> 20).wrapping_add(i) % NODES;
+        if a != b {
+            checksum += network.base_rtt(a, b);
+        }
+    }
+    let probe_secs = start.elapsed().as_secs_f64();
+    assert!(checksum.is_finite() && checksum > 0.0);
+    XlSmoke {
+        nodes: NODES,
+        construct_secs,
+        probes: PROBES,
+        probes_per_sec: PROBES as f64 / probe_secs,
     }
 }
 
@@ -305,6 +470,43 @@ fn main() {
         runs.push(bench);
     }
 
+    // Streamed-topology scale sweep: the paper's sizes plus 50k, all on
+    // the generator that never materializes a matrix.
+    let mut scale_sweep = Vec::new();
+    for (nodes, passes, threads) in sweep_plan(&options.scale_name) {
+        let threads = if threads == 0 { wide } else { threads };
+        // One rep at 50k (seconds per run); best-of-2 below that.
+        let mut row = time_streamed_vivaldi(options.scale.seed, nodes, passes, threads);
+        if nodes <= 1740 {
+            let rerun = time_streamed_vivaldi(options.scale.seed, nodes, passes, threads);
+            if rerun.steps_per_sec > row.steps_per_sec {
+                row = rerun;
+            }
+        }
+        println!(
+            "{:>8}  n={:<7} threads={:<2}  {:>8.2}s  {:>12.0} steps/s  (streamed)",
+            "sweep", row.nodes, row.threads, row.secs, row.steps_per_sec
+        );
+        scale_sweep.push(row);
+    }
+
+    let pool_dispatch = time_pool_dispatch();
+    println!(
+        "{:>8}  pool broadcast {:.2} µs/call vs scoped spawn {:.2} µs/call",
+        "pool", pool_dispatch.pool_dispatch_us, pool_dispatch.scope_spawn_us
+    );
+
+    let xl_streamed = if std::env::var("ICES_SCALE").as_deref() == Ok("xl") {
+        let smoke = xl_smoke(options.scale.seed);
+        println!(
+            "{:>8}  n={} constructed in {:.2}s, {} probes at {:.0}/s",
+            "xl", smoke.nodes, smoke.construct_secs, smoke.probes, smoke.probes_per_sec
+        );
+        Some(smoke)
+    } else {
+        None
+    };
+
     let solver = time_nps_solver();
     println!(
         "{:>8}  {} rounds × ({}-d, {} RPs)  {:>8.2}s  {:>12.1} solves/s",
@@ -312,17 +514,21 @@ fn main() {
         solver.solves_per_sec
     );
 
-    // Speedup compares the clean configurations only.
-    let speedup = |driver: &str| -> f64 {
+    // Speedup compares the clean configurations only — and only on a
+    // host that actually has two cores. On a single-core host the wide
+    // row measures oversubscription, not parallel speedup, so the field
+    // stays `null` rather than recording a ratio no other host should
+    // be compared against.
+    let speedup = |driver: &str| -> Option<f64> {
+        if host < 2 {
+            return None;
+        }
         let of = |t: usize| {
             runs.iter()
                 .find(|r| r.driver == driver && r.threads == t && !r.faults && !r.journal)
                 .map(|r| r.steps_per_sec)
         };
-        match (of(1), of(wide)) {
-            (Some(seq), Some(par)) => par / seq,
-            _ => 1.0, // a configuration is missing: no speedup measured
-        }
+        Some(of(wide)? / of(1)?)
     };
     let (vivaldi_speedup, nps_speedup) = (speedup("vivaldi"), speedup("nps"));
     let report = BenchReport {
@@ -331,12 +537,20 @@ fn main() {
         vivaldi_speedup,
         nps_speedup,
         nps_solver: solver,
+        scale_sweep,
+        pool_dispatch,
+        xl_streamed,
         runs,
     };
-    println!(
-        "\nspeedup: vivaldi {:.2}x, nps {:.2}x (host parallelism {host})",
-        report.vivaldi_speedup, report.nps_speedup
-    );
+    match (report.vivaldi_speedup, report.nps_speedup) {
+        (Some(v), Some(n)) => println!(
+            "\nspeedup: vivaldi {v:.2}x, nps {n:.2}x (host parallelism {host})"
+        ),
+        _ => println!(
+            "\nspeedup: not measured — single-core host (parallelism {host}); \
+             the threads={wide} rows are oversubscription measurements"
+        ),
+    }
 
     if options.write_json {
         match serde_json::to_string_pretty(&report) {

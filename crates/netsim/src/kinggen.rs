@@ -114,16 +114,16 @@ impl KingConfig {
         }
     }
 
-    /// Generate the node placements and the base-RTT matrix.
+    /// Draw the ground-truth node placement — latent positions, heights,
+    /// regions — without materializing any pairwise state. O(n) memory.
     ///
-    /// Deterministic in `seed`. Returns the full [`Topology`] including
-    /// ground-truth latent positions (useful for evaluating embeddings
-    /// against truth, and for the k-means Surveyor placement which the
-    /// paper runs on coordinates).
+    /// Deterministic in `seed`; bit-identical to the placement half of
+    /// [`KingConfig::generate`] (it *is* that half, factored out so a
+    /// streamed [`crate::SynthRtt`] source reproduces the same world).
     ///
     /// # Panics
     /// Panics if fewer than 2 nodes are requested or the layout is empty.
-    pub fn generate(&self, seed: u64) -> Topology {
+    pub fn place(&self, seed: u64) -> Placement {
         assert!(self.nodes >= 2, "need at least 2 nodes");
         assert!(
             !self.layout.regions.is_empty(),
@@ -155,38 +155,97 @@ impl KingConfig {
             positions.push((x, y));
             heights.push(h);
         }
-
-        let matrix = RttMatrix::from_fn(self.nodes, |i, j| {
-            let (xi, yi) = positions[i];
-            let (xj, yj) = positions[j];
-            let planar = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
-            let distortion = if self.distortion_sigma > 0.0 || self.distortion_bias > 0.0 {
-                // Per-pair deterministic stream so the matrix does not
-                // depend on construction order.
-                let mut pair_rng = stream_rng2(seed, i as u64, j as u64);
-                let sign = if pair_rng.random::<f64>() < 0.5 {
-                    -1.0
-                } else {
-                    1.0
-                };
-                let magnitude = self.distortion_bias
-                    + sample::normal(&mut pair_rng, 0.0, self.distortion_sigma);
-                (sign * magnitude).exp()
-            } else {
-                1.0
-            };
-            // Distortion models transit-path inflation, so it applies to
-            // the planar (routed) component only; the access links are
-            // physical constants of each endpoint.
-            (planar * distortion + heights[i] + heights[j]).max(self.min_rtt_ms)
-        });
-
-        Topology {
-            matrix,
+        Placement {
             positions,
             heights,
             regions,
         }
+    }
+
+    /// The base RTT between distinct nodes `a` and `b` under `placement`.
+    ///
+    /// A pure function of `(seed, min(a,b), max(a,b))` and the endpoint
+    /// ground truth: the route-distortion draw comes from the
+    /// order-normalized pair stream `stream_rng2(seed, lo, hi)`, so any
+    /// evaluation order — dense matrix fill, on-demand streaming, either
+    /// argument order — produces bit-identical values.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of the placement.
+    pub fn pair_rtt(&self, seed: u64, placement: &Placement, a: usize, b: usize) -> f64 {
+        assert_ne!(a, b, "pair_rtt needs two distinct nodes");
+        let (lo, hi) = (a.min(b), a.max(b));
+        assert!(hi < placement.positions.len(), "node {hi} out of placement");
+        let (xi, yi) = placement.positions[lo];
+        let (xj, yj) = placement.positions[hi];
+        let planar = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+        let distortion = if self.distortion_sigma > 0.0 || self.distortion_bias > 0.0 {
+            // Per-pair deterministic stream so the value does not depend
+            // on evaluation order.
+            let mut pair_rng = stream_rng2(seed, lo as u64, hi as u64);
+            let sign = if pair_rng.random::<f64>() < 0.5 {
+                -1.0
+            } else {
+                1.0
+            };
+            let magnitude =
+                self.distortion_bias + sample::normal(&mut pair_rng, 0.0, self.distortion_sigma);
+            (sign * magnitude).exp()
+        } else {
+            1.0
+        };
+        // Distortion models transit-path inflation, so it applies to
+        // the planar (routed) component only; the access links are
+        // physical constants of each endpoint.
+        (planar * distortion + placement.heights[lo] + placement.heights[hi])
+            .max(self.min_rtt_ms)
+    }
+
+    /// Generate the node placements and the dense base-RTT matrix.
+    ///
+    /// Deterministic in `seed`. Returns the full [`Topology`] including
+    /// ground-truth latent positions (useful for evaluating embeddings
+    /// against truth, and for the k-means Surveyor placement which the
+    /// paper runs on coordinates). O(n²) memory — for large n, stream
+    /// pairs through [`crate::SynthRtt`] instead; both derive every pair
+    /// from the same `(seed, lo, hi)` streams and agree bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 nodes are requested or the layout is empty.
+    pub fn generate(&self, seed: u64) -> Topology {
+        let placement = self.place(seed);
+        let matrix =
+            RttMatrix::from_fn(self.nodes, |i, j| self.pair_rtt(seed, &placement, i, j));
+        Topology {
+            matrix,
+            positions: placement.positions,
+            heights: placement.heights,
+            regions: placement.regions,
+        }
+    }
+}
+
+/// Ground-truth node placement without any pairwise state: the O(n) half
+/// of a generated topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Latent planar positions (ms), per node.
+    pub positions: Vec<(f64, f64)>,
+    /// Access-link heights (ms), per node.
+    pub heights: Vec<f64>,
+    /// Region index, per node.
+    pub regions: Vec<usize>,
+}
+
+impl Placement {
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the placement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
     }
 }
 

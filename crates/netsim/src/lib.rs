@@ -37,11 +37,13 @@ pub mod fluctuation;
 pub mod kinggen;
 pub mod network;
 pub mod planetlab;
+pub mod rtt;
 pub mod topology;
 
 pub use faults::{ChurnModel, FaultPlan, LinkFaults, ProbeOutcome};
 pub use fluctuation::{FluctuationModel, NoiseProfile};
-pub use kinggen::{KingConfig, RegionLayout};
+pub use kinggen::{KingConfig, Placement, RegionLayout};
 pub use network::Network;
 pub use planetlab::PlanetLabConfig;
+pub use rtt::{RttSource, RttStore, SynthRtt};
 pub use topology::RttMatrix;

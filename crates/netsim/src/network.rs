@@ -8,8 +8,9 @@
 
 use crate::faults::{FaultPlan, ProbeOutcome};
 use crate::fluctuation::{FluctuationModel, NoiseProfile};
-use crate::kinggen::Topology;
+use crate::kinggen::{KingConfig, Topology};
 use crate::planetlab::PlanetLab;
+use crate::rtt::{RttSource, RttStore, SynthRtt};
 use crate::topology::RttMatrix;
 use ices_stats::rng::{derive, stream_rng2};
 use serde::{Deserialize, Serialize};
@@ -18,7 +19,7 @@ use std::sync::OnceLock;
 /// A simulated network that serves noisy RTT measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Network {
-    matrix: RttMatrix,
+    rtt: RttStore,
     profiles: Vec<NoiseProfile>,
     noise: FluctuationModel,
     seed: u64,
@@ -121,7 +122,7 @@ impl Deserialize for ProfileCache {
 }
 
 impl Network {
-    /// Build a network from explicit parts.
+    /// Build a network from explicit parts over a dense matrix.
     ///
     /// # Panics
     /// Panics if the profile count does not match the matrix size or the
@@ -132,14 +133,28 @@ impl Network {
         noise: FluctuationModel,
         seed: u64,
     ) -> Self {
+        Self::with_source(RttStore::Dense(matrix), profiles, noise, seed)
+    }
+
+    /// Build a network from explicit parts over any base-RTT store.
+    ///
+    /// # Panics
+    /// Panics if the profile count does not match the node count or the
+    /// noise model is invalid.
+    pub fn with_source(
+        rtt: RttStore,
+        profiles: Vec<NoiseProfile>,
+        noise: FluctuationModel,
+        seed: u64,
+    ) -> Self {
         assert_eq!(
             profiles.len(),
-            matrix.len(),
+            rtt.node_count(),
             "one noise profile per node required"
         );
         noise.validate();
         Self {
-            matrix,
+            rtt,
             profiles,
             noise,
             seed,
@@ -170,12 +185,15 @@ impl Network {
         self.faults.node_up(self.seed, node, tick)
     }
 
-    /// A network over a King-like topology with uniform clean profiles
-    /// and King-grade measurement noise.
+    /// A network over a materialized King-like topology with uniform
+    /// clean profiles and King-grade measurement noise.
     ///
-    /// Takes the topology by value: the packed RTT triangle is ~n²/2
-    /// floats (1.5M+ f64 at paper scale) and is moved, not copied, into
-    /// the network.
+    /// The resulting network is **dense**: it takes the topology by
+    /// value and moves (never copies) the packed RTT triangle — ~n²/2
+    /// floats, 1.5M+ f64 at paper scale — so [`Network::matrix`] returns
+    /// `Some`. For populations where O(n²) storage is impractical, use
+    /// [`Network::from_king_streamed`], which serves bit-identical base
+    /// RTTs from O(n) state.
     pub fn from_king(topology: Topology, seed: u64) -> Self {
         let n = topology.matrix.len();
         Self::new(
@@ -186,9 +204,38 @@ impl Network {
         )
     }
 
+    /// A network over a **streamed** King-like topology: no matrix is
+    /// materialized (so [`Network::matrix`] returns `None`); every pair's
+    /// base RTT is recomputed on demand from the `(topology seed,
+    /// min(a,b), max(a,b))` hash stream and is bit-identical to what
+    /// [`Network::from_king`] would serve for the same config and seed.
+    /// Memory is O(n), making million-node populations constructible.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid (see [`KingConfig::place`]).
+    pub fn from_king_streamed(config: KingConfig, seed: u64) -> Self {
+        Self::from_synth(SynthRtt::new(config, seed), seed)
+    }
+
+    /// A network over an already-placed streamed source (uniform clean
+    /// profiles, King-grade noise). Use when the caller also needs the
+    /// ground-truth placement — build the [`SynthRtt`] once, read its
+    /// placement, then hand it over.
+    pub fn from_synth(synth: SynthRtt, seed: u64) -> Self {
+        let n = synth.node_count();
+        Self::with_source(
+            RttStore::Synth(synth),
+            vec![NoiseProfile::clean(); n],
+            FluctuationModel::king_default(),
+            seed,
+        )
+    }
+
     /// A network over a generated PlanetLab deployment (per-node
-    /// profiles, PlanetLab-grade noise). Takes the deployment by value so
-    /// the O(n²) matrix is moved, not copied.
+    /// profiles, PlanetLab-grade noise). Always dense — the deployment
+    /// generator's pathological-host draws are sequential, so there is no
+    /// streamed equivalent — and takes the deployment by value so the
+    /// O(n²) matrix is moved, not copied.
     pub fn from_planetlab(pl: PlanetLab, seed: u64) -> Self {
         Self::new(pl.topology.matrix, pl.profiles, pl.noise, seed)
     }
@@ -206,22 +253,39 @@ impl Network {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.matrix.len()
+        self.rtt.node_count()
     }
 
-    /// Always false (matrices hold ≥ 2 nodes).
+    /// Always false (sources hold ≥ 2 nodes).
     pub fn is_empty(&self) -> bool {
-        self.matrix.is_empty()
+        self.rtt.node_count() == 0
     }
 
     /// Nominal (fluctuation-free) RTT between two nodes, ms.
     pub fn base_rtt(&self, a: usize, b: usize) -> f64 {
-        self.matrix.get(a, b)
+        self.rtt.base_rtt(a, b)
     }
 
-    /// The base matrix.
-    pub fn matrix(&self) -> &RttMatrix {
-        &self.matrix
+    /// The dense base matrix, when this network has one. Streamed
+    /// networks (built via [`Network::from_king_streamed`]) return
+    /// `None`: there is no O(n²) matrix to hand out. Code that only
+    /// needs a population-scale statistic should use
+    /// [`Network::median_base_rtt`], which works for every source.
+    pub fn matrix(&self) -> Option<&RttMatrix> {
+        self.rtt.matrix()
+    }
+
+    /// The base-RTT store.
+    pub fn rtt_store(&self) -> &RttStore {
+        &self.rtt
+    }
+
+    /// Median pairwise base RTT: exact for dense networks, a
+    /// deterministic streamed-sample estimate for generator-backed ones.
+    /// This is the source-agnostic replacement for
+    /// `network.matrix().median()`.
+    pub fn median_base_rtt(&self) -> f64 {
+        self.rtt.median_base_rtt()
     }
 
     /// Measure the RTT from `a` to `b` with probe nonce `nonce`.
@@ -235,7 +299,7 @@ impl Network {
     /// Panics if `a == b` or either index is out of range.
     pub fn measure_rtt(&self, a: usize, b: usize, nonce: u64) -> f64 {
         assert!(a != b, "a node cannot probe itself");
-        let base = self.matrix.get(a, b);
+        let base = self.rtt.base_rtt(a, b);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let pair_key = derive((lo as u64) << 32 | hi as u64, 0x5052_4F42); // "PROB"
         let mut rng = stream_rng2(self.seed, pair_key, nonce);
@@ -533,6 +597,75 @@ mod tests {
         let json = serde_json::to_string(&net).expect("serialize");
         let back: Network = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(net, back);
+    }
+
+    #[test]
+    fn streamed_network_matches_dense_king_bitwise() {
+        let config = KingConfig::small(40);
+        let dense = Network::from_king(config.clone().generate(9), 9);
+        let streamed = Network::from_king_streamed(config, 9);
+        assert!(dense.matrix().is_some());
+        assert!(streamed.matrix().is_none(), "no O(n²) state in a streamed net");
+        assert_eq!(streamed.len(), 40);
+        for nonce in 0..16 {
+            assert_eq!(
+                dense.measure_rtt(3, 17, nonce).to_bits(),
+                streamed.measure_rtt(3, 17, nonce).to_bits(),
+                "noisy measurements must agree bit-for-bit"
+            );
+            assert_eq!(
+                dense.measure_rtt_smoothed(17, 3, nonce).to_bits(),
+                streamed.measure_rtt_smoothed(17, 3, nonce).to_bits()
+            );
+        }
+        for a in 0..40 {
+            for b in 0..40 {
+                if a != b {
+                    assert_eq!(
+                        dense.base_rtt(a, b).to_bits(),
+                        streamed.base_rtt(a, b).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_network_faults_and_serde_work_without_a_matrix() {
+        let mut net = Network::from_king_streamed(KingConfig::small(30), 4);
+        net.set_fault_plan(crate::faults::FaultPlan::lossy(0.2, 0.05));
+        let mut completed = 0;
+        for nonce in 0..100 {
+            if net.try_measure_rtt(1, 2, nonce, 0).is_ok() {
+                completed += 1;
+            }
+        }
+        assert!(completed > 40 && completed < 100, "faults gate probes: {completed}");
+        let json = serde_json::to_string(&net).expect("serialize");
+        let back: Network = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(net, back);
+        assert_eq!(net.measure_rtt(1, 2, 7), back.measure_rtt(1, 2, 7));
+    }
+
+    #[test]
+    fn median_base_rtt_is_exact_on_dense_networks() {
+        let topo = KingConfig::small(40).generate(9);
+        let expected = topo.matrix.median();
+        let net = Network::from_king(topo, 9);
+        assert_eq!(net.median_base_rtt(), expected);
+    }
+
+    #[test]
+    fn streamed_median_estimate_tracks_dense_median() {
+        let config = KingConfig::small(120);
+        let dense = Network::from_king(config.clone().generate(6), 6);
+        let streamed = Network::from_king_streamed(config, 6);
+        let exact = dense.median_base_rtt();
+        let estimate = streamed.median_base_rtt();
+        assert!(
+            (estimate - exact).abs() / exact < 0.25,
+            "estimate {estimate} vs exact {exact}"
+        );
     }
 
     #[test]

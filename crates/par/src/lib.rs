@@ -5,6 +5,13 @@
 //! order-independent (the two-phase tick loops, the detection sweeps)
 //! produce bit-for-bit identical results at any worker count.
 //!
+//! Work is executed by a process-wide **persistent worker pool** (see
+//! [`pool`]): threads are spawned once, parked on a condvar between
+//! calls, and handed **static contiguous partitions** — no work stealing,
+//! no shared cursor — so the partition each worker runs is a pure
+//! function of `(input length, resolved thread count)` and results are
+//! bit-for-bit identical to the sequential path at any `ICES_THREADS`.
+//!
 //! Worker-count resolution, in priority order:
 //! 1. a thread-local override installed by [`with_threads`] (used by the
 //!    determinism tests so parallel test binaries don't race on the
@@ -17,12 +24,17 @@
 //! schedule *exactly* the naive loop.
 //!
 //! Panics inside worker closures propagate to the caller when the
-//! `thread::scope` joins, so a failing item still fails the run.
+//! dispatch completes its barrier, so a failing item still fails the run.
 
-#![forbid(unsafe_code)]
+// The pool module needs lifetime erasure (as rayon does) and carries the
+// workspace's only sanctioned `unsafe`; everything else in this crate
+// still refuses it at lint level `deny`.
+#![deny(unsafe_code)]
+
+mod pool;
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -92,11 +104,27 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Poison only signals that some partition panicked; the panic itself
+    // is re-raised by the pool's dispatch barrier, so recovering here is
+    // safe and keeps partial results out of the caller's hands anyway.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Static contiguous partitioning: items `[w·chunk, min(len, (w+1)·chunk))`
+/// belong to partition `w`. Pure function of `(len, threads)` — never of
+/// scheduling — which is what keeps parallel runs bit-identical.
+fn partition_plan(len: usize, threads: usize) -> (usize, usize) {
+    let chunk_len = len.div_ceil(threads);
+    (chunk_len, len.div_ceil(chunk_len))
+}
+
 /// Map `f` over `items` in parallel, returning results **in input order**.
 ///
-/// Work is distributed dynamically (an atomic cursor), so heterogeneous
-/// item costs — e.g. detection sweep cells of very different scale —
-/// balance across workers. `f` receives `(index, &item)`.
+/// Work is split into static contiguous partitions — one per resolved
+/// worker — executed by the persistent pool; per-partition result
+/// vectors are concatenated in partition order, which is input order.
+/// `f` receives `(index, &item)`.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -108,49 +136,24 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-
-    // Workers collect (index, value) pairs locally; the pairs are placed
-    // into index-addressed slots after the scope joins, which restores
-    // input order no matter how the atomic cursor interleaved the work.
-    let mut partials: Vec<Vec<(usize, R)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    local.push((i, f(i, &items[i])));
-                }
-                local
-            }));
-        }
-        for handle in handles {
-            // join() returns Err only when the worker panicked; resume
-            // the panic on the caller so failures propagate.
-            match handle.join() {
-                Ok(local) => partials.push(local),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
+    let len = items.len();
+    let (chunk_len, partitions) = partition_plan(len, threads);
+    let parts: Vec<Mutex<Vec<R>>> = (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
+    pool::broadcast(partitions, &|w| {
+        let start = w * chunk_len;
+        let end = (start + chunk_len).min(len);
+        let out: Vec<R> = items[start..end]
+            .iter()
+            .enumerate()
+            .map(|(offset, item)| f(start + offset, item))
+            .collect();
+        *lock_recovering(&parts[w]) = out;
     });
-
-    for (i, value) in partials.into_iter().flatten() {
-        slots[i] = Some(value);
+    let mut result = Vec::with_capacity(len);
+    for part in parts {
+        result.append(&mut part.into_inner().unwrap_or_else(PoisonError::into_inner));
     }
-    slots
-        .into_iter()
-        // audit:allow(PANIC01): the atomic cursor hands out every index exactly once; an unfilled slot is a scheduler bug worth aborting on
-        .map(|slot| slot.expect("every index visited exactly once"))
-        .collect()
+    result
 }
 
 /// Mutate every item of `items` in parallel, returning `f`'s per-item
@@ -176,29 +179,30 @@ where
     }
 
     let len = items.len();
-    let chunk_len = len.div_ceil(threads);
-    let mut results: Vec<Vec<R>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for (chunk_index, chunk) in items.chunks_mut(chunk_len).enumerate() {
-            let f = &f;
-            let base = chunk_index * chunk_len;
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(offset, item)| f(base + offset, item))
-                    .collect::<Vec<R>>()
-            }));
-        }
-        for handle in handles {
-            match handle.join() {
-                Ok(part) => results.push(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
+    let (chunk_len, _) = partition_plan(len, threads);
+    // Each partition's exclusive chunk travels through a Mutex'd Option
+    // so the (shared, Sync) dispatch closure can hand it to exactly one
+    // worker; results come back through the same slot.
+    let tasks: Vec<Mutex<(usize, Option<&mut [T]>, Vec<R>)>> = items
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(w, chunk)| Mutex::new((w * chunk_len, Some(chunk), Vec::new())))
+        .collect();
+    pool::broadcast(tasks.len(), &|w| {
+        let mut slot = lock_recovering(&tasks[w]);
+        let (base, chunk, out) = &mut *slot;
+        if let Some(chunk) = chunk.take() {
+            *out = chunk
+                .iter_mut()
+                .enumerate()
+                .map(|(offset, item)| f(*base + offset, item))
+                .collect();
         }
     });
-    results.into_iter().flatten().collect()
+    tasks
+        .into_iter()
+        .flat_map(|t| t.into_inner().unwrap_or_else(PoisonError::into_inner).2)
+        .collect()
 }
 
 /// Select mutable references to the given `indices` of `items`.
@@ -251,6 +255,22 @@ where
     let picked = select_disjoint_mut(items, indices);
     let mut paired: Vec<(usize, &mut T)> = indices.iter().copied().zip(picked).collect();
     par_map_mut(&mut paired, |_, (index, item)| f(*index, item))
+}
+
+/// Reproduce the pre-pool dispatch cost: spawn `threads` scoped workers
+/// that do nothing and join them, exactly as the seed `par_map` did per
+/// call. Exists so `bench_tick` can report the pool's per-call dispatch
+/// overhead against the spawn path it replaced; not part of the API.
+#[doc(hidden)]
+pub fn scope_spawn_reference(threads: usize) {
+    if threads <= 1 {
+        return;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| std::hint::black_box(0u64));
+        }
+    });
 }
 
 #[cfg(test)]
@@ -413,5 +433,11 @@ mod tests {
         if std::env::var(THREADS_ENV).is_err() {
             assert!(max_threads() >= 1);
         }
+    }
+
+    #[test]
+    fn scope_spawn_reference_is_callable() {
+        scope_spawn_reference(0);
+        scope_spawn_reference(2);
     }
 }

@@ -1,0 +1,102 @@
+//! Pool-reuse determinism: the persistent pool must give the same
+//! bit-for-bit answers on its thousandth dispatch as a fresh spawn would
+//! on its first, at every thread count.
+
+use ices_par::{par_for_indices, par_map, par_map_mut, with_threads};
+
+/// A float workload whose result depends on both index and value, with
+/// enough operations that any partitioning or ordering slip would change
+/// bits.
+fn churn(i: usize, x: f64) -> f64 {
+    let mut acc = x;
+    for k in 0..16 {
+        acc = (acc * 1.000_000_11 + (i as f64) * 0.001 + k as f64).sin() * 10.0;
+    }
+    acc
+}
+
+#[test]
+fn repeated_pool_dispatches_match_sequential_bitwise() {
+    let items: Vec<f64> = (0..733).map(|i| i as f64 * 0.37).collect();
+    let reference = with_threads(1, || par_map(&items, |i, &x| churn(i, x)));
+    for threads in [1usize, 2, 8] {
+        for round in 0..50 {
+            let out = with_threads(threads, || par_map(&items, |i, &x| churn(i, x)));
+            let bits_match = out
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                bits_match,
+                "par_map diverged from sequential at threads={threads} round={round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_pool_dispatches_mutate_identically() {
+    let base: Vec<f64> = (0..501).map(|i| (i as f64).cos()).collect();
+    let run = |threads: usize| {
+        let mut items = base.clone();
+        let out = with_threads(threads, || {
+            par_map_mut(&mut items, |i, x| {
+                *x = churn(i, *x);
+                *x * 0.5
+            })
+        });
+        (items, out)
+    };
+    let (ref_items, ref_out) = run(1);
+    for threads in [1usize, 2, 8] {
+        for round in 0..20 {
+            let (items, out) = run(threads);
+            assert!(
+                items
+                    .iter()
+                    .zip(&ref_items)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+                    && out
+                        .iter()
+                        .zip(&ref_out)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "par_map_mut diverged at threads={threads} round={round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn indexed_dispatch_over_reused_pool_is_stable() {
+    let base: Vec<f64> = (0..256).map(|i| i as f64 * 0.11).collect();
+    let indices: Vec<usize> = (0..256).filter(|i| i % 5 != 2).collect();
+    let run = |threads: usize| {
+        let mut items = base.clone();
+        let out = with_threads(threads, || {
+            par_for_indices(&mut items, &indices, |i, x| {
+                *x = churn(i, *x);
+                *x
+            })
+        });
+        (items, out)
+    };
+    let reference = run(1);
+    for threads in [2usize, 8] {
+        for _ in 0..10 {
+            assert_eq!(run(threads), reference);
+        }
+    }
+}
+
+#[test]
+fn interleaved_thread_counts_share_one_pool_safely() {
+    // Alternate partition counts call-to-call: workers assigned in one
+    // dispatch must park cleanly when the next dispatch doesn't need
+    // them, and wake correctly when it does again.
+    let items: Vec<f64> = (0..97).map(|i| i as f64).collect();
+    let reference = with_threads(1, || par_map(&items, |i, &x| churn(i, x)));
+    for threads in [8usize, 2, 5, 1, 8, 3, 2, 8, 1, 4] {
+        let out = with_threads(threads, || par_map(&items, |i, &x| churn(i, x)));
+        assert_eq!(out, reference, "diverged at threads={threads}");
+    }
+}

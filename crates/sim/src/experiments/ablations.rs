@@ -70,7 +70,7 @@ fn run_with_params(
     }
     sim.arm_detection();
     let target = sim.normal_nodes()[0];
-    let radius = sim.network().matrix().median() / 2.0;
+    let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
         sim.coordinate(target).clone(),
@@ -149,7 +149,7 @@ pub fn ablate_filter_source(scale: &Scale) -> AblationResult {
     sim.shuffle_registry_params();
     sim.arm_detection();
     let target = sim.normal_nodes()[0];
-    let radius = sim.network().matrix().median() / 2.0;
+    let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
         sim.coordinate(target).clone(),

@@ -167,7 +167,7 @@ fn finish_cell(
     pairs_per_node: usize,
 ) -> (ChaosCell, Option<Vec<u8>>) {
     let target = sim.normal_nodes()[0];
-    let radius = sim.network().matrix().median() / 2.0;
+    let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
         sim.coordinate(target).clone(),

@@ -104,7 +104,7 @@ pub fn vivaldi_cell(scale: &Scale, fraction: f64, alpha: f64) -> SweepCell {
     // The colluders agree on an exclusion zone around a target normal
     // node, sized relative to the network's scale.
     let target = sim.normal_nodes()[0];
-    let radius = sim.network().matrix().median() / 2.0;
+    let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
         sim.coordinate(target).clone(),

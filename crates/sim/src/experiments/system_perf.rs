@@ -60,7 +60,7 @@ fn vivaldi_errors(scale: &Scale, fraction: f64, detection: bool, dedicated: bool
             sim.arm_detection();
         }
         let target = sim.normal_nodes()[0];
-        let radius = sim.network().matrix().median() / 2.0;
+        let radius = sim.network().median_base_rtt() / 2.0;
         let attack = VivaldiIsolationAttack::new(
             sim.malicious().iter().copied(),
             sim.coordinate(target).clone(),

@@ -33,6 +33,7 @@ pub mod nps_driver;
 pub mod obs;
 pub mod replay;
 pub mod scenario;
+pub mod snapshot;
 pub mod trace;
 pub mod vivaldi_driver;
 

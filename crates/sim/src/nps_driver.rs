@@ -24,6 +24,7 @@
 use crate::metrics::{AccuracyReport, DetectionReport};
 use crate::obs::SimObs;
 use crate::scenario::{ScenarioConfig, TopologyKind};
+use crate::snapshot::CoordSnapshot;
 use crate::trace::TraceRing;
 use ices_obs::Journal;
 use ices_attack::Adversary;
@@ -150,6 +151,9 @@ pub struct NpsSimulation {
     /// truth the [`DetectionReport`] is derived from.
     obs: SimObs,
     rng: SimRng,
+    /// Reusable SoA snapshot buffer for each layer round's phase 1 —
+    /// flat arrays refilled in place, no steady-state allocation.
+    snapshot: CoordSnapshot,
     /// Per-node consecutive probe-failure counts toward each reference
     /// point (fault mode only; empty maps on a clean network).
     probe_failures: Vec<BTreeMap<usize, u32>>,
@@ -198,6 +202,7 @@ impl NpsSimulation {
         let seed = config.seed;
         let network = match &config.topology {
             TopologyKind::King(kc) => Network::from_king(kc.generate(seed), seed),
+            TopologyKind::StreamedKing(kc) => Network::from_king_streamed(kc.clone(), seed),
             TopologyKind::PlanetLab(pc) => Network::from_planetlab(pc.generate(seed), seed),
         };
         let n = network.len();
@@ -329,6 +334,7 @@ impl NpsSimulation {
             round: 0,
             obs: SimObs::new(),
             rng,
+            snapshot: CoordSnapshot::new(),
             probe_failures: vec![BTreeMap::new(); n],
             pending_arms: BTreeSet::new(),
         }
@@ -499,16 +505,21 @@ impl NpsSimulation {
         adversary: &dyn Adversary,
         collect: bool,
     ) {
-        let snapshot: Vec<(Coordinate, f64)> = self
-            .participants
-            .iter()
-            .map(|p| (p.coordinate().clone(), p.local_error()))
-            .collect();
+        // SoA snapshot: flat buffers refilled in place — no per-node
+        // allocation to photograph the population.
+        {
+            let snapshot = &mut self.snapshot;
+            snapshot.fill(
+                self.participants
+                    .iter()
+                    .map(|p| (p.coordinate(), p.local_error())),
+            );
+        }
 
         let network = &self.network;
         let reference_points = &self.reference_points;
         let registry = &self.registry;
-        let snapshot = &snapshot;
+        let snapshot = &self.snapshot;
         let faulty = !network.fault_plan().is_empty();
         let effects = ices_par::par_for_indices(&mut self.participants, members, |node, participant| {
             let mut effect = RoundEffect::default();
@@ -567,9 +578,14 @@ impl NpsSimulation {
                         }
                     }
                 };
-                let (rp_coord, rp_error) = (&snapshot[rp].0, snapshot[rp].1);
-                let node_coord = &snapshot[node].0;
-                let tampered = adversary.intercept(rp, node, rp_coord, rp_error, rtt, node_coord);
+                // Materialize only the two coordinates this probe
+                // touches; the honest path moves the RP coordinate into
+                // the sample instead of cloning it a second time.
+                let rp_coord = snapshot.coordinate(rp);
+                let rp_error = snapshot.error(rp);
+                let node_coord = snapshot.coordinate(node);
+                let tampered =
+                    adversary.intercept(rp, node, &rp_coord, rp_error, rtt, &node_coord);
                 let label_malicious = tampered.is_some();
                 let sample = match tampered {
                     Some(t) => PeerSample {
@@ -580,7 +596,7 @@ impl NpsSimulation {
                     },
                     None => PeerSample {
                         peer: rp,
-                        peer_coord: rp_coord.clone(),
+                        peer_coord: rp_coord,
                         peer_error: rp_error,
                         rtt_ms: rtt,
                     },

@@ -6,8 +6,15 @@ use serde::{Deserialize, Serialize};
 /// Which synthetic substrate to run on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TopologyKind {
-    /// King-like simulation topology (clean measurement noise).
+    /// King-like simulation topology (clean measurement noise), with the
+    /// full O(n²) base-RTT matrix materialized.
     King(KingConfig),
+    /// The same King model served **streamed**: no matrix is built, every
+    /// pair is recomputed on demand from `(seed, min(a,b), max(a,b))`
+    /// hashes — bit-identical RTTs to [`TopologyKind::King`] for the same
+    /// config/seed in O(n) memory, which is what makes 50k–1M-node
+    /// populations constructible.
+    StreamedKing(KingConfig),
     /// PlanetLab-like deployment (noisy hosts, pathological nodes).
     PlanetLab(PlanetLabConfig),
 }
@@ -28,6 +35,12 @@ impl TopologyKind {
         Self::King(KingConfig::small(nodes))
     }
 
+    /// A streamed King topology of any size (paper structure, O(n)
+    /// memory).
+    pub fn streamed_king(nodes: usize) -> Self {
+        Self::StreamedKing(KingConfig::small(nodes))
+    }
+
     /// A small PlanetLab-like deployment for tests.
     pub fn small_planetlab(nodes: usize) -> Self {
         Self::PlanetLab(PlanetLabConfig::small(nodes))
@@ -36,7 +49,7 @@ impl TopologyKind {
     /// Node count.
     pub fn nodes(&self) -> usize {
         match self {
-            TopologyKind::King(c) => c.nodes,
+            TopologyKind::King(c) | TopologyKind::StreamedKing(c) => c.nodes,
             TopologyKind::PlanetLab(c) => c.nodes,
         }
     }

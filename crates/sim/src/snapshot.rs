@@ -1,0 +1,151 @@
+//! Structure-of-arrays population snapshot for the two-phase tick loops.
+//!
+//! The snapshot phase used to build a `Vec<(Coordinate, f64)>` every
+//! tick — one heap `Vec` per node per tick just to photograph state that
+//! is three flat numbers wide. [`CoordSnapshot`] keeps the same data as
+//! three reusable flat arrays (positions row-major, heights, errors):
+//! refilling touches no allocator once the buffers have grown to
+//! population size, and the update phase materializes an owned
+//! [`Coordinate`] only for the one or two coordinates a node actually
+//! feeds into its embedding step. Values are copied bit-for-bit, so the
+//! SoA form is invisible to results.
+
+use ices_coord::Coordinate;
+
+/// A reusable structure-of-arrays photograph of every node's
+/// `(coordinate, local error)`.
+#[derive(Debug, Default)]
+pub struct CoordSnapshot {
+    dims: usize,
+    /// Row-major latent positions: node `i` occupies
+    /// `pos[i*dims .. (i+1)*dims]`.
+    pos: Vec<f64>,
+    height: Vec<f64>,
+    error: Vec<f64>,
+}
+
+impl CoordSnapshot {
+    /// An empty snapshot; buffers grow on first [`CoordSnapshot::fill`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Refill from the population, reusing the existing buffers. All
+    /// coordinates must share one dimensionality (the drivers guarantee
+    /// this — every node embeds in the same space).
+    ///
+    /// # Panics
+    /// Panics if coordinates disagree on dimensionality.
+    pub fn fill<'a, I>(&mut self, population: I)
+    where
+        I: Iterator<Item = (&'a Coordinate, f64)>,
+    {
+        self.pos.clear();
+        self.height.clear();
+        self.error.clear();
+        self.dims = 0;
+        for (coord, err) in population {
+            let position = coord.position();
+            if self.dims == 0 {
+                self.dims = position.len();
+            }
+            assert_eq!(
+                position.len(),
+                self.dims,
+                "snapshot requires uniform coordinate dimensionality"
+            );
+            self.pos.extend_from_slice(position);
+            self.height.push(coord.height());
+            self.error.push(err);
+        }
+    }
+
+    /// Number of snapshotted nodes.
+    pub fn len(&self) -> usize {
+        self.height.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.height.is_empty()
+    }
+
+    /// Node `i`'s snapshotted position components.
+    pub fn position(&self, i: usize) -> &[f64] {
+        &self.pos[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Node `i`'s snapshotted height.
+    pub fn height(&self, i: usize) -> f64 {
+        self.height[i]
+    }
+
+    /// Node `i`'s snapshotted local error.
+    pub fn error(&self, i: usize) -> f64 {
+        self.error[i]
+    }
+
+    /// Materialize node `i`'s snapshotted coordinate — bit-identical to
+    /// the `Coordinate` it was filled from.
+    pub fn coordinate(&self, i: usize) -> Coordinate {
+        Coordinate::new(self.position(i).to_vec(), self.height[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coords() -> Vec<(Coordinate, f64)> {
+        (0..7)
+            .map(|i| {
+                let x = i as f64 * 1.37 - 3.0;
+                (
+                    Coordinate::new(vec![x, -x * 0.5, x.sin()], 0.25 + i as f64),
+                    (i as f64 * 0.77).cos().abs(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_coordinates_bitwise() {
+        let population = coords();
+        let mut snap = CoordSnapshot::new();
+        snap.fill(population.iter().map(|(c, e)| (c, *e)));
+        assert_eq!(snap.len(), population.len());
+        for (i, (coord, err)) in population.iter().enumerate() {
+            let back = snap.coordinate(i);
+            assert_eq!(back.position(), coord.position());
+            assert_eq!(back.height().to_bits(), coord.height().to_bits());
+            assert_eq!(snap.error(i).to_bits(), err.to_bits());
+        }
+    }
+
+    #[test]
+    fn refill_reuses_buffers_and_replaces_content() {
+        let population = coords();
+        let mut snap = CoordSnapshot::new();
+        snap.fill(population.iter().map(|(c, e)| (c, *e)));
+        let shorter: Vec<(Coordinate, f64)> = population[..3].to_vec();
+        snap.fill(shorter.iter().map(|(c, e)| (c, *e)));
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.coordinate(2).position(), shorter[2].0.position());
+    }
+
+    #[test]
+    fn empty_population_is_fine() {
+        let mut snap = CoordSnapshot::new();
+        snap.fill(std::iter::empty());
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform coordinate dimensionality")]
+    fn mixed_dimensionality_is_rejected() {
+        let a = Coordinate::new(vec![1.0, 2.0], 0.1);
+        let b = Coordinate::new(vec![1.0, 2.0, 3.0], 0.1);
+        let both = [(a, 0.0), (b, 0.0)];
+        CoordSnapshot::new().fill(both.iter().map(|(c, e)| (c, *e)));
+    }
+}

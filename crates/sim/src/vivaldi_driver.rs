@@ -11,7 +11,8 @@
 //! phases:
 //!
 //! 1. **Snapshot** — every node's `(coordinate, local error)` is copied
-//!    into an immutable vector;
+//!    into reusable flat structure-of-arrays buffers
+//!    ([`crate::snapshot::CoordSnapshot`]);
 //! 2. **Update** — every node independently probes its slot peer,
 //!    consults the adversary, and steps its own embedding against the
 //!    snapshot. Nodes mutate only themselves, so this phase fans out
@@ -27,6 +28,7 @@
 use crate::metrics::{AccuracyReport, DetectionReport};
 use crate::obs::SimObs;
 use crate::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use crate::snapshot::CoordSnapshot;
 use crate::trace::TraceRing;
 use ices_obs::Journal;
 use ices_attack::Adversary;
@@ -71,6 +73,20 @@ const PROBE_RETRIES: u32 = 2;
 /// Consecutive failed ticks toward one neighbor before the node gives
 /// up and evicts it as dead.
 pub const DEAD_PEER_EVICT_FAILURES: u32 = 3;
+
+/// Above this population size, neighbor selection samples a bounded
+/// candidate pool per node instead of scanning all n−1 peers — the full
+/// scan is O(n²) at construction, untenable at 50k+. Both paper-scale
+/// populations (280, 1740) sit below the cap, so their candidate pools —
+/// and every downstream fingerprint — are unchanged.
+const NEIGHBOR_CANDIDATE_CAP: usize = 2048;
+
+/// Distinct candidates sampled per node above the cap — comfortably more
+/// than the paper's 64-neighbor budget needs for a healthy close/far mix.
+const NEIGHBOR_CANDIDATE_SAMPLE: usize = 512;
+
+/// Stream tag for per-node neighbor-candidate draws ("NCND").
+const CANDIDATE_STREAM: u64 = 0x4E43_4E44;
 
 enum Participant {
     /// No detection in front of the embedding (Surveyors, malicious
@@ -149,6 +165,10 @@ pub struct VivaldiSimulation {
     /// truth the [`DetectionReport`] is derived from.
     obs: SimObs,
     rng: SimRng,
+    /// Reusable SoA snapshot buffer for the tick loop's phase 1 — flat
+    /// arrays refilled in place, so steady-state ticks allocate nothing
+    /// to photograph the population.
+    snapshot: CoordSnapshot,
     /// Per-node consecutive probe-failure counts toward each neighbor
     /// (fault mode only; empty maps on a clean network).
     probe_failures: Vec<std::collections::BTreeMap<usize, u32>>,
@@ -197,6 +217,13 @@ impl VivaldiSimulation {
                 let positions = std::mem::take(&mut topo.positions);
                 (Network::from_king(topo, seed), positions)
             }
+            TopologyKind::StreamedKing(kc) => {
+                // Same King model, no O(n²) matrix: pairs are recomputed
+                // on demand and the placement is the only per-node state.
+                let synth = ices_netsim::SynthRtt::new(kc.clone(), seed);
+                let positions = synth.placement().positions.clone();
+                (Network::from_synth(synth, seed), positions)
+            }
             TopologyKind::PlanetLab(pc) => {
                 let mut pl = pc.generate(seed);
                 let positions = std::mem::take(&mut pl.topology.positions);
@@ -241,7 +268,10 @@ impl VivaldiSimulation {
 
         // Neighbor sets: Surveyors use each other exclusively; everyone
         // else draws the paper's 64-neighbor close/far mix from the whole
-        // population.
+        // population — or, above [`NEIGHBOR_CANDIDATE_CAP`], from a
+        // bounded per-node candidate sample so construction stays O(n)
+        // per node instead of O(n²) total. Both paper-scale populations
+        // sit below the cap, so their candidate pools are the full scan.
         let mut neighbors = Vec::with_capacity(n);
         for node in 0..n {
             let candidates: Vec<(usize, f64)> =
@@ -251,9 +281,23 @@ impl VivaldiSimulation {
                         .filter(|&&s| s != node)
                         .map(|&s| (s, network.base_rtt(node, s)))
                         .collect()
-                } else {
+                } else if n - 1 <= NEIGHBOR_CANDIDATE_CAP {
                     (0..n)
                         .filter(|&p| p != node)
+                        .map(|p| (p, network.base_rtt(node, p)))
+                        .collect()
+                } else {
+                    // Distinct draws from a per-node stream: deterministic
+                    // in (seed, node), independent of construction order.
+                    let mut pool_rng = SimRng::from_stream(seed, CANDIDATE_STREAM, node as u64);
+                    let mut pool = BTreeSet::new();
+                    while pool.len() < NEIGHBOR_CANDIDATE_SAMPLE {
+                        let p = pool_rng.random_range(0..n);
+                        if p != node {
+                            pool.insert(p);
+                        }
+                    }
+                    pool.into_iter()
                         .map(|p| (p, network.base_rtt(node, p)))
                         .collect()
                 };
@@ -282,6 +326,7 @@ impl VivaldiSimulation {
             tick: 0,
             obs: SimObs::new(),
             rng,
+            snapshot: CoordSnapshot::new(),
             probe_failures: vec![std::collections::BTreeMap::new(); n],
             pending_arms: BTreeSet::new(),
         }
@@ -435,15 +480,20 @@ impl VivaldiSimulation {
         // deferral actually happened).
         self.retry_pending_arms();
 
-        let snapshot: Vec<(Coordinate, f64)> = self
-            .participants
-            .iter()
-            .map(|p| (p.coordinate().clone(), p.local_error()))
-            .collect();
+        // SoA snapshot: flat buffers refilled in place — no per-node
+        // allocation to photograph the population.
+        {
+            let snapshot = &mut self.snapshot;
+            snapshot.fill(
+                self.participants
+                    .iter()
+                    .map(|p| (p.coordinate(), p.local_error())),
+            );
+        }
 
         let network = &self.network;
         let neighbors = &self.neighbors;
-        let snapshot = &snapshot;
+        let snapshot = &self.snapshot;
         let faulty = !network.fault_plan().is_empty();
         let effects = ices_par::par_map_mut(&mut self.participants, |node, participant| {
             let degree = neighbors[node].len();
@@ -504,10 +554,15 @@ impl VivaldiSimulation {
                     }
                 }
             };
-            let (peer_coord, peer_error) = (&snapshot[peer].0, snapshot[peer].1);
-            let node_coord = &snapshot[node].0;
+            // Materialize only the two coordinates this step touches;
+            // the honest path then *moves* the peer coordinate into the
+            // sample instead of cloning it a second time.
+            let peer_coord = snapshot.coordinate(peer);
+            let peer_error = snapshot.error(peer);
+            let node_coord = snapshot.coordinate(node);
 
-            let tampered = adversary.intercept(peer, node, peer_coord, peer_error, rtt, node_coord);
+            let tampered =
+                adversary.intercept(peer, node, &peer_coord, peer_error, rtt, &node_coord);
             let label_malicious = tampered.is_some();
             let sample = match tampered {
                 Some(t) => PeerSample {
@@ -518,7 +573,7 @@ impl VivaldiSimulation {
                 },
                 None => PeerSample {
                     peer,
-                    peer_coord: peer_coord.clone(),
+                    peer_coord,
                     peer_error,
                     rtt_ms: rtt,
                 },

@@ -126,6 +126,54 @@ fn nps_scratch_solver_is_thread_count_invariant() {
     );
 }
 
+/// The same chaos cell on a **streamed generated topology**: no dense
+/// matrix exists, every base RTT is recomputed per probe from the
+/// `(seed, lo, hi)` pair streams, and the persistent worker pool serves
+/// the parallel phase — the run must still be bit-for-bit identical
+/// between the sequential path and four pooled workers, and must also
+/// reproduce exactly what the dense-matrix form of the same topology
+/// produces.
+#[test]
+fn faulty_vivaldi_on_generated_topology_is_deterministic() {
+    let run = |seed, topology: TopologyKind| {
+        let mut cfg = scenario(seed);
+        cfg.topology = topology;
+        let mut sim = VivaldiSimulation::new(cfg);
+        sim.set_fault_plan(plan(16, sim.normal_nodes()[1]));
+        sim.run_clean(4);
+        sim.calibrate_surveyors(&EmConfig::default());
+        sim.arm_detection();
+        let target = sim.normal_nodes()[0];
+        let attack = VivaldiIsolationAttack::new(
+            sim.malicious().iter().copied(),
+            sim.coordinate(target).clone(),
+            50.0,
+            seed,
+        );
+        sim.run(2, &attack, true);
+        Fingerprint {
+            coordinates: (0..sim.len()).map(|i| sim.coordinate(i).clone()).collect(),
+            traces: sim.traces().to_vec(),
+            report: sim.report().clone(),
+        }
+    };
+    let sequential = ices_par::with_threads(1, || run(79, TopologyKind::streamed_king(70)));
+    let parallel = ices_par::with_threads(4, || run(79, TopologyKind::streamed_king(70)));
+    assert!(
+        sequential.report.faults.total_failed_probes() > 0,
+        "the fault plan must actually fire for this test to mean anything"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "4-thread faulty run on a generated topology diverged from the sequential path"
+    );
+    let dense = ices_par::with_threads(1, || run(79, TopologyKind::small_king(70)));
+    assert_eq!(
+        sequential, dense,
+        "streamed topology diverged from the dense matrix form of the same world"
+    );
+}
+
 #[test]
 fn faulty_nps_parallel_matches_sequential_bit_for_bit() {
     let sequential = ices_par::with_threads(1, || nps_fingerprint(67));

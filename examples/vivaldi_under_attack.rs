@@ -38,7 +38,7 @@ fn run(detection: bool) -> (f64, f64, Option<ices::stats::Confusion>) {
         sim.arm_detection();
     }
     let target = sim.normal_nodes()[0];
-    let radius = sim.network().matrix().median() / 2.0;
+    let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
         sim.coordinate(target).clone(),

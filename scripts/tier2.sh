@@ -24,7 +24,13 @@ cargo run -q --release -p ices-bench --bin obs_report -- --check target/obs_smok
 
 # Tier 2: time the two-phase tick engine sequentially and at host
 # parallelism, plus one faulty-network configuration per driver
-# (10% probe loss + churn) and the NPS solver microbenchmark; rewrites
-# BENCH_sim.json at the repo root and warns (non-fatally) if any
-# configuration regressed >20% against the committed baseline.
+# (10% probe loss + churn), the streamed-topology scale sweep
+# (280 / 1740 / 50k nodes on the matrix-free King generator; set
+# ICES_SCALE=xl to add the million-node construction smoke), the
+# persistent-pool dispatch microbenchmark, and the NPS solver
+# microbenchmark; rewrites BENCH_sim.json at the repo root and warns
+# (non-fatally) if any configuration regressed beyond its budget
+# against the committed baseline — 20% for paper-scale rows, 30% for
+# the ≥50k sweep rows, threads=1 rows only across differently-sized
+# hosts.
 scripts/bench_check.sh "$@"

@@ -31,7 +31,7 @@ fn attacked_median(seed: u64, malicious: f64, detection: bool) -> f64 {
     }
     if malicious > 0.0 {
         let target = sim.normal_nodes()[0];
-        let radius = sim.network().matrix().median() / 2.0;
+        let radius = sim.network().median_base_rtt() / 2.0;
         let attack = VivaldiIsolationAttack::new(
             sim.malicious().iter().copied(),
             sim.coordinate(target).clone(),
