@@ -13,8 +13,26 @@ pub struct TamperedSample {
     pub error: f64,
     /// The RTT the victim ends up measuring. Attackers can only *add*
     /// delay to a probe, so implementations must keep this ≥ the true
-    /// measured RTT.
+    /// measured RTT. The drivers enforce the invariant at intake via
+    /// [`TamperedSample::clamp_rtt`]; a deflating adversary is clamped
+    /// (and counted), never obeyed.
     pub rtt_ms: f64,
+}
+
+impl TamperedSample {
+    /// Enforce the attackers-can-only-add-delay invariant: raise
+    /// `rtt_ms` to `measured_rtt` if the adversary tried to deflate it.
+    /// Returns whether a clamp was needed — the drivers count these as
+    /// `attack.clamped_rtts` so a physics-violating adversary is
+    /// visible, not silently corrected.
+    pub fn clamp_rtt(&mut self, measured_rtt: f64) -> bool {
+        if self.rtt_ms < measured_rtt {
+            self.rtt_ms = measured_rtt;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// An adversary controlling a subset of nodes.
@@ -39,21 +57,35 @@ pub trait Adversary: Sync {
     fn is_malicious(&self, node: usize) -> bool;
 
     /// Possibly tamper with the interaction in which `victim` embeds
-    /// against `peer`.
+    /// against `peer` during embedding tick `tick`.
     ///
+    /// * `tick` — the driver's embedding tick (NPS: positioning round).
+    ///   Time-varying attacks (slow drift) derive their displacement
+    ///   from it; the paper's two attacks ignore it, so their behavior
+    ///   is bit-identical to before the parameter existed;
     /// * `true_coord`, `true_error` — what an honest peer would report;
     /// * `measured_rtt` — the RTT the probe actually measured;
     /// * `victim_coord` — the victim's current coordinate (attackers can
     ///   observe it; they are part of the system).
+    #[allow(clippy::too_many_arguments)]
     fn intercept(
         &self,
         peer: usize,
         victim: usize,
+        tick: u64,
         true_coord: &Coordinate,
         true_error: f64,
         measured_rtt: f64,
         victim_coord: &Coordinate,
     ) -> Option<TamperedSample>;
+
+    /// Total coordinate displacement (ms) this adversary has dragged a
+    /// victim through by tick `tick` — nonzero only for accumulating
+    /// attacks (slow drift), where the driver surfaces it as the
+    /// `attack.drift_accumulated_ms` gauge. The default is no drift.
+    fn drift_accumulated_ms(&self, _tick: u64) -> f64 {
+        0.0
+    }
 }
 
 /// The attack-free world: nobody ever lies.
@@ -69,6 +101,7 @@ impl Adversary for HonestWorld {
         &self,
         _peer: usize,
         _victim: usize,
+        _tick: u64,
         _true_coord: &Coordinate,
         _true_error: f64,
         _measured_rtt: f64,
@@ -88,6 +121,26 @@ mod tests {
         let w = HonestWorld;
         let c = Coordinate::origin(Space::with_height(2));
         assert!(!w.is_malicious(3));
-        assert!(w.intercept(1, 2, &c, 0.5, 30.0, &c).is_none());
+        assert!(w.intercept(1, 2, 0, &c, 0.5, 30.0, &c).is_none());
+        assert_eq!(w.drift_accumulated_ms(100), 0.0);
+    }
+
+    #[test]
+    fn clamp_rtt_raises_deflated_rtts_only() {
+        let c = Coordinate::origin(Space::with_height(2));
+        let mut deflated = TamperedSample {
+            coord: c.clone(),
+            error: 0.1,
+            rtt_ms: 10.0,
+        };
+        assert!(deflated.clamp_rtt(25.0), "deflation must be reported");
+        assert_eq!(deflated.rtt_ms, 25.0);
+        let mut inflated = TamperedSample {
+            coord: c,
+            error: 0.1,
+            rtt_ms: 40.0,
+        };
+        assert!(!inflated.clamp_rtt(25.0), "added delay is legitimate");
+        assert_eq!(inflated.rtt_ms, 40.0);
     }
 }

@@ -17,18 +17,48 @@
 //!   mutually consistent and evade NPS's built-in fit-error test
 //!   (the anti-detection technique of \[11\]).
 //!
-//! Both implement the [`Adversary`] interface the simulation driver
-//! consults on every embedding interaction; an honest interaction passes
-//! through untouched, a malicious one is replaced by the attacker's
-//! tampered view (coordinate lie, confidence lie, and/or probe delay).
+//! On top of the paper's pair, the crate carries the post-2007 adversary
+//! taxonomy of ROADMAP item 3 — three scenarios the Kalman innovation
+//! test was never evaluated against:
+//!
+//! * [`sybil_swarm`] — one adversary, many cheap identities claiming a
+//!   single tight remote cluster from one seed (blatant; the question is
+//!   how detection degrades as the swarm outnumbers honest candidates).
+//! * [`eclipse`] — surrounding attackers report a rigid per-victim
+//!   translation of their true coordinates, keeping the victim's world
+//!   internally consistent and the detector structurally blind.
+//! * [`slow_drift`] — per-tick displacement calibrated to stay under the
+//!   innovation threshold while accumulating without bound
+//!   ("frog-boiling").
+//!
+//! [`defense`] adds the opt-in VerLoc-style cross-verification knob:
+//! claims are cross-probed through seeded witnesses and rejected on
+//! geometric inconsistency — the countermeasure that recovers detection
+//! against the internally-consistent attacks above.
+//!
+//! All adversaries implement the [`Adversary`] interface the simulation
+//! driver consults on every embedding interaction; an honest interaction
+//! passes through untouched, a malicious one is replaced by the
+//! attacker's tampered view (coordinate lie, confidence lie, and/or
+//! probe delay). Every `intercept` answers purely from
+//! `(seed, tick, victim, peer)`-derived streams (`&self + Sync`), so
+//! results are bit-for-bit identical at any `ICES_THREADS`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod defense;
+pub mod eclipse;
 pub mod nps_collusion;
+pub mod slow_drift;
+pub mod sybil_swarm;
 pub mod vivaldi_isolation;
 
 pub use adversary::{Adversary, HonestWorld, TamperedSample};
+pub use defense::DefenseConfig;
+pub use eclipse::EclipseAttack;
 pub use nps_collusion::NpsCollusionAttack;
+pub use slow_drift::SlowDriftAttack;
+pub use sybil_swarm::SybilSwarmAttack;
 pub use vivaldi_isolation::VivaldiIsolationAttack;

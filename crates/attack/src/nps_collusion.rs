@@ -205,6 +205,7 @@ impl Adversary for NpsCollusionAttack {
         &self,
         peer: usize,
         victim: usize,
+        _tick: u64,
         _true_coord: &Coordinate,
         _true_error: f64,
         measured_rtt: f64,
@@ -278,7 +279,7 @@ mod tests {
         assert!(!a.is_active());
         let c = Coordinate::origin(Space::euclidean(8));
         assert!(
-            a.intercept(1, 10, &c, 0.5, 40.0, &c).is_none(),
+            a.intercept(1, 10, 0, &c, 0.5, 40.0, &c).is_none(),
             "conspirators behave honestly before activation"
         );
     }
@@ -298,7 +299,7 @@ mod tests {
         let victims: BTreeSet<usize> = a.victims().collect();
         let c = Coordinate::origin(Space::euclidean(8));
         for node in [10, 11, 12, 13, 14, 15, 16, 17] {
-            let hit = a.intercept(1, node, &c, 0.5, 40.0, &c).is_some();
+            let hit = a.intercept(1, node, 0, &c, 0.5, 40.0, &c).is_some();
             assert_eq!(hit, victims.contains(&node), "node {node}");
         }
     }
@@ -309,7 +310,7 @@ mod tests {
         let victim = a.victims().next().expect("victims");
         let vc = Coordinate::origin(Space::euclidean(8));
         let rtt = 80.0;
-        let t = a.intercept(1, victim, &vc, 0.5, rtt, &vc).expect("tampered");
+        let t = a.intercept(1, victim, 0, &vc, 0.5, rtt, &vc).expect("tampered");
         // Claimed standoff: (1 + drag)·rtt from the victim.
         let d = vc.distance(&t.coord);
         assert!(
@@ -329,8 +330,8 @@ mod tests {
         let a = activated();
         let victim = a.victims().next().expect("victims");
         let vc = Coordinate::origin(Space::euclidean(8));
-        let t1 = a.intercept(1, victim, &vc, 0.5, 50.0, &vc).expect("tampered");
-        let t2 = a.intercept(2, victim, &vc, 0.5, 100.0, &vc).expect("tampered");
+        let t1 = a.intercept(1, victim, 0, &vc, 0.5, 50.0, &vc).expect("tampered");
+        let t2 = a.intercept(2, victim, 0, &vc, 0.5, 100.0, &vc).expect("tampered");
         // Same direction, different standoffs: t2's position must be
         // exactly 2× t1's (both start from the origin).
         for (x1, x2) in t1.coord.position().iter().zip(t2.coord.position()) {
@@ -359,8 +360,8 @@ mod tests {
         let victim = a.victims().next().expect("victims");
         let at_origin = Coordinate::origin(Space::euclidean(8));
         let moved = Coordinate::euclidean(vec![100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
-        let t1 = a.intercept(1, victim, &at_origin, 0.5, 50.0, &at_origin).expect("t");
-        let t2 = a.intercept(1, victim, &at_origin, 0.5, 50.0, &moved).expect("t");
+        let t1 = a.intercept(1, victim, 0, &at_origin, 0.5, 50.0, &at_origin).expect("t");
+        let t2 = a.intercept(1, victim, 0, &at_origin, 0.5, 50.0, &moved).expect("t");
         assert_ne!(t1.coord, t2.coord, "the lie follows the victim");
         assert!((moved.distance(&t2.coord) - 200.0).abs() < 1e-9);
     }
@@ -369,14 +370,14 @@ mod tests {
     fn honest_peers_and_nonvictims_pass_through() {
         let a = activated();
         let c = Coordinate::origin(Space::euclidean(8));
-        assert!(a.intercept(99, 10, &c, 0.5, 40.0, &c).is_none());
+        assert!(a.intercept(99, 10, 0, &c, 0.5, 40.0, &c).is_none());
         // A conspirator that is not a serving RP stays honest.
         let mut b = conspiracy(&[1, 2, 3, 4, 5, 6]);
         b.observe_hierarchy(
             &serving_map(&[(1, 1), (2, 1), (3, 1), (4, 1), (5, 1)]),
             &members_map(2, &[10, 11]),
         );
-        assert!(b.intercept(6, 10, &c, 0.5, 40.0, &c).is_none());
+        assert!(b.intercept(6, 10, 0, &c, 0.5, 40.0, &c).is_none());
     }
 
     #[test]
@@ -385,8 +386,8 @@ mod tests {
         let b = activated();
         let victim = a.victims().next().expect("victims");
         let c = Coordinate::origin(Space::euclidean(8));
-        let ta = a.intercept(3, victim, &c, 0.5, 70.0, &c).expect("t");
-        let tb = b.intercept(3, victim, &c, 0.5, 70.0, &c).expect("t");
+        let ta = a.intercept(3, victim, 0, &c, 0.5, 70.0, &c).expect("t");
+        let tb = b.intercept(3, victim, 0, &c, 0.5, 70.0, &c).expect("t");
         assert_eq!(ta, tb);
     }
 }

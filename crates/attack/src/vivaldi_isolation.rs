@@ -141,6 +141,7 @@ impl Adversary for VivaldiIsolationAttack {
         &self,
         peer: usize,
         victim: usize,
+        _tick: u64,
         _true_coord: &Coordinate,
         _true_error: f64,
         measured_rtt: f64,
@@ -183,7 +184,7 @@ mod tests {
         for attacker in [1, 2, 3] {
             for victim in [10, 20, 30] {
                 let t = a
-                    .intercept(attacker, victim, &victim_coord, 0.5, 40.0, &victim_coord)
+                    .intercept(attacker, victim, 0, &victim_coord, 0.5, 40.0, &victim_coord)
                     .expect("malicious peer must tamper");
                 let d = t.coord.distance(a.zone_center());
                 assert!(
@@ -199,9 +200,9 @@ mod tests {
     fn lies_are_consistent_per_victim() {
         let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
-        let first = a.intercept(1, 10, &c, 0.5, 40.0, &c).expect("tampered");
+        let first = a.intercept(1, 10, 0, &c, 0.5, 40.0, &c).expect("tampered");
         for _ in 0..5 {
-            let again = a.intercept(1, 10, &c, 0.5, 40.0, &c).expect("tampered");
+            let again = a.intercept(1, 10, 0, &c, 0.5, 40.0, &c).expect("tampered");
             assert_eq!(
                 first.coord, again.coord,
                 "same victim must hear the same lie"
@@ -213,8 +214,8 @@ mod tests {
     fn different_victims_hear_different_lies() {
         let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
-        let to_10 = a.intercept(1, 10, &c, 0.5, 40.0, &c).expect("tampered");
-        let to_11 = a.intercept(1, 11, &c, 0.5, 40.0, &c).expect("tampered");
+        let to_10 = a.intercept(1, 10, 0, &c, 0.5, 40.0, &c).expect("tampered");
+        let to_11 = a.intercept(1, 11, 0, &c, 0.5, 40.0, &c).expect("tampered");
         assert_ne!(to_10.coord, to_11.coord);
     }
 
@@ -222,7 +223,7 @@ mod tests {
     fn honest_peers_pass_through() {
         let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
-        assert!(a.intercept(9, 10, &c, 0.5, 40.0, &c).is_none());
+        assert!(a.intercept(9, 10, 0, &c, 0.5, 40.0, &c).is_none());
     }
 
     #[test]
@@ -230,7 +231,7 @@ mod tests {
         let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
         assert!(
-            a.intercept(1, 2, &c, 0.5, 40.0, &c).is_none(),
+            a.intercept(1, 2, 0, &c, 0.5, 40.0, &c).is_none(),
             "colluders embed honestly among themselves"
         );
     }
@@ -239,7 +240,7 @@ mod tests {
     fn rtt_is_never_deflated() {
         let a = attack();
         let c = Coordinate::origin(Space::with_height(2));
-        let t = a.intercept(1, 10, &c, 0.5, 37.5, &c).expect("tampered");
+        let t = a.intercept(1, 10, 0, &c, 0.5, 37.5, &c).expect("tampered");
         assert!(t.rtt_ms >= 37.5);
     }
 
@@ -248,8 +249,8 @@ mod tests {
         let a = attack();
         let b = attack();
         let c = Coordinate::origin(Space::with_height(2));
-        let ta = a.intercept(2, 42, &c, 0.5, 40.0, &c).expect("tampered");
-        let tb = b.intercept(2, 42, &c, 0.5, 40.0, &c).expect("tampered");
+        let ta = a.intercept(2, 42, 0, &c, 0.5, 40.0, &c).expect("tampered");
+        let tb = b.intercept(2, 42, 0, &c, 0.5, 40.0, &c).expect("tampered");
         assert_eq!(ta, tb);
     }
 }

@@ -92,6 +92,27 @@ fn panic01_unwrap_fixture() {
 }
 
 #[test]
+fn det02_and_panic01_cover_the_attack_crate() {
+    // The adversary implementations answer `intercept` purely from
+    // `(seed, tick, victim, peer)` streams — a wall-clock read or a
+    // stray unwrap in `crates/attack` would break bit-identical replay,
+    // so the attack context must keep both rules armed.
+    for (name, rule, line) in [("det02_clock.rs", "DET02", 4), ("panic01_unwrap.rs", "PANIC01", 4)] {
+        let targets = adhoc_targets_as(&[fixture(name)], "attack");
+        let report = audit_targets(&targets);
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "{name} under the attack context: {:?}",
+            report.findings
+        );
+        let f = &report.findings[0];
+        assert_eq!((f.rule.as_str(), f.line), (rule, line), "{f:?}");
+        assert!(report.is_dirty(), "{rule} must dirty the attack audit");
+    }
+}
+
+#[test]
 fn safe01_fixture_is_a_crate_root() {
     assert_single_finding("safe01/lib.rs", "SAFE01", 1);
 }

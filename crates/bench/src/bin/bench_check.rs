@@ -10,9 +10,11 @@
 //! wider 30% budget at ≥50k nodes, where run-to-run variance grows with
 //! the constant-factor work per probe), and the NPS solver
 //! microbenchmark; a configuration whose throughput dropped more than
-//! its budget gets a loudly printed warning, and a journaled
-//! configuration running more than 5% below its unjournaled twin *in
-//! the current report* violates the obs layer's overhead budget.
+//! its budget gets a loudly printed warning, a journaled configuration
+//! running more than 5% below its unjournaled twin *in the current
+//! report* violates the obs layer's overhead budget, and the Sybil
+//! adversarial configuration running more than 10% below its
+//! honest-world twin violates the intercept path's budget.
 //!
 //! When the two reports disagree on `host_parallelism`, only the
 //! `threads == 1` configurations are compared: multi-thread rows (and
@@ -38,6 +40,11 @@ const SWEEP_BIG_TOLERANCE: f64 = 0.30;
 /// the matching unjournaled configuration.
 const JOURNAL_BUDGET: f64 = 0.05;
 
+/// Budgeted intercept-path overhead: the Sybil-swarm configuration must
+/// stay within 10% of its honest-world twin (same driver, same
+/// attack-phase plumbing, the adversary the only variable).
+const ADVERSARY_BUDGET: f64 = 0.10;
+
 fn field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
     match v {
         Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
@@ -54,10 +61,12 @@ fn number(v: &Value) -> Option<f64> {
     }
 }
 
-/// `(driver, threads, faults, journal) → steps_per_sec` per run entry.
-/// Reports recorded before the obs layer carry no `journal` field; those
-/// entries default to `false`, keeping old baselines comparable.
-fn runs(report: &Value) -> Vec<(String, u64, bool, bool, f64)> {
+/// `(driver, threads, faults, journal, adversary) → steps_per_sec` per
+/// run entry. Reports recorded before the obs layer carry no `journal`
+/// field (defaults `false`), and reports recorded before the adversary
+/// rows carry no `adversary` field (defaults `"none"`) — old baselines
+/// stay comparable either way.
+fn runs(report: &Value) -> Vec<(String, u64, bool, bool, String, f64)> {
     let mut out = Vec::new();
     if let Some(Value::Seq(entries)) = field(report, "runs") {
         for run in entries {
@@ -71,11 +80,15 @@ fn runs(report: &Value) -> Vec<(String, u64, bool, bool, f64)> {
             };
             let faults = matches!(field(run, "faults"), Some(Value::Bool(true)));
             let journal = matches!(field(run, "journal"), Some(Value::Bool(true)));
+            let adversary = match field(run, "adversary") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => "none".to_string(),
+            };
             let sps = match field(run, "steps_per_sec").and_then(number) {
                 Some(s) => s,
                 None => continue,
             };
-            out.push((driver, threads, faults, journal, sps));
+            out.push((driver, threads, faults, journal, adversary, sps));
         }
     }
     out
@@ -152,12 +165,12 @@ fn main() {
     }
     let old_runs = runs(&baseline);
     let new_runs = runs(&current);
-    for (driver, threads, faults, journal, new_sps) in &new_runs {
+    for (driver, threads, faults, journal, adversary, new_sps) in &new_runs {
         if !same_host && *threads != 1 {
             continue;
         }
-        let Some((_, _, _, _, old_sps)) = old_runs.iter().find(|(d, t, f, j, _)| {
-            d == driver && t == threads && f == faults && j == journal
+        let Some((_, _, _, _, _, old_sps)) = old_runs.iter().find(|(d, t, f, j, a, _)| {
+            d == driver && t == threads && f == faults && j == journal && a == adversary
         }) else {
             continue;
         };
@@ -166,7 +179,8 @@ fn main() {
             warnings += 1;
             println!(
                 "PERF WARNING: {driver} (threads={threads}, faults={faults}, \
-                 journal={journal}) regressed {:.0}% — {:.0} → {:.0} steps/sec",
+                 journal={journal}, adversary={adversary}) regressed {:.0}% — \
+                 {:.0} → {:.0} steps/sec",
                 100.0 * (1.0 - new_sps / old_sps),
                 old_sps,
                 new_sps
@@ -176,14 +190,13 @@ fn main() {
     // The obs overhead budget is checked within the current report:
     // journaled vs unjournaled twins share the hardware and the moment,
     // so the ratio is meaningful even when absolute timings are noisy.
-    for (driver, threads, faults, journal, j_sps) in &new_runs {
+    for (driver, threads, faults, journal, adversary, j_sps) in &new_runs {
         if !journal {
             continue;
         }
-        let Some((_, _, _, _, clean_sps)) = new_runs
-            .iter()
-            .find(|(d, t, f, j, _)| d == driver && t == threads && f == faults && !j)
-        else {
+        let Some((_, _, _, _, _, clean_sps)) = new_runs.iter().find(|(d, t, f, j, a, _)| {
+            d == driver && t == threads && f == faults && !j && a == adversary
+        }) else {
             continue;
         };
         compared += 1;
@@ -196,6 +209,31 @@ fn main() {
                 100.0 * JOURNAL_BUDGET,
                 clean_sps,
                 j_sps
+            );
+        }
+    }
+    // The intercept-path budget is likewise checked within the current
+    // report: the Sybil row against its honest-world twin, same driver,
+    // same moment, same hardware.
+    for (driver, threads, faults, journal, adversary, sybil_sps) in &new_runs {
+        if adversary != "sybil" {
+            continue;
+        }
+        let Some((_, _, _, _, _, twin_sps)) = new_runs.iter().find(|(d, t, f, j, a, _)| {
+            d == driver && t == threads && f == faults && j == journal && a == "honest_twin"
+        }) else {
+            continue;
+        };
+        compared += 1;
+        if *sybil_sps < twin_sps * (1.0 - ADVERSARY_BUDGET) {
+            warnings += 1;
+            println!(
+                "PERF WARNING: {driver} (threads={threads}) intercept-path overhead {:.1}% \
+                 exceeds the {:.0}% budget — {:.0} → {:.0} steps/sec vs honest twin",
+                100.0 * (1.0 - sybil_sps / twin_sps),
+                100.0 * ADVERSARY_BUDGET,
+                twin_sps,
+                sybil_sps
             );
         }
     }

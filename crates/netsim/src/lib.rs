@@ -22,7 +22,10 @@
 //! * optional deterministic fault injection — per-link probe loss and
 //!   timeouts, epoch-based node crash/rejoin churn — [`faults`]. The
 //!   default is no faults; an empty [`FaultPlan`] leaves every probe API
-//!   byte-identical to the clean network.
+//!   byte-identical to the clean network;
+//! * optional eclipse-biased referral steering (registrar poisoning) for
+//!   the adversary suite — [`eclipse`]. The empty [`EclipsePlan`] is
+//!   likewise a byte-identical no-op.
 //!
 //! Everything is driven by a single `u64` seed: a measurement between
 //! nodes `(a, b)` at probe-nonce `n` is a pure function of
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eclipse;
 pub mod faults;
 pub mod fluctuation;
 pub mod kinggen;
@@ -40,6 +44,7 @@ pub mod planetlab;
 pub mod rtt;
 pub mod topology;
 
+pub use eclipse::EclipsePlan;
 pub use faults::{ChurnModel, FaultPlan, LinkFaults, ProbeOutcome};
 pub use fluctuation::{FluctuationModel, NoiseProfile};
 pub use kinggen::{KingConfig, Placement, RegionLayout};

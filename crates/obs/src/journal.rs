@@ -203,7 +203,8 @@ impl Journal {
         self.write_line();
     }
 
-    /// Discrete per-edge event (`reject`: observer flags a peer).
+    /// Discrete per-edge event (`reject`: observer flags a peer;
+    /// `defense_reject`: cross-verification witnesses vote a peer out).
     pub fn pair_event(&mut self, t: u64, ev: &str, node: usize, peer: usize) {
         self.line.clear();
         use std::fmt::Write as _;

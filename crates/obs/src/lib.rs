@@ -66,6 +66,18 @@ pub mod names {
     /// Deferred nodes that successfully armed on a later tick.
     pub const LATE_ARMS: &str = "fault.late_arms";
 
+    /// Adversary activity (ground truth, counted at driver intake).
+    pub const ATTACK_ACTIVE_LIES: &str = "attack.active_lies";
+    /// Tampered samples whose RTT the intake clamp had to raise back to
+    /// the measured value (the RTT-deflation invariant).
+    pub const ATTACK_CLAMPED_RTTS: &str = "attack.clamped_rtts";
+    /// Gauge: displacement a slow-drift adversary has accumulated, ms.
+    pub const ATTACK_DRIFT_MS: &str = "attack.drift_accumulated_ms";
+
+    /// Cross-verification defense activity.
+    pub const DEFENSE_CROSS_CHECKS: &str = "defense.cross_checks";
+    pub const DEFENSE_REJECTIONS: &str = "defense.rejections";
+
     /// Gauge: mean node-local relative embedding error (journal-only).
     pub const MEAN_LOCAL_ERROR: &str = "embed.mean_local_error";
 

@@ -243,13 +243,13 @@ pub fn parse(text: &str) -> (RunJournal, Vec<String>) {
                 }
                 bump(&mut run.event_counts, ev);
             }
-            "reject" => {
+            "reject" | "defense_reject" => {
                 saw_data_line = true;
                 if field(map, "node").and_then(as_u64).is_none()
                     || field(map, "peer").and_then(as_u64).is_none()
                 {
                     errors.push(format!(
-                        "line {lineno}: \"reject\" needs integer \"node\" and \"peer\""
+                        "line {lineno}: \"{ev}\" needs integer \"node\" and \"peer\""
                     ));
                 }
                 bump(&mut run.event_counts, ev);

@@ -7,6 +7,7 @@
 //! them as the rows/series the paper plots.
 
 pub mod ablations;
+pub mod adversary;
 pub mod chaos;
 pub mod cross_prediction;
 pub mod detection;

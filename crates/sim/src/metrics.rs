@@ -54,6 +54,40 @@ impl FaultReport {
     }
 }
 
+/// Adversary- and defense-path bookkeeping for one run. All counters
+/// stay zero under [`ices_attack::HonestWorld`] with the defense off,
+/// and live in their own report — *not* in [`FaultReport`] — so
+/// fault-only runs keep asserting a default fault block.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryReport {
+    /// Tampered samples the adversary actually injected (ground truth,
+    /// counted at driver intake before any vetting).
+    pub active_lies: u64,
+    /// Tampered samples whose RTT the intake clamp raised back up to
+    /// the measured value (RTT-deflation invariant violations).
+    pub clamped_rtts: u64,
+    /// Cross-verification witness probes issued by the defense.
+    pub cross_checks: u64,
+    /// Samples the defense rejected on geometric inconsistency (before
+    /// they reached the innovation test).
+    pub rejections: u64,
+    /// Final value of the slow-drift displacement gauge, in ms (zero
+    /// for non-drifting adversaries).
+    pub drift_accumulated_ms: f64,
+}
+
+impl AdversaryReport {
+    /// Merge another adversary report into this one. The drift gauge
+    /// takes the maximum — it is a level, not a flow.
+    pub fn merge(&mut self, other: &AdversaryReport) {
+        self.active_lies += other.active_lies;
+        self.clamped_rtts += other.clamped_rtts;
+        self.cross_checks += other.cross_checks;
+        self.rejections += other.rejections;
+        self.drift_accumulated_ms = self.drift_accumulated_ms.max(other.drift_accumulated_ms);
+    }
+}
+
 /// Detection-quality report for one run (§5.1 metrics).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DetectionReport {
@@ -69,6 +103,9 @@ pub struct DetectionReport {
     pub filter_refreshes: u64,
     /// Fault-injection bookkeeping (all zero on a clean network).
     pub faults: FaultReport,
+    /// Adversary/defense bookkeeping (all zero in honest defense-off
+    /// runs).
+    pub adversary: AdversaryReport,
 }
 
 impl DetectionReport {
@@ -79,6 +116,7 @@ impl DetectionReport {
         self.reprieves += other.reprieves;
         self.filter_refreshes += other.filter_refreshes;
         self.faults.merge(&other.faults);
+        self.adversary.merge(&other.adversary);
     }
 }
 
@@ -187,6 +225,30 @@ mod tests {
         assert!(r.ecdf().is_none());
         assert!(r.p95_ecdf().is_none());
         assert!(r.median().is_nan());
+    }
+
+    #[test]
+    fn adversary_report_merges_with_drift_as_a_level() {
+        let mut a = AdversaryReport {
+            active_lies: 10,
+            clamped_rtts: 1,
+            cross_checks: 6,
+            rejections: 2,
+            drift_accumulated_ms: 40.0,
+        };
+        let b = AdversaryReport {
+            active_lies: 5,
+            clamped_rtts: 0,
+            cross_checks: 3,
+            rejections: 1,
+            drift_accumulated_ms: 25.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.active_lies, 15);
+        assert_eq!(a.clamped_rtts, 1);
+        assert_eq!(a.cross_checks, 9);
+        assert_eq!(a.rejections, 3);
+        assert_eq!(a.drift_accumulated_ms, 40.0, "gauge merges as max");
     }
 
     #[test]

@@ -127,6 +127,10 @@ struct RoundEffect {
     /// The node wanted a filter refresh but every Surveyor was down;
     /// it kept its stale calibration.
     stale_fallback: bool,
+    /// Tampered samples the adversary injected (ground truth).
+    lied_steps: u64,
+    /// Tampered samples whose deflated RTT the intake clamp raised.
+    clamped_rtts: u64,
 }
 
 /// The NPS system simulation.
@@ -585,15 +589,27 @@ impl NpsSimulation {
                 let rp_error = snapshot.error(rp);
                 let node_coord = snapshot.coordinate(node);
                 let tampered =
-                    adversary.intercept(rp, node, &rp_coord, rp_error, rtt, &node_coord);
+                    adversary.intercept(rp, node, round, &rp_coord, rp_error, rtt, &node_coord);
                 let label_malicious = tampered.is_some();
                 let sample = match tampered {
-                    Some(t) => PeerSample {
-                        peer: rp,
-                        peer_coord: t.coord,
-                        peer_error: t.error,
-                        rtt_ms: t.rtt_ms,
-                    },
+                    Some(mut t) => {
+                        effect.lied_steps += 1;
+                        // Intake invariant: tampered RTTs may be delayed
+                        // but never deflated below the measurement.
+                        if t.clamp_rtt(rtt) {
+                            effect.clamped_rtts += 1;
+                        }
+                        debug_assert!(
+                            t.rtt_ms >= rtt,
+                            "intake clamp must enforce rtt_ms >= measured rtt"
+                        );
+                        PeerSample {
+                            peer: rp,
+                            peer_coord: t.coord,
+                            peer_error: t.error,
+                            rtt_ms: t.rtt_ms,
+                        }
+                    }
                     None => PeerSample {
                         peer: rp,
                         peer_coord: rp_coord,
@@ -691,6 +707,12 @@ impl NpsSimulation {
             }
             self.obs.retried_probes(effect.retried_probes);
             self.obs.coasted_steps(effect.coasted_steps);
+            if effect.lied_steps > 0 {
+                self.obs.active_lies(effect.lied_steps);
+            }
+            if effect.clamped_rtts > 0 {
+                self.obs.clamped_rtts(effect.clamped_rtts);
+            }
             if effect.stale_fallback {
                 self.obs.stale_filter_fallback(node);
             }
@@ -710,6 +732,12 @@ impl NpsSimulation {
                     self.evict_dead_reference_point(node, rp);
                 }
             }
+        }
+        // Slow-drift displacement gauge: set only when the adversary
+        // actually drifts, so honest-run journals stay byte-identical.
+        let drift = adversary.drift_accumulated_ms(round);
+        if drift > 0.0 {
+            self.obs.set_drift_ms(drift);
         }
     }
 

@@ -15,7 +15,7 @@
 //! journal absent the added cost per event is one pre-resolved counter
 //! bump.
 
-use crate::metrics::{DetectionReport, FaultReport};
+use crate::metrics::{AdversaryReport, DetectionReport, FaultReport};
 use ices_obs::{names, Clock, CounterId, GaugeId, HistogramId, Journal, Registry, Snapshot, TickClock};
 use ices_stats::Confusion;
 
@@ -40,6 +40,11 @@ struct Ids {
     stale_filter_fallbacks: CounterId,
     deferred_arms: CounterId,
     late_arms: CounterId,
+    active_lies: CounterId,
+    clamped_rtts: CounterId,
+    cross_checks: CounterId,
+    defense_rejections: CounterId,
+    drift_ms: GaugeId,
     mean_local_error: GaugeId,
     relative_error: HistogramId,
 }
@@ -79,6 +84,11 @@ impl SimObs {
             stale_filter_fallbacks: registry.counter(names::STALE_FILTER_FALLBACKS),
             deferred_arms: registry.counter(names::DEFERRED_ARMS),
             late_arms: registry.counter(names::LATE_ARMS),
+            active_lies: registry.counter(names::ATTACK_ACTIVE_LIES),
+            clamped_rtts: registry.counter(names::ATTACK_CLAMPED_RTTS),
+            cross_checks: registry.counter(names::DEFENSE_CROSS_CHECKS),
+            defense_rejections: registry.counter(names::DEFENSE_REJECTIONS),
+            drift_ms: registry.gauge(names::ATTACK_DRIFT_MS),
             mean_local_error: registry.gauge(names::MEAN_LOCAL_ERROR),
             relative_error: registry.histogram(names::RELATIVE_ERROR, names::RELATIVE_ERROR_BOUNDS),
         };
@@ -274,6 +284,41 @@ impl SimObs {
         self.registry.inc(self.ids.node_down_ticks);
     }
 
+    /// Add `n` tampered samples the adversary injected this tick
+    /// (ground truth at driver intake).
+    #[inline]
+    pub fn active_lies(&mut self, n: u64) {
+        self.registry.add(self.ids.active_lies, n);
+    }
+
+    /// Add `n` tampered samples whose RTT the intake clamp raised.
+    #[inline]
+    pub fn clamped_rtts(&mut self, n: u64) {
+        self.registry.add(self.ids.clamped_rtts, n);
+    }
+
+    /// Add `n` cross-verification witness probes.
+    #[inline]
+    pub fn cross_checks(&mut self, n: u64) {
+        self.registry.add(self.ids.cross_checks, n);
+    }
+
+    /// The cross-verification defense rejected a sample; journals the
+    /// edge like a detector rejection, under its own event name.
+    pub fn defense_rejection(&mut self, node: usize, peer: usize) {
+        self.registry.inc(self.ids.defense_rejections);
+        let t = self.clock.now();
+        if let Some(journal) = &mut self.journal {
+            journal.pair_event(t, "defense_reject", node, peer);
+        }
+    }
+
+    /// Set the accumulated slow-drift displacement gauge, in ms.
+    #[inline]
+    pub fn set_drift_ms(&mut self, x: f64) {
+        self.registry.set(self.ids.drift_ms, x);
+    }
+
     /// Feed one recorded relative error into the journal-only histogram.
     /// Call sites gate on [`SimObs::journal_enabled`] so the disabled
     /// path does no bucket work.
@@ -316,6 +361,22 @@ impl SimObs {
                 deferred_arms: c(self.ids.deferred_arms),
                 late_arms: c(self.ids.late_arms),
             },
+            adversary: AdversaryReport {
+                active_lies: c(self.ids.active_lies),
+                clamped_rtts: c(self.ids.clamped_rtts),
+                cross_checks: c(self.ids.cross_checks),
+                rejections: c(self.ids.defense_rejections),
+                // Gauges are NaN until first set; a never-drifting run
+                // reports zero so report equality stays well-defined.
+                drift_accumulated_ms: {
+                    let drift = self.registry.gauge_value(self.ids.drift_ms);
+                    if drift.is_finite() {
+                        drift
+                    } else {
+                        0.0
+                    }
+                },
+            },
         }
     }
 }
@@ -345,6 +406,11 @@ mod tests {
         obs.coasted_steps(4);
         obs.defer_arm(9);
         obs.late_arm(9);
+        obs.active_lies(3);
+        obs.clamped_rtts(1);
+        obs.cross_checks(6);
+        obs.defense_rejection(3, 7);
+        obs.set_drift_ms(12.5);
         let report = obs.detection_report();
         assert_eq!(report.confusion.true_positives, 1);
         assert_eq!(report.confusion.false_positives, 1);
@@ -358,6 +424,11 @@ mod tests {
         assert_eq!(report.faults.coasted_steps, 4);
         assert_eq!(report.faults.deferred_arms, 1);
         assert_eq!(report.faults.late_arms, 1);
+        assert_eq!(report.adversary.active_lies, 3);
+        assert_eq!(report.adversary.clamped_rtts, 1);
+        assert_eq!(report.adversary.cross_checks, 6);
+        assert_eq!(report.adversary.rejections, 1);
+        assert_eq!(report.adversary.drift_accumulated_ms, 12.5);
     }
 
     #[test]

@@ -31,13 +31,14 @@ use crate::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
 use crate::snapshot::CoordSnapshot;
 use crate::trace::TraceRing;
 use ices_obs::Journal;
-use ices_attack::Adversary;
+use ices_attack::defense::witness_votes_against;
+use ices_attack::{Adversary, DefenseConfig};
 use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_core::{
     calibrate, CalibrationOutcome, EmConfig, SecureNode, SecurityConfig, StateSpaceParams,
     SurveyorInfo, SurveyorRegistry,
 };
-use ices_netsim::{FaultPlan, Network, ProbeOutcome};
+use ices_netsim::{EclipsePlan, FaultPlan, Network, ProbeOutcome};
 use ices_stats::kmeans::kmeans;
 use ices_stats::rng::{derive, derive2, SimRng};
 use ices_stats::sample::sample_indices;
@@ -87,6 +88,9 @@ const NEIGHBOR_CANDIDATE_SAMPLE: usize = 512;
 
 /// Stream tag for per-node neighbor-candidate draws ("NCND").
 const CANDIDATE_STREAM: u64 = 0x4E43_4E44;
+
+/// Stream tag for cross-verification witness probe nonces ("XPRB").
+const CROSS_PROBE_STREAM: u64 = 0x5850_5242;
 
 enum Participant {
     /// No detection in front of the embedding (Surveyors, malicious
@@ -142,6 +146,15 @@ struct StepEffect {
     failed_probe: Option<(usize, ProbeFate)>,
     /// A secured node absorbed the missing sample as a detector coast.
     coasted: bool,
+    /// The adversary injected a tampered sample this step (ground
+    /// truth, counted before any vetting).
+    lied: bool,
+    /// The intake clamp raised a tampered sample's deflated RTT.
+    clamped_rtt: bool,
+    /// Cross-verification witness probes this step issued.
+    cross_checks: u64,
+    /// The defense rejected the sample before the innovation test.
+    defense_rejected: bool,
 }
 
 /// The Vivaldi system simulation.
@@ -175,6 +188,14 @@ pub struct VivaldiSimulation {
     /// Nodes whose [`VivaldiSimulation::arm_detection`] found no live
     /// Surveyor candidate (total outage); retried each tick.
     pending_arms: BTreeSet<usize>,
+    /// Opt-in cross-verification defense; [`DefenseConfig::off`] (the
+    /// paper's system) by default.
+    defense: DefenseConfig,
+    /// Registrar-poisoning plan; the empty plan steers nothing and
+    /// keeps every draw bit-identical to an un-eclipsed run.
+    eclipse: EclipsePlan,
+    /// Monotone nonce for eclipse-steered replacement draws.
+    replacement_draws: u64,
 }
 
 /// The probe nonce for `node`'s embedding step in tick `tick` — a pure
@@ -329,7 +350,38 @@ impl VivaldiSimulation {
             snapshot: CoordSnapshot::new(),
             probe_failures: vec![std::collections::BTreeMap::new(); n],
             pending_arms: BTreeSet::new(),
+            defense: DefenseConfig::off(),
+            eclipse: EclipsePlan::none(),
+            replacement_draws: 0,
         }
+    }
+
+    /// Arm (or disarm) the VerLoc-style cross-verification defense.
+    /// Takes effect from the next tick; the off config is the paper's
+    /// system.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see
+    /// [`DefenseConfig::validate`]).
+    pub fn set_defense(&mut self, defense: DefenseConfig) {
+        defense.validate();
+        self.defense = defense;
+    }
+
+    /// Apply a registrar-poisoning plan: victims' current neighbor sets
+    /// are re-steered toward attacker nodes immediately, and future
+    /// replacement draws are steered with the plan's strength. Surveyor
+    /// victims are ignored — their §3.3 isolation invariant (Surveyors
+    /// embed only among themselves) outranks the poisoning model. The
+    /// empty plan is a bit-identical no-op.
+    pub fn set_eclipse(&mut self, plan: EclipsePlan) {
+        for node in 0..self.len() {
+            if self.surveyors.contains(&node) {
+                continue;
+            }
+            plan.poison_neighbors(node, &mut self.neighbors[node]);
+        }
+        self.eclipse = plan;
     }
 
     /// Attach a fault plan to the underlying network. The default plan
@@ -344,6 +396,13 @@ impl VivaldiSimulation {
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.participants.len()
+    }
+
+    /// Completed embedding ticks so far (adversaries that calibrate
+    /// their behavior to elapsed time — e.g. slow drift — anchor on
+    /// this).
+    pub fn ticks(&self) -> u64 {
+        self.tick
     }
 
     /// Always false.
@@ -495,6 +554,8 @@ impl VivaldiSimulation {
         let neighbors = &self.neighbors;
         let snapshot = &self.snapshot;
         let faulty = !network.fault_plan().is_empty();
+        let defense = self.defense;
+        let population = self.participants.len();
         let effects = ices_par::par_map_mut(&mut self.participants, |node, participant| {
             let degree = neighbors[node].len();
             if degree == 0 || slot >= degree {
@@ -562,15 +623,29 @@ impl VivaldiSimulation {
             let node_coord = snapshot.coordinate(node);
 
             let tampered =
-                adversary.intercept(peer, node, &peer_coord, peer_error, rtt, &node_coord);
+                adversary.intercept(peer, node, tick, &peer_coord, peer_error, rtt, &node_coord);
             let label_malicious = tampered.is_some();
             let sample = match tampered {
-                Some(t) => PeerSample {
-                    peer,
-                    peer_coord: t.coord,
-                    peer_error: t.error,
-                    rtt_ms: t.rtt_ms,
-                },
+                Some(mut t) => {
+                    effect.lied = true;
+                    // Intake invariant: an attacker can delay its probe
+                    // reply but cannot make light travel faster, so a
+                    // tampered RTT below the measured one is clamped
+                    // back up (and counted) before anything consumes it.
+                    if t.clamp_rtt(rtt) {
+                        effect.clamped_rtt = true;
+                    }
+                    debug_assert!(
+                        t.rtt_ms >= rtt,
+                        "intake clamp must enforce rtt_ms >= measured rtt"
+                    );
+                    PeerSample {
+                        peer,
+                        peer_coord: t.coord,
+                        peer_error: t.error,
+                        rtt_ms: t.rtt_ms,
+                    }
+                }
                 None => PeerSample {
                     peer,
                     peer_coord,
@@ -578,6 +653,51 @@ impl VivaldiSimulation {
                     rtt_ms: rtt,
                 },
             };
+
+            // Opt-in cross-verification (the defense knob): before the
+            // innovation test sees the sample, the victim cross-probes
+            // the claimed coordinate through seeded witnesses and
+            // rejects outright on quorum geometric inconsistency.
+            // Layered on the detection protocol, so only secured nodes
+            // run it; witness draws and probe nonces are pure functions
+            // of (tick, node, peer, witness), preserving thread-count
+            // invariance.
+            if defense.enabled {
+                if let Participant::Secured(s) = participant {
+                    let witnesses = defense.draw_witnesses(tick, node, peer, population);
+                    let mut against = 0usize;
+                    for &w in &witnesses {
+                        effect.cross_checks += 1;
+                        // Colluding witnesses corroborate a colluding
+                        // peer's story unconditionally.
+                        if label_malicious && adversary.is_malicious(w) {
+                            continue;
+                        }
+                        let w_rtt = network.measure_rtt_smoothed(
+                            w,
+                            peer,
+                            derive2(derive(CROSS_PROBE_STREAM, w as u64), tick, node as u64),
+                        );
+                        if witness_votes_against(
+                            &sample.peer_coord,
+                            &snapshot.coordinate(w),
+                            w_rtt,
+                            defense.tolerance,
+                        ) {
+                            against += 1;
+                        }
+                    }
+                    if against >= defense.quorum {
+                        // The detector never sees the sample: coast the
+                        // filter honestly and swap the peer out.
+                        s.step_missing();
+                        effect.vetted = Some((label_malicious, true));
+                        effect.rejected_peer = Some(peer);
+                        effect.defense_rejected = true;
+                        return effect;
+                    }
+                }
+            }
 
             match participant {
                 Participant::Plain(v) => {
@@ -624,9 +744,21 @@ impl VivaldiSimulation {
                     self.traces[node].push(d);
                 }
             }
+            if effect.lied {
+                self.obs.active_lies(1);
+            }
+            if effect.clamped_rtt {
+                self.obs.clamped_rtts(1);
+            }
+            if effect.cross_checks > 0 {
+                self.obs.cross_checks(effect.cross_checks);
+            }
             if let Some(peer) = effect.rejected_peer {
                 self.replace_neighbor(node, peer);
                 self.obs.replacement(node, peer);
+                if effect.defense_rejected {
+                    self.obs.defense_rejection(node, peer);
+                }
             }
             // Fault bookkeeping (all branches dead on a clean network).
             if effect.self_down {
@@ -655,6 +787,13 @@ impl VivaldiSimulation {
                 }
             }
         }
+        // Slow-drift displacement gauge: a level, set only when the
+        // adversary actually drifts so honest-run journals stay
+        // byte-identical (unset gauges are NaN and never emitted).
+        let drift = adversary.drift_accumulated_ms(tick);
+        if drift > 0.0 {
+            self.obs.set_drift_ms(drift);
+        }
         if journaled {
             // Journal-only gauge: mean node-local embedding error. Only
             // computed when someone is listening.
@@ -670,6 +809,21 @@ impl VivaldiSimulation {
     fn replace_neighbor(&mut self, node: usize, rejected: usize) {
         let n = self.len();
         let current: BTreeSet<usize> = self.neighbors[node].iter().copied().collect();
+        // Registrar poisoning: an eclipsed victim's replacement draw is
+        // steered toward an attacker with the plan's strength. A
+        // steered pick already in the set falls back to an honest draw
+        // rather than duplicating a neighbor.
+        if self.eclipse.is_victim(node) {
+            self.replacement_draws += 1;
+            if let Some(candidate) = self.eclipse.steer_replacement(node, self.replacement_draws) {
+                if candidate != node && !current.contains(&candidate) {
+                    if let Some(slot) = self.neighbors[node].iter_mut().find(|p| **p == rejected) {
+                        *slot = candidate;
+                    }
+                    return;
+                }
+            }
+        }
         for _ in 0..32 {
             let candidate = self.rng.random_range(0..n);
             if candidate != node && !current.contains(&candidate) {
@@ -861,6 +1015,10 @@ impl VivaldiSimulation {
         let faulty = !self.network.fault_plan().is_empty();
         let tick = self.tick;
         let mut candidates = self.registry.sample(JOIN_PROBE_CANDIDATES, &mut self.rng);
+        // Registrar poisoning: an eclipsed victim is shown only the
+        // honest share of Surveyor referrals (never zero — total
+        // starvation would stall the join rather than subvert it).
+        candidates.truncate(self.eclipse.surveyor_referrals(node, candidates.len()));
         if faulty {
             // Crashed Surveyors drop out of the candidate race before
             // anything is probed; on a clean network every node is up,

@@ -22,6 +22,13 @@ cargo run -q -p ices-audit -- --workspace --json
 cargo run -q --release -p ices-bench --bin obs_report -- --smoke target/obs_smoke.jsonl
 cargo run -q --release -p ices-bench --bin obs_report -- --check target/obs_smoke.jsonl
 
+# Adversary smoke: one cell per attack (Sybil / eclipse / slow drift)
+# with the cross-verification defense off and on; exits nonzero unless
+# the sybil swarm stays blatant, cross-verification recovers eclipse
+# detection, and sub-threshold slow drift evades (the reported
+# negative result).
+cargo run -q --release -p ices-bench --bin adversary_sweep -- --smoke
+
 # Tier 2: time the two-phase tick engine sequentially and at host
 # parallelism, plus one faulty-network configuration per driver
 # (10% probe loss + churn), the streamed-topology scale sweep
