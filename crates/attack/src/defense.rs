@@ -23,9 +23,7 @@ use ices_coord::Coordinate;
 use ices_stats::rng::{derive2, SimRng};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-
-/// Stream tag for witness draws ("WTNS").
-const WITNESS_STREAM: u64 = 0x5754_4E53;
+use ices_stats::streams;
 
 /// Cross-verification configuration. The default is **off** — the
 /// paper's system has no such check; arming it is the experiment.
@@ -97,7 +95,7 @@ impl DefenseConfig {
     pub fn draw_witnesses(&self, tick: u64, victim: usize, peer: usize, population: usize) -> Vec<usize> {
         let mut rng = SimRng::from_stream(
             self.seed,
-            derive2(WITNESS_STREAM, tick, victim as u64),
+            derive2(streams::WTNS, tick, victim as u64),
             peer as u64,
         );
         let mut out = Vec::with_capacity(self.witnesses);

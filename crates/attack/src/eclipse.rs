@@ -27,9 +27,7 @@ use ices_stats::rng::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-
-/// Stream tag for per-victim translation directions ("ECLP").
-const OFFSET_STREAM: u64 = 0x4543_4C50;
+use ices_stats::streams;
 
 /// The coordinated eclipse attack.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -86,7 +84,7 @@ impl EclipseAttack {
     /// one unit direction per victim, re-derived from the seed on every
     /// call so `intercept` stays `&self`.
     fn offset_for(&self, victim: usize) -> (f64, f64) {
-        let mut rng = SimRng::from_stream(self.seed, OFFSET_STREAM, victim as u64);
+        let mut rng = SimRng::from_stream(self.seed, streams::ECLP, victim as u64);
         let angle = rng.random::<f64>() * std::f64::consts::TAU;
         (self.offset_ms * angle.cos(), self.offset_ms * angle.sin())
     }
@@ -115,9 +113,11 @@ impl Adversary for EclipseAttack {
         }
         let (dx, dy) = self.offset_for(victim);
         let mut position = true_coord.position().to_vec();
-        position[0] += dx;
-        if position.len() > 1 {
-            position[1] += dy;
+        if let Some(x) = position.get_mut(0) {
+            *x += dx;
+        }
+        if let Some(y) = position.get_mut(1) {
+            *y += dy;
         }
         Some(TamperedSample {
             // The attacker keeps its true height and *claims its true

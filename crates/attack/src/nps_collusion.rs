@@ -43,6 +43,7 @@ use ices_stats::rng::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use ices_stats::streams;
 
 /// Number of malicious reference points a layer needs before the attack
 /// activates there (the paper's experiments use 5).
@@ -151,7 +152,7 @@ impl NpsCollusionAttack {
                     let take =
                         ((candidates.len() as f64) * self.victim_fraction).round() as usize;
                     let mut rng =
-                        SimRng::from_stream(self.seed, layer as u64, 0x5649_4354); // "VICT"
+                        SimRng::from_stream(self.seed, layer as u64, streams::NPSV); // "VICT"
                     let chosen = ices_stats::sample::sample_indices(
                         &mut rng,
                         candidates.len(),
@@ -183,7 +184,7 @@ impl NpsCollusionAttack {
     /// The agreed unit push direction for a victim — derived
     /// deterministically from the seed and shared by every conspirator.
     fn push_direction(&self, victim: usize) -> Vec<f64> {
-        let mut rng = SimRng::from_stream(self.seed, victim as u64, 0x5053_4844); // "PSHD"
+        let mut rng = SimRng::from_stream(self.seed, victim as u64, streams::PSHD); // "PSHD"
         loop {
             let v: Vec<f64> = (0..self.dims)
                 .map(|_| rng.random::<f64>() * 2.0 - 1.0)

@@ -30,9 +30,7 @@ use ices_stats::rng::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-
-/// Stream tag for per-victim drift directions ("DRFT").
-const DRIFT_STREAM: u64 = 0x4452_4654;
+use ices_stats::streams;
 
 /// The calibrated slow-drift attack.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -96,7 +94,7 @@ impl SlowDriftAttack {
     /// `&self`. Shared by all attackers: the drift is coordinated, so
     /// the victim's whole malicious sample stream pulls one way.
     fn direction_for(&self, victim: usize) -> (f64, f64) {
-        let mut rng = SimRng::from_stream(self.seed, DRIFT_STREAM, victim as u64);
+        let mut rng = SimRng::from_stream(self.seed, streams::DRFT, victim as u64);
         let angle = rng.random::<f64>() * std::f64::consts::TAU;
         (angle.cos(), angle.sin())
     }
@@ -123,9 +121,11 @@ impl Adversary for SlowDriftAttack {
         let displacement = self.drift_accumulated_ms(tick);
         let (ux, uy) = self.direction_for(victim);
         let mut position = true_coord.position().to_vec();
-        position[0] += displacement * ux;
-        if position.len() > 1 {
-            position[1] += displacement * uy;
+        if let Some(x) = position.get_mut(0) {
+            *x += displacement * ux;
+        }
+        if let Some(y) = position.get_mut(1) {
+            *y += displacement * uy;
         }
         Some(TamperedSample {
             coord: Coordinate::new(position, true_coord.height()),

@@ -25,12 +25,7 @@ use ices_stats::rng::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-
-/// Stream tag for the swarm's shared anchor draw ("SYBA").
-const ANCHOR_STREAM: u64 = 0x5359_4241;
-
-/// Stream tag for per-sybil jitter around the anchor ("SYBJ").
-const JITTER_STREAM: u64 = 0x5359_424A;
+use ices_stats::streams;
 
 /// The coordinated Sybil swarm.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -113,12 +108,14 @@ impl SybilSwarmAttack {
 
     /// The swarm's shared anchor: one point per seed.
     fn anchor(&self) -> Vec<f64> {
-        let mut rng = SimRng::from_stream(self.seed, ANCHOR_STREAM, 0);
+        let mut rng = SimRng::from_stream(self.seed, streams::SYBA, 0);
         let angle = rng.random::<f64>() * std::f64::consts::TAU;
         let mut position = vec![0.0; self.dims];
-        position[0] = self.anchor_distance_ms * angle.cos();
-        if self.dims > 1 {
-            position[1] = self.anchor_distance_ms * angle.sin();
+        if let Some(x) = position.get_mut(0) {
+            *x = self.anchor_distance_ms * angle.cos();
+        }
+        if let Some(y) = position.get_mut(1) {
+            *y = self.anchor_distance_ms * angle.sin();
         }
         position
     }
@@ -129,12 +126,14 @@ impl SybilSwarmAttack {
     /// one seed buys the adversary.
     fn claimed_position(&self, sybil: usize) -> Coordinate {
         let mut position = self.anchor();
-        let mut rng = SimRng::from_stream(self.seed, JITTER_STREAM, sybil as u64);
+        let mut rng = SimRng::from_stream(self.seed, streams::SYBJ, sybil as u64);
         let angle = rng.random::<f64>() * std::f64::consts::TAU;
         let r = self.cluster_spread_ms * rng.random::<f64>();
-        position[0] += r * angle.cos();
-        if self.dims > 1 {
-            position[1] += r * angle.sin();
+        if let Some(x) = position.get_mut(0) {
+            *x += r * angle.cos();
+        }
+        if let Some(y) = position.get_mut(1) {
+            *y += r * angle.sin();
         }
         Coordinate::new(position, 0.0)
     }

@@ -25,6 +25,7 @@ use ices_stats::rng::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use ices_stats::streams;
 
 /// The colluding isolation attack.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -109,24 +110,25 @@ impl VivaldiIsolationAttack {
         // The colluders coordinate their stories: all lies told to one
         // victim pull in (roughly) the same direction out of the zone,
         // with per-attacker jitter so the fakes do not coincide.
-        let mut victim_rng = SimRng::from_stream(self.seed, victim as u64, 0x5649_4354); // "VICT"
+        let mut victim_rng = SimRng::from_stream(self.seed, victim as u64, streams::VICT); // "VICT"
         let base_angle = victim_rng.random::<f64>() * std::f64::consts::TAU;
         let mut rng = SimRng::from_stream(
             self.seed,
             attacker as u64,
-            victim as u64 ^ 0x4C49_4553, // "LIES"
+            victim as u64 ^ streams::LIES,
         );
         let angle = base_angle + (rng.random::<f64>() - 0.5) * 0.5;
         let (lo, hi) = self.standoff;
         let radius = self.zone_radius * (lo + (hi - lo) * rng.random::<f64>());
-        let dims = self.zone_center.dims();
         let mut position = self.zone_center.position().to_vec();
         // Spread the displacement over the first two dimensions (the
         // paper's Vivaldi space is 2-d + height); higher-dimensional
         // spaces just leave the remaining axes at the center value.
-        position[0] += radius * angle.cos();
-        if dims > 1 {
-            position[1] += radius * angle.sin();
+        if let Some(x) = position.get_mut(0) {
+            *x += radius * angle.cos();
+        }
+        if let Some(y) = position.get_mut(1) {
+            *y += radius * angle.sin();
         }
         Coordinate::new(position, 0.0)
     }

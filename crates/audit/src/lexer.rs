@@ -20,9 +20,10 @@ pub enum TokKind {
     Ident(String),
     /// A single punctuation character (`(`, `:`, `#`, ...).
     Punct(char),
-    /// A literal (string, raw string, char, byte, number). The content
-    /// is irrelevant to every rule, so it is not retained.
-    Literal,
+    /// A literal (string, raw string, char, byte, number), with its
+    /// raw source text (prefix and quotes included) retained — the
+    /// STREAM01 tag analysis reads hex and string tag literals.
+    Literal(String),
 }
 
 /// One code token with the 1-based line it starts on.
@@ -67,6 +68,13 @@ struct Cursor {
 impl Cursor {
     fn peek(&self, ahead: usize) -> Option<char> {
         self.chars.get(self.i + ahead).copied()
+    }
+
+    /// The raw source text between two char indices (literal capture).
+    fn slice(&self, from: usize, to: usize) -> String {
+        self.chars[from.min(self.chars.len())..to.min(self.chars.len())]
+            .iter()
+            .collect()
     }
 
     /// Advance one char, tracking newlines.
@@ -247,9 +255,10 @@ pub fn lex(src: &str) -> Lexed {
         // Plain string literal.
         if c == '"' {
             let line = cur.line;
+            let start = cur.i;
             cur.quoted_string();
             out.tokens.push(Token {
-                kind: TokKind::Literal,
+                kind: TokKind::Literal(cur.slice(start, cur.i)),
                 line,
             });
             continue;
@@ -270,9 +279,10 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 // Lifetimes carry no rule signal; drop them.
             } else {
+                let start = cur.i;
                 cur.char_literal();
                 out.tokens.push(Token {
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(cur.slice(start, cur.i)),
                     line,
                 });
             }
@@ -281,9 +291,10 @@ pub fn lex(src: &str) -> Lexed {
         // Numbers.
         if c.is_ascii_digit() {
             let line = cur.line;
+            let start = cur.i;
             cur.number();
             out.tokens.push(Token {
-                kind: TokKind::Literal,
+                kind: TokKind::Literal(cur.slice(start, cur.i)),
                 line,
             });
             continue;
@@ -291,6 +302,7 @@ pub fn lex(src: &str) -> Lexed {
         // Identifiers, keywords, and prefixed literals.
         if is_ident_start(c) {
             let line = cur.line;
+            let word_start = cur.i;
             let mut word = String::new();
             while let Some(n) = cur.peek(0) {
                 if is_ident_continue(n) {
@@ -312,7 +324,7 @@ pub fn lex(src: &str) -> Lexed {
                             cur.quoted_string();
                         }
                         out.tokens.push(Token {
-                            kind: TokKind::Literal,
+                            kind: TokKind::Literal(cur.slice(word_start, cur.i)),
                             line,
                         });
                     }
@@ -327,7 +339,7 @@ pub fn lex(src: &str) -> Lexed {
                             cur.i += hashes;
                             cur.raw_string(hashes);
                             out.tokens.push(Token {
-                                kind: TokKind::Literal,
+                                kind: TokKind::Literal(cur.slice(word_start, cur.i)),
                                 line,
                             });
                         } else if word == "r" && hashes == 1 {
@@ -358,7 +370,7 @@ pub fn lex(src: &str) -> Lexed {
                         // b'x'
                         cur.char_literal();
                         out.tokens.push(Token {
-                            kind: TokKind::Literal,
+                            kind: TokKind::Literal(cur.slice(word_start, cur.i)),
                             line,
                         });
                     }

@@ -8,9 +8,12 @@
 //! containers, all parallelism through `ices-par`, no panics in library
 //! probe/detector paths. This crate makes those invariants machine
 //! enforced: a hand-rolled lexer (`lexer`) that cannot be fooled by
-//! comments or string literals feeds a per-file rule engine (`rules`)
-//! over every `crates/*/src` file plus the root facade, and tier-1
-//! (`tests/audit_clean.rs`) fails the moment a hazard is reintroduced.
+//! comments or string literals feeds a token-tree builder (`tree`) and a
+//! per-file rule engine (`rules`) over every `crates/*/src` file plus
+//! the root facade; a cross-crate pass then joins the per-file stream
+//! facts into the STREAM01 registry analysis (duplicate tags, bare tag
+//! literals, dead registry constants). Tier-1 (`tests/audit_clean.rs`)
+//! fails the moment a hazard is reintroduced.
 //!
 //! Run it as `cargo run -p ices-audit -- --workspace [--json]`, or hand
 //! it explicit files/directories (audited under the strictest context,
@@ -18,11 +21,24 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod tree;
 
-use rules::{audit_source, AllowEntry, FileContext, FileKind, Finding};
+use rules::{audit_source, AllowEntry, FileContext, FileKind, Finding, Severity, TagDecl};
 use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// The one file allowed to declare 4-byte stream tags (STREAM01).
+pub const REGISTRY_PATH: &str = "crates/stats/src/streams.rs";
+
+/// Knobs for an audit run.
+#[derive(Debug, Default, Clone)]
+pub struct AuditOptions {
+    /// Promote ALLOW02 (an `audit:allow` that suppresses nothing) from
+    /// warning to error — `scripts/audit.sh --strict-allows`.
+    pub strict_allows: bool,
+}
 
 /// Aggregate result over every audited file.
 #[derive(Debug, Default, Serialize)]
@@ -38,18 +54,28 @@ impl Report {
         self.findings.iter().filter(|f| !f.suppressed)
     }
 
+    /// Unsuppressed findings that gate the exit code.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.unsuppressed()
+            .filter(|f| f.severity == Severity::Error)
+    }
+
     /// Should the process exit nonzero?
     pub fn is_dirty(&self) -> bool {
-        self.unsuppressed().next().is_some()
+        self.errors().next().is_some()
     }
 
     /// Human-readable rendering (the non-`--json` output).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in self.unsuppressed() {
+            let tag = match f.severity {
+                Severity::Error => "",
+                Severity::Warn => " [warn]",
+            };
             out.push_str(&format!(
-                "{}:{}: {}: {}\n",
-                f.file, f.line, f.rule, f.message
+                "{}:{}: {}{}: {}\n",
+                f.file, f.line, f.rule, tag, f.message
             ));
         }
         let suppressed = self.findings.iter().filter(|f| f.suppressed).count();
@@ -67,13 +93,16 @@ impl Report {
                 ));
             }
         }
-        let dirty = self.unsuppressed().count();
+        let errors = self.errors().count();
+        let warns = self.unsuppressed().count() - errors;
         out.push_str(&format!(
-            "\naudit: {} files, {} finding{} ({} suppressed), {} allow{}\n",
+            "\naudit: {} files, {} error{} ({} suppressed, {} warning{}), {} allow{}\n",
             self.files_audited,
-            dirty,
-            if dirty == 1 { "" } else { "s" },
+            errors,
+            if errors == 1 { "" } else { "s" },
             suppressed,
+            warns,
+            if warns == 1 { "" } else { "s" },
             self.allows.len(),
             if self.allows.len() == 1 { "" } else { "s" },
         ));
@@ -129,11 +158,14 @@ fn crate_file_context(root: &Path, path: &Path, crate_name: &str, src_dir: &Path
     } else {
         FileKind::Lib
     };
+    let rel = to_rel_string(root, path);
+    let is_registry = rel == REGISTRY_PATH;
     FileContext {
-        path: to_rel_string(root, path),
+        path: rel,
         crate_name: crate_name.to_string(),
         kind,
         is_crate_root: in_src_str == "lib.rs",
+        is_registry,
     }
 }
 
@@ -182,7 +214,9 @@ pub fn workspace_targets(root: &Path) -> Vec<(PathBuf, FileContext)> {
 
 /// Contexts for explicit CLI paths: the strictest interpretation —
 /// crate `adhoc` (all determinism rules armed), library kind, crate
-/// root iff the file is named `lib.rs`. Directories recurse.
+/// root iff the file is named `lib.rs`, registry iff it is named
+/// `streams.rs` (so registry fixtures exercise the decl extractor).
+/// Directories recurse.
 pub fn adhoc_targets(paths: &[PathBuf]) -> Vec<(PathBuf, FileContext)> {
     adhoc_targets_as(paths, "adhoc")
 }
@@ -203,29 +237,64 @@ pub fn adhoc_targets_as(paths: &[PathBuf], crate_name: &str) -> Vec<(PathBuf, Fi
     files
         .into_iter()
         .map(|file| {
-            let is_root = file
-                .file_name()
-                .map(|n| n == "lib.rs")
-                .unwrap_or(false);
+            let name = file.file_name().map(|n| n.to_string_lossy().into_owned());
+            let is_root = name.as_deref() == Some("lib.rs");
+            let is_registry = name.as_deref() == Some("streams.rs");
             let ctx = FileContext {
                 path: file.to_string_lossy().replace('\\', "/"),
                 crate_name: crate_name.to_string(),
                 kind: FileKind::Lib,
                 is_crate_root: is_root,
+                is_registry,
             };
             (file, ctx)
         })
         .collect()
 }
 
-/// Audit the given (path, context) targets, reading each file once.
-/// Unreadable files surface as findings rather than aborting the run.
+/// Audit the given (path, context) targets with default options.
 pub fn audit_targets(targets: &[(PathBuf, FileContext)]) -> Report {
+    audit_targets_with(targets, &AuditOptions::default())
+}
+
+/// Audit the given (path, context) targets, reading each file once,
+/// then run the cross-crate passes:
+///
+/// * **STREAM01** joins every file's stream facts against the registry:
+///   duplicate tag values or names inside the registry, and registered
+///   constants no other file ever names (dead streams), all fail the
+///   audit. Bare-literal findings (produced per-file) get a `streams::`
+///   name hint here when the value is already registered.
+/// * **ALLOW02** turns each `audit:allow` that suppressed nothing into
+///   a finding — warning by default, error under
+///   [`AuditOptions::strict_allows`].
+///
+/// Unreadable files surface as findings rather than aborting the run.
+pub fn audit_targets_with(targets: &[(PathBuf, FileContext)], opts: &AuditOptions) -> Report {
     let mut report = Report::default();
+    // (registry file, decl) — in practice one registry, but the pass
+    // tolerates several (each fixture dir is its own little workspace).
+    let mut decls: Vec<(String, TagDecl)> = Vec::new();
+    // Identifiers spelled outside the registry: the usage side of the
+    // dead-constant check (the registry names its own constants, which
+    // must not count as use).
+    let mut outside_idents: BTreeSet<String> = BTreeSet::new();
+    // (file, line) -> tag value for bare-literal name hints.
+    let mut site_values: BTreeMap<(String, u32), u64> = BTreeMap::new();
+
     for (path, ctx) in targets {
         match fs::read_to_string(path) {
             Ok(src) => {
                 let file_report = audit_source(ctx, &src);
+                for d in &file_report.streams.decls {
+                    decls.push((ctx.path.clone(), d.clone()));
+                }
+                if !ctx.is_registry {
+                    outside_idents.extend(file_report.streams.idents.iter().cloned());
+                }
+                for s in &file_report.streams.sites {
+                    site_values.insert((ctx.path.clone(), s.line), s.value);
+                }
                 report.findings.extend(file_report.findings);
                 report.allows.extend(file_report.allows);
                 report.files_audited += 1;
@@ -238,11 +307,175 @@ pub fn audit_targets(targets: &[(PathBuf, FileContext)]) -> Report {
                     message: format!("cannot read file: {err}"),
                     suppressed: false,
                     reason: String::new(),
+                    severity: Severity::Error,
                 });
             }
         }
     }
+
+    // ---- Cross-crate STREAM01: the registry table ----
+    let mut by_value: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, (_, d)) in decls.iter().enumerate() {
+        by_value.entry(d.value).or_default().push(i);
+        by_name.entry(d.name.as_str()).or_default().push(i);
+    }
+    for dup in by_value.values().filter(|v| v.len() > 1) {
+        for &i in dup {
+            let (file, d) = &decls[i];
+            let others: Vec<String> = dup
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| format!("`{}` (line {})", decls[j].1.name, decls[j].1.line))
+                .collect();
+            report.findings.push(Finding {
+                file: file.clone(),
+                line: d.line,
+                rule: "STREAM01".into(),
+                message: format!(
+                    "stream tag 0x{:08X} (`{}`) is also registered as {} — \
+                     colliding tags silently correlate independent streams",
+                    d.value,
+                    d.name,
+                    others.join(", ")
+                ),
+                suppressed: false,
+                reason: String::new(),
+                severity: Severity::Error,
+            });
+        }
+    }
+    for dup in by_name.values().filter(|v| v.len() > 1) {
+        for &i in dup {
+            let (file, d) = &decls[i];
+            report.findings.push(Finding {
+                file: file.clone(),
+                line: d.line,
+                rule: "STREAM01".into(),
+                message: format!(
+                    "stream tag name `{}` is declared {} times in the registry",
+                    d.name,
+                    dup.len()
+                ),
+                suppressed: false,
+                reason: String::new(),
+                severity: Severity::Error,
+            });
+        }
+    }
+    // Dead registry constants: registered but never named outside.
+    // Only meaningful on multi-file runs — a lone registry fixture has
+    // no use sites at all, so skip when the registry is the only file.
+    if targets.len() > 1 {
+        for (file, d) in &decls {
+            if !outside_idents.contains(&d.name) {
+                report.findings.push(Finding {
+                    file: file.clone(),
+                    line: d.line,
+                    rule: "STREAM01".into(),
+                    message: format!(
+                        "registered stream tag `{}` is never referenced by any \
+                         audited file; delete it or wire its subsystem up",
+                        d.name
+                    ),
+                    suppressed: false,
+                    reason: String::new(),
+                    severity: Severity::Error,
+                });
+            }
+        }
+    }
+    // Name hints for bare-literal findings whose value is registered.
+    let value_names: BTreeMap<u64, &str> = decls
+        .iter()
+        .map(|(_, d)| (d.value, d.name.as_str()))
+        .collect();
+    for f in &mut report.findings {
+        if f.rule != "STREAM01" || f.suppressed {
+            continue;
+        }
+        if let Some(value) = site_values.get(&(f.file.clone(), f.line)) {
+            if let Some(name) = value_names.get(value) {
+                f.message.push_str(&format!(
+                    " (this value is already registered — use `streams::{name}`)"
+                ));
+            }
+        }
+    }
+
+    // ---- ALLOW02: suppressions that suppress nothing ----
+    let severity = if opts.strict_allows {
+        Severity::Error
+    } else {
+        Severity::Warn
+    };
+    let stale: Vec<Finding> = report
+        .allows
+        .iter()
+        .filter(|a| !a.used)
+        .map(|a| Finding {
+            file: a.file.clone(),
+            line: a.line,
+            rule: "ALLOW02".into(),
+            message: format!(
+                "audit:allow({}) suppresses nothing on its line or the line \
+                 below; remove the stale suppression",
+                a.rule
+            ),
+            suppressed: false,
+            reason: String::new(),
+            severity,
+        })
+        .collect();
+    report.findings.extend(stale);
+
     report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report
+}
+
+/// Parse a baseline file (one `file:RULE` key per line, `#` comments)
+/// and downgrade matching unsuppressed errors to warnings. Returns the
+/// number of findings downgraded. The baseline grandfathers *kinds* of
+/// findings per file, not line numbers, so unrelated edits don't churn
+/// it.
+pub fn apply_baseline(report: &mut Report, baseline: &str) -> usize {
+    let keys: BTreeSet<&str> = baseline
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let mut downgraded = 0;
+    for f in &mut report.findings {
+        if f.suppressed || f.severity != Severity::Error {
+            continue;
+        }
+        let key = format!("{}:{}", f.file, f.rule);
+        if keys.contains(key.as_str()) {
+            f.severity = Severity::Warn;
+            downgraded += 1;
+        }
+    }
+    downgraded
+}
+
+/// Render the baseline that would make the current report pass:
+/// one `file:RULE` key per unsuppressed error, sorted and deduplicated.
+pub fn render_baseline(report: &Report) -> String {
+    let keys: BTreeSet<String> = report
+        .errors()
+        .map(|f| format!("{}:{}", f.file, f.rule))
+        .collect();
+    let mut out = String::from(
+        "# ices-audit baseline: grandfathered `file:RULE` findings.\n\
+         # Regenerate with `scripts/audit.sh --write-baseline`.\n",
+    );
+    for key in keys {
+        out.push_str(&key);
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -275,6 +508,14 @@ mod tests {
         assert!(targets
             .iter()
             .any(|(_, c)| c.crate_name == "par" && c.is_crate_root));
+        // Exactly one registry file exists, and it is flagged as such.
+        let registries: Vec<&FileContext> = targets
+            .iter()
+            .map(|(_, c)| c)
+            .filter(|c| c.is_registry)
+            .collect();
+        assert_eq!(registries.len(), 1, "{registries:?}");
+        assert_eq!(registries[0].path, REGISTRY_PATH);
     }
 
     #[test]
@@ -305,6 +546,7 @@ mod tests {
                 message: "boom".into(),
                 suppressed: false,
                 reason: String::new(),
+                severity: Severity::Error,
             }],
             allows: vec![],
         };
@@ -313,5 +555,72 @@ mod tests {
         assert!(report.is_dirty());
         let json = serde_json::to_string(&report).unwrap_or_default();
         assert!(json.contains("\"rule\""), "{json}");
+        assert!(json.contains("\"severity\""), "{json}");
+    }
+
+    #[test]
+    fn warnings_do_not_dirty_the_report() {
+        let report = Report {
+            files_audited: 1,
+            findings: vec![Finding {
+                file: "x.rs".into(),
+                line: 9,
+                rule: "ALLOW02".into(),
+                message: "stale".into(),
+                suppressed: false,
+                reason: String::new(),
+                severity: Severity::Warn,
+            }],
+            allows: vec![],
+        };
+        assert!(!report.is_dirty());
+        assert!(report.render_text().contains("[warn]"));
+    }
+
+    #[test]
+    fn baseline_downgrades_and_round_trips() {
+        let mut report = Report {
+            files_audited: 1,
+            findings: vec![
+                Finding {
+                    file: "a.rs".into(),
+                    line: 3,
+                    rule: "PANIC02".into(),
+                    message: "x".into(),
+                    suppressed: false,
+                    reason: String::new(),
+                    severity: Severity::Error,
+                },
+                Finding {
+                    file: "b.rs".into(),
+                    line: 4,
+                    rule: "DET01".into(),
+                    message: "y".into(),
+                    suppressed: false,
+                    reason: String::new(),
+                    severity: Severity::Error,
+                },
+            ],
+            allows: vec![],
+        };
+        let baseline = render_baseline(&report);
+        assert!(baseline.contains("a.rs:PANIC02"));
+        assert!(baseline.contains("b.rs:DET01"));
+        let n = apply_baseline(&mut report, &baseline);
+        assert_eq!(n, 2);
+        assert!(!report.is_dirty());
+        // A fresh finding kind is NOT covered by the old baseline.
+        report.findings.push(Finding {
+            file: "c.rs".into(),
+            line: 1,
+            rule: "OBS02".into(),
+            message: "z".into(),
+            suppressed: false,
+            reason: String::new(),
+            severity: Severity::Error,
+        });
+        let mut again = report;
+        assert_eq!(apply_baseline(&mut again, &baseline), 0);
+        assert!(again.is_dirty());
     }
 }

@@ -1,0 +1,193 @@
+//! Token trees: the brace-aware layer between the lexer and the rules.
+//!
+//! The flat token stream is enough for "ban this identifier" rules, but
+//! the dataflow rules need structure: OBS02 must know whether a call
+//! sits *inside a closure passed to a parallel entry point*, PANIC02
+//! must distinguish `x[0]` (indexing) from `[0]` (an array literal) and
+//! `#[cfg(...)]` (an attribute), and STREAM01 must see which literals
+//! flow into a stream constructor's argument list. This module nests
+//! the flat stream into groups at every `()`/`[]`/`{}` pair, tolerating
+//! malformed input (a stray closer becomes a leaf; EOF closes every
+//! open group) so the analysis degrades instead of failing.
+
+use crate::lexer::{TokKind, Token};
+
+/// One node of the token tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A delimited group and everything inside it.
+    Group(Group),
+}
+
+/// A `(...)`, `[...]`, or `{...}` group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// The opening delimiter: `(`, `[`, or `{`.
+    pub delim: char,
+    /// 1-based line of the opening delimiter.
+    pub open_line: u32,
+    /// 1-based line of the closing delimiter (last seen line if the
+    /// group was closed by EOF).
+    pub close_line: u32,
+    /// The group's children, in source order.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// The identifier text if this is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(Token {
+                kind: TokKind::Ident(w),
+                ..
+            }) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The punctuation char if this is a punctuation leaf.
+    pub fn punct(&self) -> Option<char> {
+        match self {
+            Tree::Leaf(Token {
+                kind: TokKind::Punct(c),
+                ..
+            }) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The raw literal text if this is a literal leaf.
+    pub fn literal(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(Token {
+                kind: TokKind::Literal(text),
+                ..
+            }) => Some(text.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The group if this is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The 1-based line this node starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.open_line,
+        }
+    }
+}
+
+fn closer(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Nest a flat token stream into token trees.
+pub fn build(tokens: &[Token]) -> Vec<Tree> {
+    let mut i = 0usize;
+    build_level(tokens, &mut i, None)
+}
+
+fn build_level(tokens: &[Token], i: &mut usize, until: Option<char>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *i < tokens.len() {
+        let tok = &tokens[*i];
+        match &tok.kind {
+            TokKind::Punct(c @ ('(' | '[' | '{')) => {
+                let open = *c;
+                let open_line = tok.line;
+                *i += 1;
+                let children = build_level(tokens, i, Some(closer(open)));
+                // `build_level` stops either on the matching closer
+                // (consume it) or at EOF.
+                let close_line = if *i < tokens.len() {
+                    let line = tokens[*i].line;
+                    *i += 1;
+                    line
+                } else {
+                    tokens.last().map(|t| t.line).unwrap_or(open_line)
+                };
+                out.push(Tree::Group(Group {
+                    delim: open,
+                    open_line,
+                    close_line,
+                    children,
+                }));
+            }
+            TokKind::Punct(c @ (')' | ']' | '}')) => {
+                if Some(*c) == until {
+                    return out; // caller consumes the closer
+                }
+                // A closer that matches no opener: tolerate as a leaf.
+                out.push(Tree::Leaf(tok.clone()));
+                *i += 1;
+            }
+            _ => {
+                out.push(Tree::Leaf(tok.clone()));
+                *i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn trees(src: &str) -> Vec<Tree> {
+        build(&lex(src).tokens)
+    }
+
+    #[test]
+    fn nests_groups() {
+        let t = trees("f(a, [1, 2], { g(b) })");
+        // f + one paren group at top level.
+        assert_eq!(t.len(), 2);
+        let call = t[1].group().unwrap_or_else(|| panic!("group"));
+        assert_eq!(call.delim, '(');
+        let brackets: Vec<char> = call
+            .children
+            .iter()
+            .filter_map(|c| c.group().map(|g| g.delim))
+            .collect();
+        assert_eq!(brackets, ['[', '{']);
+    }
+
+    #[test]
+    fn group_lines_span_the_source() {
+        let t = trees("f(\n  x,\n  y,\n)");
+        let call = t[1].group().unwrap_or_else(|| panic!("group"));
+        assert_eq!(call.open_line, 1);
+        assert_eq!(call.close_line, 4);
+    }
+
+    #[test]
+    fn unbalanced_input_degrades() {
+        // Stray closer: kept as a leaf; unclosed group: closed at EOF.
+        let t = trees(") f(x");
+        assert_eq!(t[0].punct(), Some(')'));
+        assert!(t[2].group().is_some());
+    }
+
+    #[test]
+    fn literals_survive_with_text() {
+        let t = trees(r#"g("VICT", 0x4641_4C54)"#);
+        let call = t[1].group().unwrap_or_else(|| panic!("group"));
+        let lits: Vec<&str> = call.children.iter().filter_map(|c| c.literal()).collect();
+        assert_eq!(lits, ["\"VICT\"", "0x4641_4C54"]);
+    }
+}

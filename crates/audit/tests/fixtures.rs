@@ -2,7 +2,8 @@
 //! right `file:line`, through the library API and through the binary
 //! (which must exit nonzero on it).
 
-use ices_audit::{adhoc_targets, adhoc_targets_as, audit_targets, Report};
+use ices_audit::{adhoc_targets, adhoc_targets_as, audit_targets, audit_targets_with, AuditOptions, Report};
+use ices_audit::rules::Severity;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -193,6 +194,10 @@ fn binary_exits_nonzero_on_each_bad_fixture() {
         "det03_spawn.rs",
         "det03_builder.rs",
         "panic01_unwrap.rs",
+        "panic02_literal_index.rs",
+        "obs02_par_closure.rs",
+        "stream01_bare_tag.rs",
+        "stream01_dup/streams.rs",
         "safe01/lib.rs",
         "allow01_missing_reason.rs",
     ] {
@@ -223,4 +228,144 @@ fn binary_exits_zero_and_emits_json_on_the_clean_fixture() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"rule\""), "not JSON: {stdout}");
     assert!(stdout.contains("PANIC01"), "{stdout}");
+}
+
+#[test]
+fn panic02_fixture_flags_only_the_literal_index() {
+    assert_single_finding("panic02_literal_index.rs", "PANIC02", 8);
+}
+
+#[test]
+fn obs02_fixture_flags_only_the_closure_body_mutation() {
+    assert_single_finding("obs02_par_closure.rs", "OBS02", 8);
+}
+
+#[test]
+fn stream01_fixture_flags_hex_and_ctor_string_tags() {
+    let report = audit_fixture("stream01_bare_tag.rs");
+    let got: Vec<(&str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.line))
+        .collect();
+    assert_eq!(got, [("STREAM01", 10), ("STREAM01", 11)], "{:?}", report.findings);
+    assert!(report.is_dirty());
+}
+
+#[test]
+fn stream01_duplicate_registry_fixture_flags_both_declarations() {
+    let report = audit_fixture("stream01_dup/streams.rs");
+    let got: Vec<(&str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.line))
+        .collect();
+    assert_eq!(got, [("STREAM01", 5), ("STREAM01", 6)], "{:?}", report.findings);
+    assert!(report.findings[0].message.contains("NPSV"), "{:?}", report.findings);
+    assert!(report.is_dirty());
+}
+
+#[test]
+fn stream01_dead_constant_fixture_flags_the_unused_tag() {
+    let targets = adhoc_targets(&[fixture("stream01_dead")]);
+    let report = audit_targets(&targets);
+    assert_eq!(report.files_audited, 2);
+    let got: Vec<(&str, &str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.rsplit('/').next().unwrap_or(""), f.rule.as_str(), f.line))
+        .collect();
+    assert_eq!(got, [("streams.rs", "STREAM01", 5)], "{:?}", report.findings);
+    assert!(
+        report.findings[0].message.contains("CHRN"),
+        "{:?}",
+        report.findings
+    );
+    assert!(report.is_dirty());
+}
+
+#[test]
+fn allow02_fixture_warns_by_default_and_fails_under_strict() {
+    let report = audit_fixture("allow02_stale.rs");
+    let got: Vec<(&str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.line))
+        .collect();
+    assert_eq!(got, [("ALLOW02", 5)], "{:?}", report.findings);
+    assert_eq!(report.findings[0].severity, Severity::Warn);
+    assert!(!report.is_dirty(), "stale allows are advisory by default");
+
+    let targets = adhoc_targets(&[fixture("allow02_stale.rs")]);
+    let strict = AuditOptions {
+        strict_allows: true,
+    };
+    let report = audit_targets_with(&targets, &strict);
+    assert_eq!(report.findings[0].severity, Severity::Error);
+    assert!(report.is_dirty(), "--strict-allows must fail stale allows");
+}
+
+#[test]
+fn binary_strict_allows_flag_gates_the_exit_code() {
+    let clean = Command::new(env!("CARGO_BIN_EXE_ices-audit"))
+        .arg(fixture("allow02_stale.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running ices-audit: {e}"));
+    assert!(
+        clean.status.success(),
+        "stale allow must be a warning by default:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    let strict = Command::new(env!("CARGO_BIN_EXE_ices-audit"))
+        .arg("--strict-allows")
+        .arg(fixture("allow02_stale.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running ices-audit: {e}"));
+    assert!(
+        !strict.status.success(),
+        "--strict-allows must exit nonzero:\n{}",
+        String::from_utf8_lossy(&strict.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&strict.stdout);
+    assert!(stdout.contains("ALLOW02"), "{stdout}");
+}
+
+#[test]
+fn binary_baseline_round_trip_grandfathers_then_catches_fresh_findings() {
+    let dir = std::env::temp_dir().join("ices_audit_baseline_test");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir: {e}"));
+    let baseline = dir.join("baseline.txt");
+    // Write the baseline for the PANIC02 fixture...
+    let write = Command::new(env!("CARGO_BIN_EXE_ices-audit"))
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .arg(fixture("panic02_literal_index.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running ices-audit: {e}"));
+    assert!(!write.status.success(), "pre-baseline verdict still gates");
+    // ...then the same audit under that baseline passes...
+    let under = Command::new(env!("CARGO_BIN_EXE_ices-audit"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(fixture("panic02_literal_index.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running ices-audit: {e}"));
+    assert!(
+        under.status.success(),
+        "baselined finding must downgrade:\n{}",
+        String::from_utf8_lossy(&under.stdout)
+    );
+    // ...but a finding kind outside the baseline still fails.
+    let fresh = Command::new(env!("CARGO_BIN_EXE_ices-audit"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(fixture("panic02_literal_index.rs"))
+        .arg(fixture("obs02_par_closure.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running ices-audit: {e}"));
+    assert!(
+        !fresh.status.success(),
+        "un-baselined finding must still fail:\n{}",
+        String::from_utf8_lossy(&fresh.stdout)
+    );
 }

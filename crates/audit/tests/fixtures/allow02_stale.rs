@@ -1,0 +1,8 @@
+//! Bad fixture: a reasoned but stale suppression (ALLOW02) — the allow
+//! is well-formed, yet nothing on its line or the line below trips
+//! PANIC02, so the suppression is dead weight.
+
+// audit:allow(PANIC02): stale — nothing below indexes anything
+pub fn fine() -> u64 {
+    7
+}

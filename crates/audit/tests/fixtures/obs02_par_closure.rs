@@ -1,0 +1,11 @@
+//! Bad fixture: an obs registry mutation inside a closure passed to a
+//! parallel entry point (OBS02). The mutation before the call is legal
+//! — only the parallel phase must stay observation-silent.
+
+pub fn run(reg: &Registry, xs: &[u64]) -> Vec<u64> {
+    reg.inc("runs", 1);
+    par_map(xs, |x| {
+        reg.inc("items", 1);
+        x + 1
+    })
+}

@@ -1,0 +1,9 @@
+//! Bad fixture: a literal slice index in library code (PANIC02) — the
+//! `&candidates[0]` panic class. Variable indices and array literals
+//! below must stay invisible.
+
+pub fn first(v: &[f64], i: usize) -> f64 {
+    let _table = [0.0; 4];
+    let _ok = v[i];
+    v[0]
+}

@@ -1,0 +1,13 @@
+//! Bad fixture: bare 4-byte stream tags outside the registry
+//! (STREAM01) — one hex form, one string form inside a stream
+//! constructor. The non-tag mask and the 4-char string that never
+//! reaches a constructor must stay invisible.
+
+pub fn rngs(seed: u64) -> (SimRng, SimRng) {
+    let mask = seed & 0xFFFF_FFFF;
+    let label = "VICT";
+    let _ = label;
+    let a = SimRng::from_stream(mask, 0x5649_4354, 0);
+    let b = SimRng::from_stream(seed, "VICT", 1);
+    (a, b)
+}

@@ -1,0 +1,5 @@
+//! Bad fixture registry for the dead-constant check: `CHRN` below is
+//! never referenced by `user.rs`, so the cross-crate pass must flag it.
+
+pub const FALT: u64 = 0x4641_4C54;
+pub const CHRN: u64 = 0x4348_524E;

@@ -1,0 +1,6 @@
+//! The lone consumer of the dead-constant fixture registry: it uses
+//! `FALT` but never `CHRN`.
+
+pub fn faults(seed: u64) -> SimRng {
+    SimRng::from_stream(seed, streams::FALT, 0)
+}

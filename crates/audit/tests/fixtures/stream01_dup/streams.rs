@@ -1,0 +1,6 @@
+//! Bad fixture: a registry (this file is named `streams.rs`, so the
+//! adhoc context treats it as one) declaring the same tag value twice —
+//! the `"VICT"` collision class STREAM01 exists to prevent.
+
+pub const VICT: u64 = 0x5649_4354;
+pub const NPSV: u64 = 0x5649_4354;

@@ -23,6 +23,7 @@ fn ctx() -> FileContext {
         crate_name: "adhoc".into(),
         kind: FileKind::Lib,
         is_crate_root: false,
+        is_registry: false,
     }
 }
 

@@ -1,0 +1,114 @@
+//! Property tests of the token-tree dataflow rules: tag-shaped content
+//! inside raw strings (any hash depth) must stay invisible, a literal
+//! index must be found at its exact line under arbitrary group nesting,
+//! a stream-constructor tag keeps its line when the argument list spans
+//! many lines, and OBS02 fires inside a parallel closure's body and
+//! only there.
+
+use ices_audit::rules::{audit_source, FileContext, FileKind};
+use proptest::prelude::*;
+
+fn ctx() -> FileContext {
+    FileContext {
+        path: "prop/input.rs".into(),
+        crate_name: "adhoc".into(),
+        kind: FileKind::Lib,
+        is_crate_root: false,
+        is_registry: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn raw_strings_of_any_hash_depth_hide_stream_tags(
+        hashes in 1usize..4,
+        filler in 0usize..8,
+    ) {
+        let h = "#".repeat(hashes);
+        let pad = "let filler = 0;\n".repeat(filler);
+        let src = format!(
+            "{pad}let s = r{h}\"from_stream 0x5649_4354 \"VICT\" stream_rng\"{h};\n"
+        );
+        let report = audit_source(&ctx(), &src);
+        prop_assert!(
+            report.findings.is_empty(),
+            "tags inside a raw string leaked: {:?} from:\n{src}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn literal_index_keeps_its_line_at_any_nesting_depth(
+        depth in 0usize..8,
+        pre_lines in 0usize..10,
+    ) {
+        let pad = "\n".repeat(pre_lines);
+        let open = "(".repeat(depth);
+        let close = ")".repeat(depth);
+        let src = format!("pub fn f(v: &[u8]) -> u8 {{\n{pad}    {open}v[0]{close}\n}}\n");
+        let line = 2 + pre_lines as u32;
+        let report = audit_source(&ctx(), &src);
+        prop_assert!(report.findings.len() == 1, "{:?} from:\n{src}", report.findings);
+        let f = &report.findings[0];
+        prop_assert!(f.rule == "PANIC02", "{f:?}");
+        prop_assert!(f.line == line, "expected line {line}: {f:?}");
+    }
+
+    #[test]
+    fn ctor_tag_keeps_its_line_when_arguments_span_lines(
+        lead_args in 0usize..6,
+        byte_form in 0usize..2,
+    ) {
+        let tag = if byte_form == 0 { "b\"VICT\"" } else { "\"VICT\"" };
+        let args = "        seed,\n".repeat(lead_args);
+        let src = format!(
+            "pub fn f(seed: u64) {{\n    let _r = SimRng::from_stream(\n{args}        {tag},\n        7,\n    );\n}}\n"
+        );
+        let line = 3 + lead_args as u32;
+        let report = audit_source(&ctx(), &src);
+        prop_assert!(report.findings.len() == 1, "{:?} from:\n{src}", report.findings);
+        let f = &report.findings[0];
+        prop_assert!(f.rule == "STREAM01", "{f:?}");
+        prop_assert!(f.line == line, "expected line {line}: {f:?}");
+    }
+
+    #[test]
+    fn obs02_fires_inside_the_closure_and_only_there(
+        body_lines in 0usize..6,
+        inside in 0usize..2,
+    ) {
+        let filler = "        let _pad = 0;\n".repeat(body_lines);
+        let (src, expect_line) = if inside == 0 {
+            let line = 3 + body_lines as u32;
+            (
+                format!(
+                    "pub fn f(reg: &Registry, xs: &[u8]) {{\n    par_map(xs, |x| {{\n{filler}        reg.inc(\"k\", 1);\n        x\n    }});\n}}\n"
+                ),
+                Some(line),
+            )
+        } else {
+            (
+                format!(
+                    "pub fn f(reg: &Registry, xs: &[u8]) {{\n    reg.inc(\"k\", 1);\n    par_map(xs, |x| {{\n{filler}        x\n    }});\n    reg.inc(\"k\", 1);\n}}\n"
+                ),
+                None,
+            )
+        };
+        let report = audit_source(&ctx(), &src);
+        match expect_line {
+            Some(line) => {
+                prop_assert!(report.findings.len() == 1, "{:?} from:\n{src}", report.findings);
+                let f = &report.findings[0];
+                prop_assert!(f.rule == "OBS02", "{f:?}");
+                prop_assert!(f.line == line, "expected line {line}: {f:?}");
+            }
+            None => prop_assert!(
+                report.findings.is_empty(),
+                "mutations outside the closure leaked: {:?} from:\n{src}",
+                report.findings
+            ),
+        }
+    }
+}

@@ -81,6 +81,7 @@ pub fn unit(v: &[f64]) -> Option<Vec<f64>> {
 /// Panics if `vs` is empty or dimensions are inconsistent.
 pub fn centroid(vs: &[Vec<f64>]) -> Vec<f64> {
     assert!(!vs.is_empty(), "centroid of an empty set");
+    // audit:allow(PANIC02): emptiness asserted on the line above (documented # Panics contract)
     let dim = vs[0].len();
     let mut acc = vec![0.0; dim];
     for v in vs {

@@ -29,6 +29,7 @@ use crate::surveyor::SurveyorInfo;
 use ices_coord::Coordinate;
 use ices_stats::rng::splitmix64;
 use serde::{Deserialize, Serialize};
+use ices_stats::streams;
 
 /// A time-bounded, authenticated coordinate claim.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,7 +122,8 @@ impl Certifier {
         if ttl == 0 {
             return Err(CertificateError::ZeroTtl);
         }
-        if !(tolerance > 0.0) {
+        // NaN must fail this check too, hence no `tolerance <= 0.0`.
+        if tolerance.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(CertificateError::NonPositiveTolerance(tolerance));
         }
         Ok(Self {
@@ -197,7 +199,7 @@ impl Certifier {
     /// SplitMix64 compression chain — see the module docs for why this
     /// placeholder is acceptable here).
     fn tag_of(&self, cert: &CoordinateCertificate) -> u64 {
-        let mut acc = splitmix64(self.key ^ 0x4345_5254); // "CERT"
+        let mut acc = splitmix64(self.key ^ streams::CERT); // "CERT"
         let mut absorb = |v: u64| {
             acc = splitmix64(acc ^ v);
         };

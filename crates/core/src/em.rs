@@ -107,7 +107,7 @@ fn e_step(params: &StateSpaceParams, observations: &[f64]) -> Smoothed {
         let j = filt_var[i] * beta / pred_var[i + 1];
         smoother_gain[i] = j;
         mean[i] = filt_mean[i] + j * (mean[i + 1] - pred_mean[i + 1]);
-        var[i] = filt_var[i] + j * j * (var[i + 1] - pred_var[i + 1]);
+        var[i] = filt_var[i] + j.powi(2) * (var[i + 1] - pred_var[i + 1]);
     }
 
     // Lag-one covariance smoother (Shumway–Stoffer Property 6.3).
@@ -145,8 +145,9 @@ fn m_step(observations: &[f64], sm: &Smoothed, config: &EmConfig) -> StateSpaceP
         .collect();
 
     // Initial state.
+    // audit:allow(PANIC02): public entry asserts >= 10 observations
     let w0 = delta[0];
-    let p0 = sm.var[0].max(config.variance_floor);
+    let p0 = sm.var[0].max(config.variance_floor); // audit:allow(PANIC02): public entry asserts >= 10 observations
 
     // Observation noise.
     let v_u = (observations
@@ -162,7 +163,7 @@ fn m_step(observations: &[f64], sm: &Smoothed, config: &EmConfig) -> StateSpaceP
     let b: f64 = delta[..n - 1].iter().sum();
     let c: f64 = delta[1..].iter().sum();
     let a: f64 = pi_lag.iter().sum();
-    let det = s * n_trans - b * b;
+    let det = s * n_trans - b.powi(2);
     let (mut beta, w_bar) = if det.abs() > 1e-12 {
         let beta = (a * n_trans - b * c) / det;
         let w_bar = (c * s - a * b) / det;

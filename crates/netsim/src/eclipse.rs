@@ -26,12 +26,7 @@ use ices_stats::rng::{derive2, SimRng};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-
-/// Stream tag for neighbor-slot steering draws ("ECLN").
-const NEIGHBOR_STREAM: u64 = 0x4543_4C4E;
-
-/// Stream tag for replacement steering draws ("ECLR").
-const REPLACE_STREAM: u64 = 0x4543_4C52;
+use ices_stats::streams;
 
 /// A deterministic registrar-poisoning plan.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -120,7 +115,7 @@ impl EclipsePlan {
         }
         let steered = ((neighbors.len() as f64) * self.strength).round() as usize;
         let steered = steered.min(neighbors.len());
-        let mut rng = SimRng::from_stream(self.seed, NEIGHBOR_STREAM, victim as u64);
+        let mut rng = SimRng::from_stream(self.seed, streams::ECLN, victim as u64);
         let mut taken = BTreeSet::new();
         for slot in neighbors.iter_mut().take(steered) {
             // Prefer attackers not already placed in this victim's set;
@@ -152,7 +147,7 @@ impl EclipsePlan {
         }
         let mut rng = SimRng::from_stream(
             self.seed,
-            derive2(REPLACE_STREAM, victim as u64, nonce),
+            derive2(streams::ECLR, victim as u64, nonce),
             0,
         );
         if rng.random::<f64>() >= self.strength {

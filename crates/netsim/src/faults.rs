@@ -28,12 +28,7 @@
 use ices_stats::rng::{derive, derive2};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-
-/// Stream tag for per-probe link-fault draws ("FALT").
-const FAULT_STREAM: u64 = 0x4641_4C54;
-
-/// Stream tag for per-epoch churn draws ("CHRN").
-const CHURN_STREAM: u64 = 0x4348_524E;
+use ices_stats::streams;
 
 /// The outcome of a fallible probe.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -246,7 +241,7 @@ impl FaultPlan {
             return true;
         }
         let epoch = tick / model.epoch_ticks;
-        let h = derive2(derive(seed, CHURN_STREAM), node as u64, epoch);
+        let h = derive2(derive(seed, streams::CHRN), node as u64, epoch);
         unit(h) >= model.down_probability
     }
 
@@ -259,8 +254,8 @@ impl FaultPlan {
             return None;
         }
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        let pair_key = derive((lo as u64) << 32 | hi as u64, FAULT_STREAM);
-        let u = unit(derive2(derive(seed, FAULT_STREAM), pair_key, nonce));
+        let pair_key = derive((lo as u64) << 32 | hi as u64, streams::FALT);
+        let u = unit(derive2(derive(seed, streams::FALT), pair_key, nonce));
         if u < self.link.loss_probability {
             Some(ProbeOutcome::Lost)
         } else if u < self.link.loss_probability + self.link.timeout_probability {

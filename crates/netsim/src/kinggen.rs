@@ -22,6 +22,7 @@ use ices_stats::rng::{stream_rng, stream_rng2};
 use ices_stats::sample;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
+use ices_stats::streams;
 
 /// Placement of regions in the latent delay plane.
 ///
@@ -132,7 +133,7 @@ impl KingConfig {
         let total_w = self.layout.total_weight();
         assert!(total_w > 0.0, "region weights must be positive");
 
-        let mut place_rng = stream_rng(seed, 0x504C_4143); // "PLAC"
+        let mut place_rng = stream_rng(seed, streams::PLAC); // "PLAC"
         let mut regions = Vec::with_capacity(self.nodes);
         let mut positions = Vec::with_capacity(self.nodes);
         let mut heights = Vec::with_capacity(self.nodes);

@@ -15,6 +15,7 @@ use crate::topology::RttMatrix;
 use ices_stats::rng::{derive, stream_rng2};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
+use ices_stats::streams;
 
 /// A simulated network that serves noisy RTT measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -301,7 +302,7 @@ impl Network {
         assert!(a != b, "a node cannot probe itself");
         let base = self.rtt.base_rtt(a, b);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        let pair_key = derive((lo as u64) << 32 | hi as u64, 0x5052_4F42); // "PROB"
+        let pair_key = derive((lo as u64) << 32 | hi as u64, streams::PROB); // "PROB"
         let mut rng = stream_rng2(self.seed, pair_key, nonce);
         self.noise.measure(base, self.combined_profile(a, b), &mut rng)
     }
@@ -336,7 +337,7 @@ impl Network {
             self.measure_rtt(a, b, nonce.wrapping_mul(3).wrapping_add(2)),
         ];
         probes.sort_by(f64::total_cmp);
-        probes[1]
+        probes[1] // audit:allow(PANIC02): median of a fixed-size [f64; 3] array
     }
 
     /// Fallible variant of [`Network::measure_rtt`]: the probe is gated

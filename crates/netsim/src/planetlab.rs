@@ -13,6 +13,7 @@ use crate::kinggen::{KingConfig, Topology};
 use ices_stats::rng::stream_rng;
 use ices_stats::sample;
 use serde::{Deserialize, Serialize};
+use ices_stats::streams;
 
 /// Configuration for the synthetic PlanetLab deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,7 +77,7 @@ impl PlanetLabConfig {
         let mut topo = self.topology.generate(seed);
         let mut profiles = vec![NoiseProfile::clean(); self.nodes];
 
-        let mut rng = stream_rng(seed, 0x5041_5448); // "PATH"
+        let mut rng = stream_rng(seed, streams::PATH); // "PATH"
         let chosen = sample::sample_indices(&mut rng, self.nodes, self.pathological_nodes);
         for &p in &chosen {
             profiles[p] = NoiseProfile::pathological();

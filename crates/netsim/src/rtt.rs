@@ -21,6 +21,7 @@ use crate::topology::RttMatrix;
 use ices_stats::rng::stream_rng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
+use ices_stats::streams;
 
 /// A source of pairwise base RTTs.
 ///
@@ -104,7 +105,7 @@ impl SynthRtt {
     pub fn sampled_median(&self, samples: usize) -> f64 {
         assert!(samples > 0, "need at least one sample");
         let n = self.placement.len() as u64;
-        let mut rng = stream_rng(self.seed, 0x4D45_4449); // "MEDI"
+        let mut rng = stream_rng(self.seed, streams::MEDI); // "MEDI"
         let mut drawn = Vec::with_capacity(samples);
         while drawn.len() < samples {
             let a = (rng.random::<u64>() % n) as usize;

@@ -10,6 +10,7 @@ use crate::config::NpsConfig;
 use ices_stats::rng::stream_rng;
 use ices_stats::sample::sample_indices;
 use serde::{Deserialize, Serialize};
+use ices_stats::streams;
 
 /// A node's role in the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,7 +57,7 @@ impl Hierarchy {
             config.landmarks
         );
 
-        let mut rng = stream_rng(seed, 0x4E50_5348); // "NPSH"
+        let mut rng = stream_rng(seed, streams::NPSH); // "NPSH"
         let order = sample_indices(&mut rng, n, n); // seeded permutation
 
         let mut layer = vec![0usize; n];

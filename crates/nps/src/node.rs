@@ -7,6 +7,7 @@ use ices_stats::ewma::Ewma;
 use ices_stats::rng::SimRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
+use ices_stats::streams;
 
 /// Summary of one completed positioning round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,7 +91,7 @@ impl NpsNode {
     /// all-at-origin symmetry that the simplex solver cannot).
     pub fn new(id: usize, config: NpsConfig, seed: u64) -> Self {
         config.validate();
-        let mut rng = SimRng::from_stream(seed, id as u64, 0x4E50_534E); // "NPSN"
+        let mut rng = SimRng::from_stream(seed, id as u64, streams::NPSN); // "NPSN"
         let coordinate = Coordinate::random(config.space, 1.0, &mut rng);
         Self {
             id,

@@ -263,6 +263,7 @@ impl NelderMeadScratch {
             let value = f(v);
             values.push(value);
         }
+        // audit:allow(PANIC02): simplex holds n + 1 >= 2 vertices by construction
         assert!(!values[0].is_nan(), "objective is NaN at the starting point");
         let values = &mut values[..n + 1];
         rebuild_order(order, values);
@@ -272,7 +273,7 @@ impl NelderMeadScratch {
         while iterations < max_iter {
             iterations += 1;
 
-            let best = order[0];
+            let best = order[0]; // audit:allow(PANIC02): order holds n + 1 >= 2 entries by construction
             let worst = order[n];
             let second_worst = order[n - 1];
 

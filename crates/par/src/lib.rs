@@ -36,6 +36,10 @@ mod pool;
 use std::cell::Cell;
 use std::sync::{Mutex, PoisonError};
 
+/// One `par_map_mut` partition slot: (chunk base index, the partition's
+/// exclusive sub-slice, its result vector).
+type MutTask<'a, T, R> = Mutex<(usize, Option<&'a mut [T]>, Vec<R>)>;
+
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
@@ -183,7 +187,7 @@ where
     // Each partition's exclusive chunk travels through a Mutex'd Option
     // so the (shared, Sync) dispatch closure can hand it to exactly one
     // worker; results come back through the same slot.
-    let tasks: Vec<Mutex<(usize, Option<&mut [T]>, Vec<R>)>> = items
+    let tasks: Vec<MutTask<'_, T, R>> = items
         .chunks_mut(chunk_len)
         .enumerate()
         .map(|(w, chunk)| Mutex::new((w * chunk_len, Some(chunk), Vec::new())))
@@ -222,6 +226,7 @@ pub fn select_disjoint_mut<'a, T>(items: &'a mut [T], indices: &[usize]) -> Vec<
             "indices must be strictly increasing (saw {index} after {consumed})"
         );
         let (_, tail) = rest.split_at_mut(index - consumed);
+        #[allow(clippy::expect_used)] // same contract as the audit:allow below
         let (picked, tail) = tail
             .split_first_mut()
             // audit:allow(PANIC01): documented caller contract — indices strictly increasing and in bounds; violating it must fail loudly, not limp on

@@ -1,0 +1,259 @@
+//! Schedule-explored model of the worker pool's handoff protocol
+//! (`crates/par/src/pool.rs`), compiled only under `--cfg loom`
+//! (tier-2 runs `RUSTFLAGS="--cfg loom" cargo test -p ices-par --test
+//! loom_pool`).
+//!
+//! The real pool erases a borrowed closure's lifetime and hands the raw
+//! pointer to persistent threads; its soundness argument is the
+//! completion barrier — the dispatcher cannot return (and the borrow
+//! cannot die) while any assigned worker could still touch the job.
+//! That argument is about *orderings*, so this file re-implements the
+//! protocol verbatim on loom's instrumented primitives and asserts its
+//! invariants under many explored schedules:
+//!
+//! - `state: Mutex<{epoch, job, panic, shutdown}>` — publication under
+//!   the lock, epoch bumped per dispatch (pool.rs `State`);
+//! - `remaining: AtomicUsize` — assigned-worker count, decremented
+//!   AcqRel after the last use of the job, lock-then-notify on the last
+//!   decrement so the dispatcher's re-check under the same lock cannot
+//!   lose the wakeup (pool.rs `worker_loop` tail);
+//! - `work` / `done` condvars — worker parking and dispatcher barrier.
+//!
+//! The only deliberate departures: workers honor a `shutdown` flag so
+//! model threads terminate (the real workers live forever), worker
+//! panics are modeled as a recorded payload rather than a real unwind
+//! (the real code's `catch_unwind` → stash-under-lock is the same
+//! dataflow), and the caller's partition-0 execution is inlined.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+
+/// Max partitions any modeled round uses (hit-matrix width).
+const WIDTH: usize = 4;
+
+/// One published dispatch. The real `Job` carries a lifetime-erased
+/// `*const dyn Fn(usize)`; the model carries the data the closure would
+/// close over instead, so "dereferencing the job" is indexing `hits`.
+#[derive(Clone, Copy)]
+struct Job {
+    round: usize,
+    partitions: usize,
+    /// Partition whose run is modeled as panicking, if any.
+    poison: Option<usize>,
+}
+
+struct State {
+    epoch: u64,
+    job: Option<Job>,
+    panic: Option<&'static str>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    remaining: AtomicUsize,
+    work: Condvar,
+    done: Condvar,
+    /// `hits[round * WIDTH + partition]` — how many times that
+    /// partition ran in that round. The exactly-once assertions below
+    /// are the model's stand-in for "the erased pointer was used only
+    /// while the borrow was live".
+    hits: Vec<AtomicUsize>,
+}
+
+fn shared(rounds: usize) -> Arc<Shared> {
+    Arc::new(Shared {
+        state: Mutex::new(State {
+            epoch: 0,
+            job: None,
+            panic: None,
+            shutdown: false,
+        }),
+        remaining: AtomicUsize::new(0),
+        work: Condvar::new(),
+        done: Condvar::new(),
+        hits: (0..rounds * WIDTH).map(|_| AtomicUsize::new(0)).collect(),
+    })
+}
+
+fn lock(shared: &Shared) -> loom::sync::MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Mirror of pool.rs `worker_loop`, plus the shutdown exit.
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    if let Some(job) = st.job {
+                        seen = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if index >= job.partitions {
+            continue; // not assigned this dispatch; park again
+        }
+        // "Dereference the job": the real worker calls through the
+        // erased pointer here.
+        shared.hits[job.round * WIDTH + index].fetch_add(1, Ordering::SeqCst);
+        if job.poison == Some(index) {
+            let mut st = lock(shared);
+            if st.panic.is_none() {
+                st.panic = Some("modeled worker panic");
+            }
+        }
+        // Check in after the last use of the job; lock-then-notify on
+        // the final decrement, exactly as in pool.rs.
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            drop(lock(shared));
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Mirror of pool.rs `broadcast` (the `partitions > 1`, workers-exist
+/// path). Returns the captured worker panic, which the real code
+/// re-raises after the barrier.
+fn broadcast(
+    shared: &Shared,
+    round: usize,
+    partitions: usize,
+    poison: Option<usize>,
+) -> Option<&'static str> {
+    {
+        let mut st = lock(shared);
+        shared.remaining.store(partitions - 1, Ordering::Release);
+        st.epoch = st.epoch.wrapping_add(1);
+        st.job = Some(Job {
+            round,
+            partitions,
+            poison,
+        });
+    }
+    shared.work.notify_all();
+
+    // The caller runs partition 0 itself.
+    shared.hits[round * WIDTH].fetch_add(1, Ordering::SeqCst);
+
+    // Completion barrier: re-check `remaining` under the state lock so
+    // the worker's lock-then-notify cannot slip between check and wait.
+    let mut st = lock(shared);
+    while shared.remaining.load(Ordering::Acquire) != 0 {
+        st = shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    st.job = None;
+    st.panic.take()
+}
+
+fn shutdown(shared: &Shared) {
+    let mut st = lock(shared);
+    st.shutdown = true;
+    drop(st);
+    shared.work.notify_all();
+}
+
+fn assert_round(shared: &Shared, round: usize, partitions: usize) {
+    for w in 0..WIDTH {
+        let hits = shared.hits[round * WIDTH + w].load(Ordering::SeqCst);
+        let expect = usize::from(w < partitions);
+        assert_eq!(
+            hits, expect,
+            "round {round} partition {w}: ran {hits}x, expected {expect}x"
+        );
+    }
+}
+
+#[test]
+fn model_broadcast_runs_every_assigned_partition_before_returning() {
+    loom::model(|| {
+        let sh = shared(1);
+        let workers: Vec<_> = (1..WIDTH)
+            .map(|index| {
+                let sh = sh.clone();
+                thread::spawn(move || worker_loop(&sh, index))
+            })
+            .collect();
+
+        let panic = broadcast(&sh, 0, WIDTH, None);
+        assert!(panic.is_none());
+        // The moment broadcast returns, the barrier guarantees every
+        // assigned partition has fully run — this is the line that
+        // justifies the lifetime erasure in pool.rs.
+        assert_round(&sh, 0, WIDTH);
+
+        shutdown(&sh);
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+    });
+}
+
+#[test]
+fn model_epoch_keeps_jobs_exactly_once_across_reused_rounds() {
+    loom::model(|| {
+        let sh = shared(3);
+        let workers: Vec<_> = (1..WIDTH)
+            .map(|index| {
+                let sh = sh.clone();
+                thread::spawn(move || worker_loop(&sh, index))
+            })
+            .collect();
+
+        // Three dispatches reuse the same parked workers; the middle
+        // one assigns fewer partitions than workers exist, so an
+        // unassigned worker must skip it yet still run the next round.
+        assert!(broadcast(&sh, 0, WIDTH, None).is_none());
+        assert!(broadcast(&sh, 1, 2, None).is_none());
+        assert!(broadcast(&sh, 2, WIDTH, None).is_none());
+
+        assert_round(&sh, 0, WIDTH);
+        assert_round(&sh, 1, 2);
+        assert_round(&sh, 2, WIDTH);
+
+        shutdown(&sh);
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+    });
+}
+
+#[test]
+fn model_worker_panic_is_delivered_after_the_barrier() {
+    loom::model(|| {
+        let sh = shared(2);
+        let workers: Vec<_> = (1..WIDTH)
+            .map(|index| {
+                let sh = sh.clone();
+                thread::spawn(move || worker_loop(&sh, index))
+            })
+            .collect();
+
+        // Worker 2's partition "panics"; the dispatcher must still see
+        // every partition (including 2's, whose hit lands before its
+        // check-in) complete before the payload is handed back.
+        let panic = broadcast(&sh, 0, WIDTH, Some(2));
+        assert_eq!(panic, Some("modeled worker panic"));
+        assert_round(&sh, 0, WIDTH);
+
+        // The panic slot was taken, so the pool is reusable: a clean
+        // follow-up round reports no panic.
+        assert!(broadcast(&sh, 1, WIDTH, None).is_none());
+        assert_round(&sh, 1, WIDTH);
+
+        shutdown(&sh);
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+    });
+}

@@ -1,0 +1,61 @@
+//! Miri-compatible smoke path for the worker pool's unsafe island.
+//!
+//! The pool's lifetime erasure (`pool.rs::erase`) is exactly the kind of
+//! raw-pointer dataflow Miri's borrow tracking validates, so tier-2 runs
+//! this file under `cargo miri test -p ices-par --test miri_smoke`
+//! whenever a Miri toolchain is installed (the step is availability-
+//! gated in scripts/tier2.sh — the stock container has none). The same
+//! tests run under plain `cargo test` too, where they are a cheap
+//! end-to-end exercise of dispatch → erased call → barrier → reuse.
+//!
+//! Kept deliberately tiny: Miri executes ~100-1000x slower than native,
+//! and interpreter-visible nondeterminism (host parallelism probes) is
+//! pinned by `with_threads` so the run is reproducible under isolation.
+
+use ices_par::{par_map, par_map_mut, with_threads};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn pooled_par_map_round_trips_borrowed_closures() {
+    with_threads(2, || {
+        let items: Vec<u64> = (0..17).collect();
+        let offset = 5u64; // borrowed by the erased closure
+        for round in 0..3 {
+            let out = par_map(&items, |_, &x| x * 2 + offset + round);
+            let expect: Vec<u64> = items.iter().map(|&x| x * 2 + offset + round).collect();
+            assert_eq!(out, expect, "round {round}");
+        }
+    });
+}
+
+#[test]
+fn pooled_par_map_mut_sees_disjoint_borrows() {
+    with_threads(2, || {
+        let mut items: Vec<u64> = (0..13).collect();
+        let before = par_map_mut(&mut items, |_, x| {
+            let old = *x;
+            *x += 100;
+            old
+        });
+        assert_eq!(before, (0..13).collect::<Vec<u64>>());
+        assert_eq!(items, (100..113).collect::<Vec<u64>>());
+    });
+}
+
+#[test]
+fn pooled_panic_unwinds_cleanly_and_pool_survives() {
+    with_threads(2, || {
+        let items: Vec<u64> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |_, &x| {
+                assert!(x != 6, "deliberate smoke panic");
+                x
+            })
+        }));
+        assert!(caught.is_err(), "partition panic must propagate");
+        // After the unwind the erased borrow is gone; a fresh dispatch
+        // must neither deadlock nor touch stale state.
+        let out = par_map(&items, |_, &x| x + 1);
+        assert_eq!(out, (1..9).collect::<Vec<u64>>());
+    });
+}

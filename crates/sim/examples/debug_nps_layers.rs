@@ -1,3 +1,6 @@
+// Demo binary: panicking on an impossible state is the idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ices_sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
 use ices_sim::NpsSimulation;
 
@@ -24,7 +27,7 @@ fn main() {
             let mut s = ices_stats::OnlineStats::new();
             for (k, &i) in members.iter().enumerate() {
                 for &j in &members[k + 1..] {
-                    let est = sim.coordinate(i).distance(&sim.coordinate(j));
+                    let est = sim.coordinate(i).distance(sim.coordinate(j));
                     let rtt = sim.network().base_rtt(i, j);
                     s.push((est - rtt).abs() / rtt);
                 }
@@ -46,7 +49,7 @@ fn main() {
                 let mut s = ices_stats::OnlineStats::new();
                 for &j in &members {
                     if i != j {
-                        let est = sim.coordinate(i).distance(&sim.coordinate(j));
+                        let est = sim.coordinate(i).distance(sim.coordinate(j));
                         let rtt = sim.network().base_rtt(i, j);
                         s.push((est - rtt).abs() / rtt);
                     }
@@ -66,7 +69,7 @@ fn main() {
         let mut s = ices_stats::OnlineStats::new();
         for (k, &i) in keep.iter().enumerate() {
             for &j in &keep[k + 1..] {
-                let est = sim.coordinate(i).distance(&sim.coordinate(j));
+                let est = sim.coordinate(i).distance(sim.coordinate(j));
                 let rtt = sim.network().base_rtt(i, j);
                 s.push((est - rtt).abs() / rtt);
             }

@@ -69,7 +69,7 @@ fn run_with_params(
         sim.set_reprieve_enabled(false);
     }
     sim.arm_detection();
-    let target = sim.normal_nodes()[0];
+    let target = sim.normal_nodes()[0]; // audit:allow(PANIC02): every scenario places normal nodes
     let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),
@@ -148,7 +148,7 @@ pub fn ablate_filter_source(scale: &Scale) -> AblationResult {
     sim.calibrate_surveyors(&EmConfig::default());
     sim.shuffle_registry_params();
     sim.arm_detection();
-    let target = sim.normal_nodes()[0];
+    let target = sim.normal_nodes()[0]; // audit:allow(PANIC02): every scenario places normal nodes
     let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),

@@ -166,7 +166,7 @@ fn finish_cell(
     churn: f64,
     pairs_per_node: usize,
 ) -> (ChaosCell, Option<Vec<u8>>) {
-    let target = sim.normal_nodes()[0];
+    let target = sim.normal_nodes()[0]; // audit:allow(PANIC02): every scenario places normal nodes
     let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),

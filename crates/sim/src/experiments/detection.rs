@@ -103,7 +103,7 @@ pub fn vivaldi_cell(scale: &Scale, fraction: f64, alpha: f64) -> SweepCell {
     sim.arm_detection();
     // The colluders agree on an exclusion zone around a target normal
     // node, sized relative to the network's scale.
-    let target = sim.normal_nodes()[0];
+    let target = sim.normal_nodes()[0]; // audit:allow(PANIC02): every scenario places normal nodes
     let radius = sim.network().median_base_rtt() / 2.0;
     let attack = VivaldiIsolationAttack::new(
         sim.malicious().iter().copied(),

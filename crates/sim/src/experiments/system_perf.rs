@@ -59,7 +59,7 @@ fn vivaldi_errors(scale: &Scale, fraction: f64, detection: bool, dedicated: bool
             sim.calibrate_surveyors(&EmConfig::default());
             sim.arm_detection();
         }
-        let target = sim.normal_nodes()[0];
+        let target = sim.normal_nodes()[0]; // audit:allow(PANIC02): every scenario places normal nodes
         let radius = sim.network().median_base_rtt() / 2.0;
         let attack = VivaldiIsolationAttack::new(
             sim.malicious().iter().copied(),

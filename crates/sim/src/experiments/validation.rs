@@ -153,6 +153,7 @@ pub fn fig1_innovation_gaussianity(scale: &Scale) -> Fig1Result {
             let z = standardized_innovations(*p, trace);
             let z = &z[BURN_IN..];
             // A constant trace cannot be tested.
+            // audit:allow(PANIC02): the burn-in length check above keeps z non-empty
             if z.iter().all(|&v| (v - z[0]).abs() < 1e-12) {
                 continue;
             }

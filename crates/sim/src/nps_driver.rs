@@ -39,6 +39,7 @@ use ices_stats::rng::{derive, derive2, SimRng};
 use ices_stats::sample::sample_indices;
 use rand::RngExt;
 use std::collections::{BTreeMap, BTreeSet};
+use ices_stats::streams;
 
 /// How many random Surveyors a joining node probes before adopting the
 /// closest one's filter.
@@ -49,16 +50,6 @@ const TRACE_CAP: usize = 8192;
 
 /// Recent clean samples used to prime a freshly adopted filter.
 const PRIME_SAMPLES: usize = 64;
-
-/// Stream tag for positioning-round probe nonces ("NPSP").
-const STEP_STREAM: u64 = 0x4E50_5350;
-
-/// Stream tag for §4.2 join probe nonces ("NPSJ").
-const JOIN_STREAM: u64 = 0x4E50_534A;
-
-/// Stream tag for probe-retry nonces ("NPSR"). Attempt 0 reuses the
-/// primary nonce, so fault-free behavior is unchanged bit for bit.
-const RETRY_STREAM: u64 = 0x4E50_5352;
 
 /// Extra probe attempts after a lost/timed-out probe within one round
 /// (bounded deterministic backoff, as in the Vivaldi driver).
@@ -170,7 +161,7 @@ pub struct NpsSimulation {
 /// — a pure function of the triple, so concurrent workers need no
 /// shared counter.
 fn probe_nonce(round: u64, node: usize, k: usize) -> u64 {
-    derive2(derive(STEP_STREAM, round), node as u64, k as u64)
+    derive2(derive(streams::NPSP, round), node as u64, k as u64)
 }
 
 /// The probe nonce for retry `attempt` of probe `k`. Attempt 0 is
@@ -182,7 +173,7 @@ fn retry_nonce(round: u64, node: usize, k: usize, attempt: u32) -> u64 {
         probe_nonce(round, node, k)
     } else {
         derive2(
-            derive(derive(RETRY_STREAM, attempt as u64), round),
+            derive(derive(streams::NPSR, attempt as u64), round),
             node as u64,
             k as u64,
         )
@@ -211,7 +202,7 @@ impl NpsSimulation {
         };
         let n = network.len();
         let hierarchy = Hierarchy::build(n, &nps, seed);
-        let mut rng = SimRng::from_stream(seed, 0x4E50_5344, 0); // "NPSD"
+        let mut rng = SimRng::from_stream(seed, streams::NPSD,0); // "NPSD"
 
         // Surveyors: every landmark, plus promoted reference points until
         // the configured fraction is met.
@@ -966,7 +957,7 @@ impl NpsSimulation {
             // Join probes draw nonces from their own stream, keyed by
             // (node, candidate index) — disjoint from the positioning
             // rounds' probe nonces.
-            let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
+            let nonce = derive2(streams::NPSJ, node as u64, k as u64);
             if !faulty {
                 let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
                 if best.map(|(_, d)| rtt < d).unwrap_or(true) {
@@ -989,6 +980,7 @@ impl NpsSimulation {
         // index safe: `candidates` is non-empty here by construction.
         let chosen = best
             .map(|(k, _)| &candidates[k])
+            // audit:allow(PANIC02): non-empty guard above (see comment)
             .unwrap_or_else(|| &candidates[0]);
         let source = chosen.id;
         let params = chosen.params;
@@ -1022,7 +1014,7 @@ impl NpsSimulation {
                 }
                 let est = self.participants[node]
                     .coordinate()
-                    .distance(&self.participants[other].coordinate());
+                    .distance(self.participants[other].coordinate());
                 let truth = self.network.base_rtt(node, other);
                 errors.push((est - truth).abs() / truth);
             }

@@ -45,6 +45,7 @@ use ices_stats::sample::sample_indices;
 use ices_vivaldi::{select_neighbors, VivaldiConfig, VivaldiNode};
 use rand::RngExt;
 use std::collections::BTreeSet;
+use ices_stats::streams;
 
 /// How many random Surveyors a joining node probes before adopting the
 /// closest one's filter (§4.2's join protocol).
@@ -55,16 +56,6 @@ const TRACE_CAP: usize = 8192;
 
 /// Recent clean samples used to prime a freshly adopted filter.
 const PRIME_SAMPLES: usize = 64;
-
-/// Stream tag for embedding-step probe nonces ("STEP").
-const STEP_STREAM: u64 = 0x5354_4550;
-
-/// Stream tag for §4.2 join probe nonces ("JOIN").
-const JOIN_STREAM: u64 = 0x4A4F_494E;
-
-/// Stream tag for probe-retry nonces ("RTRY"). Attempt 0 reuses the
-/// primary nonce, so fault-free behavior is unchanged bit for bit.
-const RETRY_STREAM: u64 = 0x5254_5259;
 
 /// Extra probe attempts after a lost/timed-out probe within one tick
 /// (the bounded deterministic backoff: retries are immediate re-probes
@@ -85,12 +76,6 @@ const NEIGHBOR_CANDIDATE_CAP: usize = 2048;
 /// Distinct candidates sampled per node above the cap — comfortably more
 /// than the paper's 64-neighbor budget needs for a healthy close/far mix.
 const NEIGHBOR_CANDIDATE_SAMPLE: usize = 512;
-
-/// Stream tag for per-node neighbor-candidate draws ("NCND").
-const CANDIDATE_STREAM: u64 = 0x4E43_4E44;
-
-/// Stream tag for cross-verification witness probe nonces ("XPRB").
-const CROSS_PROBE_STREAM: u64 = 0x5850_5242;
 
 enum Participant {
     /// No detection in front of the embedding (Surveyors, malicious
@@ -201,7 +186,7 @@ pub struct VivaldiSimulation {
 /// The probe nonce for `node`'s embedding step in tick `tick` — a pure
 /// function of the pair, so concurrent workers need no shared counter.
 fn step_nonce(tick: u64, node: usize) -> u64 {
-    derive2(STEP_STREAM, tick, node as u64)
+    derive2(streams::STEP, tick, node as u64)
 }
 
 /// The probe nonce for retry `attempt` of `node`'s step in `tick`.
@@ -212,7 +197,7 @@ fn retry_nonce(tick: u64, node: usize, attempt: u32) -> u64 {
     if attempt == 0 {
         step_nonce(tick, node)
     } else {
-        derive2(derive(RETRY_STREAM, attempt as u64), tick, node as u64)
+        derive2(derive(streams::RTRY, attempt as u64), tick, node as u64)
     }
 }
 
@@ -252,7 +237,7 @@ impl VivaldiSimulation {
             }
         };
         let n = network.len();
-        let mut rng = SimRng::from_stream(seed, 0x5649_5644, 0); // "VIVD"
+        let mut rng = SimRng::from_stream(seed, streams::VIVD,0); // "VIVD"
 
         // Surveyor deployment.
         let want = ((n as f64) * config.surveyors.fraction()).round().max(2.0) as usize;
@@ -310,7 +295,7 @@ impl VivaldiSimulation {
                 } else {
                     // Distinct draws from a per-node stream: deterministic
                     // in (seed, node), independent of construction order.
-                    let mut pool_rng = SimRng::from_stream(seed, CANDIDATE_STREAM, node as u64);
+                    let mut pool_rng = SimRng::from_stream(seed, streams::NCND, node as u64);
                     let mut pool = BTreeSet::new();
                     while pool.len() < NEIGHBOR_CANDIDATE_SAMPLE {
                         let p = pool_rng.random_range(0..n);
@@ -676,7 +661,7 @@ impl VivaldiSimulation {
                         let w_rtt = network.measure_rtt_smoothed(
                             w,
                             peer,
-                            derive2(derive(CROSS_PROBE_STREAM, w as u64), tick, node as u64),
+                            derive2(derive(streams::XPRB, w as u64), tick, node as u64),
                         );
                         if witness_votes_against(
                             &sample.peer_coord,
@@ -1034,7 +1019,7 @@ impl VivaldiSimulation {
             // Join probes draw nonces from their own stream, keyed by
             // (node, candidate index) — disjoint from the embedding
             // ticks' step nonces.
-            let nonce = derive2(JOIN_STREAM, node as u64, k as u64);
+            let nonce = derive2(streams::JOIN, node as u64, k as u64);
             if !faulty {
                 let rtt = self.network.measure_rtt_smoothed(node, s.id, nonce);
                 if best.map(|(_, d)| rtt < d).unwrap_or(true) {
@@ -1057,6 +1042,7 @@ impl VivaldiSimulation {
         // index safe: `candidates` is non-empty here by construction.
         let chosen = best
             .map(|(k, _)| &candidates[k])
+            // audit:allow(PANIC02): non-empty guard above (see comment)
             .unwrap_or_else(|| &candidates[0]);
         let source = chosen.id;
         let params = chosen.params;
@@ -1145,7 +1131,7 @@ impl VivaldiSimulation {
                 }
                 let est = self.participants[node]
                     .coordinate()
-                    .distance(&self.participants[other].coordinate());
+                    .distance(self.participants[other].coordinate());
                 let truth = self.network.base_rtt(node, other);
                 errors.push((est - truth).abs() / truth);
             }
@@ -1175,7 +1161,7 @@ impl VivaldiSimulation {
                 }
                 let est = self.participants[node]
                     .coordinate()
-                    .distance(&self.participants[other].coordinate());
+                    .distance(self.participants[other].coordinate());
                 let truth = self.network.base_rtt(node, other);
                 errors.push((est - truth).abs() / truth);
             }

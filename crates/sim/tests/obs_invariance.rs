@@ -6,6 +6,10 @@
 //! journal bytes themselves must be identical across thread counts
 //! (the obs layer is only touched from sequential phases).
 
+// Test-support helpers below sit outside #[test] fns, so the
+// allow-*-in-tests clippy knobs don't reach them.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ices_attack::{NpsCollusionAttack, VivaldiIsolationAttack};
 use ices_core::EmConfig;
 use ices_coord::Coordinate;

@@ -12,6 +12,8 @@
 //!   workspace does not need `rand_distr`.
 //! * [`rng`] — deterministic seed derivation so that every simulated node
 //!   gets an independent but reproducible random stream.
+//! * [`streams`] — the workspace-wide registry of 4-byte RNG stream
+//!   tags; the single place such a tag may be declared (audit STREAM01).
 //! * [`online`] — Welford online moments and extrema.
 //! * [`ewma`] — exponentially weighted moving averages (Vivaldi's local
 //!   error estimator).
@@ -42,6 +44,7 @@ pub mod qq;
 pub mod rng;
 pub mod roc;
 pub mod sample;
+pub mod streams;
 
 pub use ecdf::Ecdf;
 pub use ewma::Ewma;

@@ -70,7 +70,7 @@ pub fn qq_correlation(points: &[QqPoint]) -> f64 {
     if sxx == 0.0 || syy == 0.0 {
         return 0.0;
     }
-    (sxy * sxy) / (sxx * syy)
+    sxy.powi(2) / (sxx * syy)
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use ices_coord::{relative_error, Coordinate, Embedding, PeerSample, StepOutcome}
 use ices_stats::ewma::WeightedEwma;
 use ices_stats::rng::SimRng;
 use serde::{Deserialize, Serialize};
+use ices_stats::streams;
 
 /// Per-node Vivaldi state: coordinate, local error estimate, and a private
 /// random stream (used only to break symmetry between colocated nodes).
@@ -32,7 +33,7 @@ impl VivaldiNode {
             coordinate: initial_coordinate(&config),
             local_error: WeightedEwma::new(config.initial_error),
             steps: 0,
-            rng: SimRng::from_stream(seed, id as u64, 0x5649_5641), // "VIVA"
+            rng: SimRng::from_stream(seed, id as u64, streams::VIVA), // "VIVA"
             seed,
         }
     }

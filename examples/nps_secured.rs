@@ -13,6 +13,9 @@
 //!
 //! Run with: `cargo run --release --example nps_secured`
 
+// Demo binary: panicking on an impossible state is the idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ices::attack::NpsCollusionAttack;
 use ices::core::EmConfig;
 use ices::sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};

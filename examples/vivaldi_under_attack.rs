@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --release --example vivaldi_under_attack`
 
+// Demo binary: panicking on an impossible state is the idiom here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ices::attack::VivaldiIsolationAttack;
 use ices::core::EmConfig;
 use ices::sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};

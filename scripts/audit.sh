@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # Workspace determinism & panic-hygiene audit (see DESIGN.md
-# "Determinism invariants & enforcement"). Exits nonzero on any
-# unsuppressed finding; pass --json for machine-readable output.
+# "Determinism invariants & enforcement" and "Determinism dataflow
+# analysis"). Exits nonzero on any unsuppressed error finding.
 #
-# Usage: scripts/audit.sh [--json]
+# Usage: scripts/audit.sh [--json] [--strict-allows]
+#                         [--baseline FILE | --write-baseline FILE]
+#
+#   --json                 machine-readable findings + allow inventory
+#   --strict-allows        stale audit:allow comments become errors
+#   --baseline FILE        downgrade findings grandfathered in FILE
+#                          (one `file:RULE` key per line) to warnings
+#   --write-baseline FILE  regenerate FILE from the current findings
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

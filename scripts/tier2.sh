@@ -13,8 +13,31 @@ cargo test -q
 
 # Static analysis: determinism & panic-hygiene invariants (also gated
 # in tier-1 via tests/audit_clean.rs; run here with --json for the
-# machine-readable allowlist inventory).
-cargo run -q -p ices-audit -- --workspace --json
+# machine-readable allowlist inventory). --strict-allows turns stale
+# audit:allow comments into failures, and the committed audit.baseline
+# (empty unless a finding was explicitly grandfathered) means only
+# findings *newer* than the baseline fail the gate.
+scripts/audit.sh --json --strict-allows --baseline audit.baseline
+
+# Lint gate: the [workspace.lints] policy (root Cargo.toml) must hold
+# across every target; deny-level lints (dbg!, todo!, mem::forget,
+# suspicious groupings) fail the build here.
+cargo clippy --workspace --all-targets
+
+# Pool protocol model: re-runs the handoff protocol of
+# crates/par/src/pool.rs on loom's instrumented primitives across many
+# seeded schedules (see crates/par/tests/loom_pool.rs). Separate
+# RUSTFLAGS value, so this build does not share the default cache.
+RUSTFLAGS="--cfg loom" cargo test -q -p ices-par --test loom_pool
+
+# Unsafe-island validation under Miri when a Miri toolchain exists
+# (the stock container ships none): the pool's lifetime-erased
+# dispatch is exactly what its borrow tracking checks.
+if cargo miri --version >/dev/null 2>&1; then
+    cargo miri test -p ices-par --test miri_smoke
+else
+    echo "tier2: cargo-miri not installed; skipping the miri_smoke step" >&2
+fi
 
 # Observability smoke: run a small journaled secured-Vivaldi pipeline,
 # then re-validate the emitted JSONL against the schema (obs_report

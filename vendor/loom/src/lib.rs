@@ -1,0 +1,303 @@
+//! Offline std-only shim for the subset of `loom` this workspace uses.
+//!
+//! Real loom runs a model function under *exhaustive* interleaving
+//! exploration (DPOR over an instrumented happens-before graph). This
+//! build environment has no registry access, so this shim keeps loom's
+//! API shape — `loom::model`, `loom::thread`, `loom::sync`,
+//! `loom::sync::atomic` — and substitutes the exploration engine with a
+//! deterministic *randomized-yield schedule sweep*: the model closure is
+//! executed once per seeded schedule, and every instrumented operation
+//! (lock, wait, notify, atomic access, explicit `yield_now`) consults a
+//! per-schedule splitmix64 stream to decide whether to yield the OS
+//! thread first. Varying the yield density and phase across schedules
+//! perturbs the interleavings the OS actually produces, which is the
+//! practical budget version of schedule exploration: a protocol bug
+//! that needs a particular unlucky interleaving gets many distinct
+//! chances to manifest per `model()` call instead of one.
+//!
+//! The sweep is deterministic in its *inputs* (fixed seeds, fixed
+//! schedule count) so a failure reproduces with the same binary and
+//! host; like any stress-based checker — and unlike real loom — absence
+//! of failure is evidence, not proof. The pool's soundness argument
+//! remains the completion-barrier reasoning in `crates/par/src/pool.rs`;
+//! the model tests pin that reasoning against live interleavings.
+//!
+//! Instrumented wrappers intentionally mirror loom's signatures so the
+//! model code compiles against real loom unchanged if it ever becomes
+//! available.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as StdOrdering};
+
+/// Number of seeded schedules a single `model()` call sweeps.
+pub const SCHEDULES: u64 = 64;
+
+/// Per-process schedule state consulted by every instrumented op.
+struct ScheduleState {
+    /// splitmix64 cursor; mixed with a per-op draw.
+    cursor: AtomicU64,
+    /// Yield when `draw % modulus == phase` — varied per schedule.
+    modulus: AtomicU64,
+    phase: AtomicU64,
+    active: AtomicBool,
+}
+
+static SCHEDULE: ScheduleState = ScheduleState {
+    cursor: AtomicU64::new(0),
+    modulus: AtomicU64::new(3),
+    phase: AtomicU64::new(0),
+    active: AtomicBool::new(false),
+};
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The instrumentation hook: maybe yield the OS thread, per the active
+/// schedule's seeded stream. Fetch-add keeps the stream coherent under
+/// concurrent draws without a lock.
+fn hook() {
+    if !SCHEDULE.active.load(StdOrdering::Relaxed) {
+        return;
+    }
+    let n = SCHEDULE.cursor.fetch_add(1, StdOrdering::Relaxed);
+    let draw = splitmix64(n);
+    let modulus = SCHEDULE.modulus.load(StdOrdering::Relaxed).max(1);
+    let phase = SCHEDULE.phase.load(StdOrdering::Relaxed);
+    if draw % modulus == phase {
+        std::thread::yield_now();
+    }
+}
+
+/// Run `f` once per seeded schedule (see module docs). Panics from the
+/// model propagate to the caller with the failing schedule number
+/// attached via stderr, so the failure seed is visible in test output.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for schedule in 0..SCHEDULES {
+        let seed = splitmix64(schedule.wrapping_mul(0x5149_5341));
+        SCHEDULE.cursor.store(seed, StdOrdering::Relaxed);
+        // Densities 1/2 .. 1/9, phase varied so the same modulus still
+        // yields at different points on different schedules.
+        SCHEDULE
+            .modulus
+            .store(2 + (schedule % 8), StdOrdering::Relaxed);
+        SCHEDULE
+            .phase
+            .store(splitmix64(seed) % (2 + (schedule % 8)), StdOrdering::Relaxed);
+        SCHEDULE.active.store(true, StdOrdering::Relaxed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        SCHEDULE.active.store(false, StdOrdering::Relaxed);
+        if let Err(payload) = result {
+            eprintln!("loom(shim): model failed under schedule {schedule}/{SCHEDULES}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Instrumented `std::thread` subset.
+pub mod thread {
+    use super::hook;
+
+    /// Instrumented join handle (yields before joining).
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Join, surfacing the child's panic payload like std.
+        pub fn join(self) -> std::thread::Result<T> {
+            hook();
+            self.0.join()
+        }
+    }
+
+    /// Spawn an instrumented model thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        hook();
+        JoinHandle(std::thread::spawn(move || {
+            hook();
+            f()
+        }))
+    }
+
+    /// Explicit schedule point.
+    pub fn yield_now() {
+        hook();
+        std::thread::yield_now();
+    }
+}
+
+/// Instrumented `std::sync` subset.
+pub mod sync {
+    use super::hook;
+    use std::sync::PoisonError;
+
+    pub use std::sync::Arc;
+
+    /// Instrumented mutex: a schedule point before every acquisition.
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard type mirroring `std::sync::MutexGuard`.
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Wrap a value.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Lock, yielding first under the active schedule. Poison is
+        /// swallowed (model panics are re-raised by `model()` itself).
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            hook();
+            Ok(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+        }
+    }
+
+    /// Instrumented condvar: schedule points around wait and notify.
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// New condvar.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Wait, yielding first under the active schedule.
+        pub fn wait<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            hook();
+            Ok(self.0.wait(guard).unwrap_or_else(PoisonError::into_inner))
+        }
+
+        /// Notify every waiter (schedule point first).
+        pub fn notify_all(&self) {
+            hook();
+            self.0.notify_all();
+        }
+
+        /// Notify one waiter (schedule point first).
+        pub fn notify_one(&self) {
+            hook();
+            self.0.notify_one();
+        }
+    }
+
+    /// Instrumented `std::sync::atomic` subset: a schedule point before
+    /// every access, so atomic-heavy protocols (the pool's `remaining`
+    /// barrier) get perturbed hardest.
+    pub mod atomic {
+        use super::hook;
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_shim {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Instrumented atomic integer.
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    /// Wrap a value.
+                    pub const fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Instrumented load.
+                    pub fn load(&self, order: Ordering) -> $int {
+                        hook();
+                        self.0.load(order)
+                    }
+
+                    /// Instrumented store.
+                    pub fn store(&self, v: $int, order: Ordering) {
+                        hook();
+                        self.0.store(v, order)
+                    }
+
+                    /// Instrumented fetch_add.
+                    pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                        hook();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Instrumented fetch_sub.
+                    pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                        hook();
+                        self.0.fetch_sub(v, order)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    }
+}
+
+/// Instrumented spin hint, mirroring `loom::hint`.
+pub mod hint {
+    use super::hook;
+
+    /// A schedule point standing in for `std::hint::spin_loop`.
+    pub fn spin_loop() {
+        hook();
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn model_runs_every_schedule() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = runs.clone();
+        super::model(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(runs.0.load(std::sync::atomic::Ordering::SeqCst), super::SCHEDULES as usize);
+    }
+
+    #[test]
+    fn threads_mutexes_and_condvars_compose() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+            let p = pair.clone();
+            let t = super::thread::spawn(move || {
+                let (m, cv) = &*p;
+                let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+                *g += 1;
+                drop(g);
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+            while *g == 0 {
+                g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            assert_eq!(*g, 1);
+            drop(g);
+            t.join().unwrap_or_else(|_| panic!("join"));
+        });
+    }
+
+    #[test]
+    fn model_reports_failing_schedule() {
+        let failed = std::panic::catch_unwind(|| {
+            super::model(|| panic!("deliberate"));
+        });
+        assert!(failed.is_err());
+    }
+}
