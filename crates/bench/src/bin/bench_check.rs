@@ -6,7 +6,11 @@
 //! ```
 //!
 //! Compares every matching tick-engine configuration (driver × threads
-//! × faults × journal), the streamed-topology scale-sweep rows (with a
+//! × faults × journal × adversary × tier — fast-tier rows only ever
+//! compare against fast-tier baselines), the detector-bank
+//! microbenchmark (both paths on the 20% budget, and the batched sweep
+//! must beat the scalar loop within the current report), the
+//! streamed-topology scale-sweep rows (with a
 //! wider 30% budget at ≥50k nodes, where run-to-run variance grows with
 //! the constant-factor work per probe), and the NPS solver
 //! microbenchmark; a configuration whose throughput dropped more than
@@ -61,12 +65,27 @@ fn number(v: &Value) -> Option<f64> {
     }
 }
 
-/// `(driver, threads, faults, journal, adversary) → steps_per_sec` per
-/// run entry. Reports recorded before the obs layer carry no `journal`
-/// field (defaults `false`), and reports recorded before the adversary
-/// rows carry no `adversary` field (defaults `"none"`) — old baselines
-/// stay comparable either way.
-fn runs(report: &Value) -> Vec<(String, u64, bool, bool, String, f64)> {
+/// One tick-engine row's identity plus its throughput.
+struct Row {
+    driver: String,
+    threads: u64,
+    faults: bool,
+    journal: bool,
+    adversary: String,
+    /// Numeric tier (`"exact"`/`"fast"`). Reports recorded before the
+    /// fast tier carry no `tier` field; those rows default `"exact"`,
+    /// which is what they were — and fast rows only ever compare
+    /// against fast baselines, never across tiers.
+    tier: String,
+    sps: f64,
+}
+
+/// Per-run-entry rows. Reports recorded before the obs layer carry no
+/// `journal` field (defaults `false`), reports recorded before the
+/// adversary rows carry no `adversary` field (defaults `"none"`), and
+/// pre-tier reports carry no `tier` field (defaults `"exact"`) — old
+/// baselines stay comparable in every case.
+fn runs(report: &Value) -> Vec<Row> {
     let mut out = Vec::new();
     if let Some(Value::Seq(entries)) = field(report, "runs") {
         for run in entries {
@@ -84,14 +103,36 @@ fn runs(report: &Value) -> Vec<(String, u64, bool, bool, String, f64)> {
                 Some(Value::Str(s)) => s.clone(),
                 _ => "none".to_string(),
             };
+            let tier = match field(run, "tier") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => "exact".to_string(),
+            };
             let sps = match field(run, "steps_per_sec").and_then(number) {
                 Some(s) => s,
                 None => continue,
             };
-            out.push((driver, threads, faults, journal, adversary, sps));
+            out.push(Row {
+                driver,
+                threads,
+                faults,
+                journal,
+                adversary,
+                tier,
+                sps,
+            });
         }
     }
     out
+}
+
+/// `(scalar, batched)` sweeps/sec of the detector-bank microbenchmark,
+/// absent on reports recorded before the bank existed.
+fn detector_bank_rates(report: &Value) -> Option<(f64, f64)> {
+    let bank = field(report, "detector_bank")?;
+    Some((
+        field(bank, "scalar_sweeps_per_sec").and_then(number)?,
+        field(bank, "batched_sweeps_per_sec").and_then(number)?,
+    ))
 }
 
 /// `(nodes, threads) → steps_per_sec` per scale-sweep row. Reports
@@ -165,75 +206,102 @@ fn main() {
     }
     let old_runs = runs(&baseline);
     let new_runs = runs(&current);
-    for (driver, threads, faults, journal, adversary, new_sps) in &new_runs {
-        if !same_host && *threads != 1 {
+    for row in &new_runs {
+        if !same_host && row.threads != 1 {
             continue;
         }
-        let Some((_, _, _, _, _, old_sps)) = old_runs.iter().find(|(d, t, f, j, a, _)| {
-            d == driver && t == threads && f == faults && j == journal && a == adversary
+        // Tier is part of the row's identity: a fast row never compares
+        // against an exact baseline (or vice versa).
+        let Some(old) = old_runs.iter().find(|o| {
+            o.driver == row.driver
+                && o.threads == row.threads
+                && o.faults == row.faults
+                && o.journal == row.journal
+                && o.adversary == row.adversary
+                && o.tier == row.tier
         }) else {
             continue;
         };
         compared += 1;
-        if *new_sps < old_sps * (1.0 - TOLERANCE) {
+        if row.sps < old.sps * (1.0 - TOLERANCE) {
             warnings += 1;
             println!(
-                "PERF WARNING: {driver} (threads={threads}, faults={faults}, \
-                 journal={journal}, adversary={adversary}) regressed {:.0}% — \
+                "PERF WARNING: {} (threads={}, faults={}, journal={}, \
+                 adversary={}, tier={}) regressed {:.0}% — \
                  {:.0} → {:.0} steps/sec",
-                100.0 * (1.0 - new_sps / old_sps),
-                old_sps,
-                new_sps
+                row.driver,
+                row.threads,
+                row.faults,
+                row.journal,
+                row.adversary,
+                row.tier,
+                100.0 * (1.0 - row.sps / old.sps),
+                old.sps,
+                row.sps
             );
         }
     }
     // The obs overhead budget is checked within the current report:
     // journaled vs unjournaled twins share the hardware and the moment,
     // so the ratio is meaningful even when absolute timings are noisy.
-    for (driver, threads, faults, journal, adversary, j_sps) in &new_runs {
-        if !journal {
+    for row in &new_runs {
+        if !row.journal {
             continue;
         }
-        let Some((_, _, _, _, _, clean_sps)) = new_runs.iter().find(|(d, t, f, j, a, _)| {
-            d == driver && t == threads && f == faults && !j && a == adversary
+        let Some(clean) = new_runs.iter().find(|o| {
+            o.driver == row.driver
+                && o.threads == row.threads
+                && o.faults == row.faults
+                && !o.journal
+                && o.adversary == row.adversary
+                && o.tier == row.tier
         }) else {
             continue;
         };
         compared += 1;
-        if *j_sps < clean_sps * (1.0 - JOURNAL_BUDGET) {
+        if row.sps < clean.sps * (1.0 - JOURNAL_BUDGET) {
             warnings += 1;
             println!(
-                "PERF WARNING: {driver} (threads={threads}) journaling overhead {:.1}% \
+                "PERF WARNING: {} (threads={}) journaling overhead {:.1}% \
                  exceeds the {:.0}% budget — {:.0} → {:.0} steps/sec",
-                100.0 * (1.0 - j_sps / clean_sps),
+                row.driver,
+                row.threads,
+                100.0 * (1.0 - row.sps / clean.sps),
                 100.0 * JOURNAL_BUDGET,
-                clean_sps,
-                j_sps
+                clean.sps,
+                row.sps
             );
         }
     }
     // The intercept-path budget is likewise checked within the current
     // report: the Sybil row against its honest-world twin, same driver,
     // same moment, same hardware.
-    for (driver, threads, faults, journal, adversary, sybil_sps) in &new_runs {
-        if adversary != "sybil" {
+    for row in &new_runs {
+        if row.adversary != "sybil" {
             continue;
         }
-        let Some((_, _, _, _, _, twin_sps)) = new_runs.iter().find(|(d, t, f, j, a, _)| {
-            d == driver && t == threads && f == faults && j == journal && a == "honest_twin"
+        let Some(twin) = new_runs.iter().find(|o| {
+            o.driver == row.driver
+                && o.threads == row.threads
+                && o.faults == row.faults
+                && o.journal == row.journal
+                && o.adversary == "honest_twin"
+                && o.tier == row.tier
         }) else {
             continue;
         };
         compared += 1;
-        if *sybil_sps < twin_sps * (1.0 - ADVERSARY_BUDGET) {
+        if row.sps < twin.sps * (1.0 - ADVERSARY_BUDGET) {
             warnings += 1;
             println!(
-                "PERF WARNING: {driver} (threads={threads}) intercept-path overhead {:.1}% \
+                "PERF WARNING: {} (threads={}) intercept-path overhead {:.1}% \
                  exceeds the {:.0}% budget — {:.0} → {:.0} steps/sec vs honest twin",
-                100.0 * (1.0 - sybil_sps / twin_sps),
+                row.driver,
+                row.threads,
+                100.0 * (1.0 - row.sps / twin.sps),
                 100.0 * ADVERSARY_BUDGET,
-                twin_sps,
-                sybil_sps
+                twin.sps,
+                row.sps
             );
         }
     }
@@ -264,6 +332,40 @@ fn main() {
                 100.0 * budget,
                 old_sps,
                 new_sps
+            );
+        }
+    }
+    // Detector-bank microbenchmark rows: the regular 20% budget on each
+    // path's absolute rate against the baseline, and — within the
+    // current report — the bank must actually beat the scalar loop it
+    // exists to replace.
+    if let (Some((old_scalar, old_batched)), Some((new_scalar, new_batched))) =
+        (detector_bank_rates(&baseline), detector_bank_rates(&current))
+    {
+        for (name, old, new) in [
+            ("scalar", old_scalar, new_scalar),
+            ("batched", old_batched, new_batched),
+        ] {
+            compared += 1;
+            if new < old * (1.0 - TOLERANCE) {
+                warnings += 1;
+                println!(
+                    "PERF WARNING: detector_bank {name} sweep regressed {:.0}% — \
+                     {:.0} → {:.0} sweeps/sec",
+                    100.0 * (1.0 - new / old),
+                    old,
+                    new
+                );
+            }
+        }
+    }
+    if let Some((scalar, batched)) = detector_bank_rates(&current) {
+        compared += 1;
+        if batched <= scalar {
+            warnings += 1;
+            println!(
+                "PERF WARNING: detector_bank batched sweep ({batched:.0}/s) is not \
+                 faster than the scalar loop ({scalar:.0}/s)"
             );
         }
     }

@@ -18,6 +18,14 @@
 //! path cost, so the pool's whole reason to exist is a number in the
 //! perf trajectory.
 //!
+//! Two newer entries ride the same report: a **detector-bank**
+//! microbenchmark timing the scalar per-peer vetting loop against the
+//! SoA `DetectorBank` sweep at paper scale (1,740 peers), asserting
+//! bit-identical suspicious counts while it times; and per-driver
+//! **fast-tier rows** (`ICES_FAST` reassociated kernels, enabled via
+//! an in-process override so one run records both tiers) — every row
+//! carries a `tier` tag so `bench_check` never compares across tiers.
+//!
 //! ```text
 //! bench_tick [--scale test|harness|paper] [--seed N] [--no-json]
 //! ICES_SCALE=xl bench_tick   # adds the million-node streamed smoke
@@ -25,6 +33,7 @@
 
 use ices_bench::{print_header, HarnessOptions};
 use ices_coord::{Coordinate, Embedding, PeerSample};
+use ices_core::{Detector, DetectorBank, StateSpaceParams};
 use ices_netsim::{ChurnModel, FaultPlan, KingConfig, Network};
 use ices_obs::Journal;
 use ices_nps::{NpsConfig, NpsNode};
@@ -39,6 +48,15 @@ use std::time::Instant;
 /// sweep's mid-grid operating point.
 fn faulty_plan() -> FaultPlan {
     FaultPlan::lossy(0.10, 0.025).with_churn(ChurnModel::new(16, 0.05))
+}
+
+/// The numeric tier in effect, as recorded in benchmark rows.
+fn ambient_tier() -> &'static str {
+    if ices_par::fast_enabled() {
+        "fast"
+    } else {
+        "exact"
+    }
 }
 
 /// One timed configuration of one driver.
@@ -58,8 +76,29 @@ struct TickBench {
     /// the honest-world run through the *same* attack-phase code path —
     /// the sybil/honest_twin delta is the intercept path's cost.
     adversary: &'static str,
+    /// Numeric tier the row ran on: `"exact"` (bit-for-bit, the
+    /// default) or `"fast"` (`ICES_FAST=1` reassociated kernels).
+    tier: &'static str,
     secs: f64,
     steps_per_sec: f64,
+}
+
+/// Batched detection microbenchmark: one snapshot-wide classification
+/// sweep (predict → evaluate → accept/coast) over a paper-scale peer
+/// population, timed as a scalar `Detector` loop and as the
+/// `DetectorBank` SoA kernels. Both paths run the exact tier — the same
+/// FP ops in the same order — so the ratio is pure execution-shape:
+/// columnized state, no per-call dispatch, `Q⁻¹(α/2)` cached per slot.
+#[derive(Debug, Serialize)]
+struct DetectorBankBench {
+    /// Detector slots per sweep (the paper's larger population).
+    peers: usize,
+    /// Full classification sweeps timed per path.
+    sweeps: usize,
+    scalar_sweeps_per_sec: f64,
+    batched_sweeps_per_sec: f64,
+    /// Batched over scalar throughput; the bank's reason to exist.
+    speedup: f64,
 }
 
 /// NPS coordinate-solver microbenchmark: full positioning rounds
@@ -118,6 +157,7 @@ struct BenchReport {
     host_parallelism: usize,
     runs: Vec<TickBench>,
     scale_sweep: Vec<ScaleRow>,
+    detector_bank: DetectorBankBench,
     pool_dispatch: PoolDispatch,
     /// Present only when `ICES_SCALE=xl` requested the smoke.
     xl_streamed: Option<XlSmoke>,
@@ -211,6 +251,7 @@ fn time_vivaldi(scale: &Scale, threads: usize, faults: bool, journal: bool) -> T
         faults,
         journal,
         adversary: "none",
+        tier: ambient_tier(),
         secs,
         steps_per_sec: steps as f64 / secs,
     }
@@ -243,6 +284,7 @@ fn time_nps(scale: &Scale, threads: usize, faults: bool, journal: bool) -> TickB
         faults,
         journal,
         adversary: "none",
+        tier: ambient_tier(),
         secs,
         steps_per_sec: steps as f64 / secs,
     }
@@ -308,6 +350,7 @@ fn time_adversarial(scale: &Scale, driver: &'static str, sybil: bool) -> TickBen
             faults: false,
             journal: false,
             adversary: if sybil { "sybil" } else { "honest_twin" },
+            tier: ambient_tier(),
             secs,
             steps_per_sec: steps as f64 / secs,
         }
@@ -340,6 +383,7 @@ fn time_adversarial(scale: &Scale, driver: &'static str, sybil: bool) -> TickBen
             faults: false,
             journal: false,
             adversary: if sybil { "sybil" } else { "honest_twin" },
+            tier: ambient_tier(),
             secs,
             steps_per_sec: steps as f64 / secs,
         }
@@ -476,6 +520,122 @@ fn xl_smoke(seed: u64) -> XlSmoke {
     }
 }
 
+/// Time one snapshot-wide detection sweep both ways: a scalar loop over
+/// per-peer `Detector`s (the pre-bank merge-phase shape) and the
+/// `DetectorBank` SoA kernels the drivers now run. The observation
+/// schedule is a deterministic mix of nominal values and large
+/// excursions, so both accept and coast paths stay hot, and each path's
+/// suspicious-verdict count is checked against the other — the bank is
+/// bit-identical to the scalar loop, so any disagreement is a bug, not
+/// noise.
+fn time_detector_bank() -> DetectorBankBench {
+    const PEERS: usize = 1740; // the paper's larger PlanetLab population
+    const SWEEPS: usize = 400;
+    let params = StateSpaceParams {
+        beta: 0.85,
+        v_w: 0.003,
+        v_u: 0.002,
+        w_bar: 0.015,
+        w0: 0.3,
+        p0: 0.02,
+    };
+    let alpha = 0.05;
+    // Deterministic observation for (sweep, slot): nominal relative
+    // error most of the time, a large excursion on a sliding subset so
+    // some verdicts reject and the coast path is exercised too.
+    let obs_at = |sweep: usize, slot: usize| -> f64 {
+        let phase = (sweep.wrapping_mul(31).wrapping_add(slot.wrapping_mul(17))) % 97;
+        if phase == 0 {
+            3.0 // far outside any sane threshold
+        } else {
+            0.08 + 0.10 * (phase as f64 / 97.0)
+        }
+    };
+
+    // Scalar path: per-peer evaluate → accept/coast, PEERS detectors.
+    let time_scalar = || -> (f64, u64) {
+        let mut detectors: Vec<Detector> =
+            (0..PEERS).map(|_| Detector::new(params, alpha)).collect();
+        let mut suspicious = 0u64;
+        let start = Instant::now();
+        for sweep in 0..SWEEPS {
+            for (slot, det) in detectors.iter_mut().enumerate() {
+                let obs = obs_at(sweep, slot);
+                let verdict = det.evaluate(obs);
+                if verdict.suspicious {
+                    suspicious += 1;
+                    det.coast();
+                } else {
+                    det.accept(obs);
+                }
+            }
+        }
+        (start.elapsed().as_secs_f64(), suspicious)
+    };
+
+    // Batched path: the same schedule through the bank's flat sweeps.
+    let time_batched = || -> (f64, u64) {
+        let proto = Detector::new(params, alpha);
+        let mut bank = DetectorBank::with_tier(false);
+        for _ in 0..PEERS {
+            bank.push(&proto);
+        }
+        let mut obs = vec![0.0f64; PEERS];
+        let active = vec![true; PEERS];
+        let mut accept = vec![false; PEERS];
+        let mut coast = vec![false; PEERS];
+        let mut suspicious = 0u64;
+        let start = Instant::now();
+        for sweep in 0..SWEEPS {
+            for (slot, o) in obs.iter_mut().enumerate() {
+                *o = obs_at(sweep, slot);
+            }
+            bank.predict_all();
+            let verdicts = bank.evaluate_all(&obs, &active);
+            for (slot, verdict) in verdicts.iter().enumerate() {
+                let bad = verdict.map(|v| v.suspicious).unwrap_or(false);
+                accept[slot] = !bad;
+                coast[slot] = bad;
+                suspicious += bad as u64;
+            }
+            bank.accept_all(&obs, &accept);
+            bank.coast_all(&coast);
+        }
+        (start.elapsed().as_secs_f64(), suspicious)
+    };
+
+    let mut scalar_secs = f64::INFINITY;
+    let mut batched_secs = f64::INFINITY;
+    let mut scalar_sus = 0;
+    let mut batched_sus = 0;
+    for _ in 0..REPS {
+        let (s, n) = time_scalar();
+        if s < scalar_secs {
+            scalar_secs = s;
+        }
+        scalar_sus = n;
+        let (s, n) = time_batched();
+        if s < batched_secs {
+            batched_secs = s;
+        }
+        batched_sus = n;
+    }
+    assert_eq!(
+        scalar_sus, batched_sus,
+        "bank diverged from the scalar loop — bit-identity is broken"
+    );
+    assert!(scalar_sus > 0, "schedule never tripped a detector");
+    let scalar_sweeps_per_sec = SWEEPS as f64 / scalar_secs;
+    let batched_sweeps_per_sec = SWEEPS as f64 / batched_secs;
+    DetectorBankBench {
+        peers: PEERS,
+        sweeps: SWEEPS,
+        scalar_sweeps_per_sec,
+        batched_sweeps_per_sec,
+        speedup: batched_sweeps_per_sec / scalar_sweeps_per_sec,
+    }
+}
+
 /// Time the NPS positioning round on one node with the paper's 8-d
 /// configuration and a fixed synthetic reference-point layout (the same
 /// deterministic anchor grid the solver unit tests use).
@@ -607,6 +767,28 @@ fn main() {
         );
         runs.push(twin);
         runs.push(sybil);
+        // Fast-tier twin of the clean sequential row (`ICES_FAST=1`
+        // reassociated kernels). bench_check compares fast rows only
+        // against fast baselines — the tiers are different numerics, so
+        // cross-tier ratios are a tier property, not a regression.
+        let bench = ices_par::with_fast(true, || {
+            best_of(timer, &options.scale, 1, false, false)
+        });
+        let exact = runs
+            .iter()
+            .find(|r| {
+                r.driver == name && r.threads == 1 && !r.faults && !r.journal
+                    && r.adversary == "none" && r.tier == "exact"
+            })
+            .map(|r| r.steps_per_sec);
+        let gain = exact
+            .map(|e| (bench.steps_per_sec / e - 1.0) * 100.0)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{name:>8}  threads={:<2}  {:>8.2}s  {:>12.0} steps/s  (fast tier: {gain:+.1}% vs exact)",
+            bench.threads, bench.secs, bench.steps_per_sec
+        );
+        runs.push(bench);
     }
 
     // Streamed-topology scale sweep: the paper's sizes plus 50k, all on
@@ -628,6 +810,17 @@ fn main() {
         );
         scale_sweep.push(row);
     }
+
+    let detector_bank = time_detector_bank();
+    println!(
+        "{:>8}  {} peers × {} sweeps  scalar {:>8.0}/s  batched {:>8.0}/s  ({:.2}x)",
+        "detbank",
+        detector_bank.peers,
+        detector_bank.sweeps,
+        detector_bank.scalar_sweeps_per_sec,
+        detector_bank.batched_sweeps_per_sec,
+        detector_bank.speedup
+    );
 
     let pool_dispatch = time_pool_dispatch();
     println!(
@@ -666,7 +859,7 @@ fn main() {
             runs.iter()
                 .find(|r| {
                     r.driver == driver && r.threads == t && !r.faults && !r.journal
-                        && r.adversary == "none"
+                        && r.adversary == "none" && r.tier == "exact"
                 })
                 .map(|r| r.steps_per_sec)
         };
@@ -680,6 +873,7 @@ fn main() {
         nps_speedup,
         nps_solver: solver,
         scale_sweep,
+        detector_bank,
         pool_dispatch,
         xl_streamed,
         runs,

@@ -1,0 +1,136 @@
+//! Fast-tier statistical-equivalence gate (tier-2).
+//!
+//! The `ICES_FAST=1` tier reassociates float reductions (the NPS flat
+//! objective, the batched threshold sweep), so it is deliberately NOT
+//! bit-identical to the exact tier. Its contract is statistical: the
+//! same detection quality and the same embedding accuracy, within
+//! tolerances far smaller than any effect the experiments report. This
+//! gate runs each smoke cell once per tier and **hard-fails** (exit 1)
+//! if the tiers drift apart:
+//!
+//! * Vivaldi detection cell (colluding isolation attack, 20% malicious,
+//!   α = 0.05): |ΔTPR| and |ΔFPR| within tolerance.
+//! * NPS detection cell (colluding reference-point attack, same
+//!   operating point): |ΔTPR| and |ΔFPR| within tolerance.
+//! * Chaos cell (10% loss + 5% churn + the isolation attack): rate
+//!   deltas within tolerance and the honest-node median relative error
+//!   within a relative band.
+//!
+//! ```text
+//! fast_equiv [--scale test|harness|paper] [--seed N] [--no-json]
+//! ```
+
+use ices_bench::{print_header, HarnessOptions};
+use ices_sim::experiments::chaos::{chaos_cell, ChaosCell};
+use ices_sim::experiments::detection::{nps_cell, vivaldi_cell, SweepCell};
+use std::process::ExitCode;
+
+/// Absolute true-positive-rate divergence allowed between the tiers.
+const TPR_TOLERANCE: f64 = 0.05;
+
+/// Absolute false-positive-rate divergence allowed between the tiers.
+/// FPR sits near α = 0.05, so this band is proportionally wider than it
+/// looks — but still far below any degradation the paper plots.
+const FPR_TOLERANCE: f64 = 0.03;
+
+/// Relative divergence allowed on the chaos cell's honest-node median
+/// embedding error.
+const ACCURACY_TOLERANCE: f64 = 0.15;
+
+/// One tier-pair comparison of a detection operating point.
+fn check_rates(
+    label: &str,
+    exact: (f64, f64),
+    fast: (f64, f64),
+    failures: &mut Vec<String>,
+) {
+    let (exact_tpr, exact_fpr) = exact;
+    let (fast_tpr, fast_fpr) = fast;
+    println!(
+        "{label:>14}  TPR {exact_tpr:.4} → {fast_tpr:.4}  FPR {exact_fpr:.4} → {fast_fpr:.4}"
+    );
+    if (fast_tpr - exact_tpr).abs() > TPR_TOLERANCE {
+        failures.push(format!(
+            "{label}: TPR diverged {exact_tpr:.4} (exact) vs {fast_tpr:.4} (fast), \
+             tolerance {TPR_TOLERANCE}"
+        ));
+    }
+    if (fast_fpr - exact_fpr).abs() > FPR_TOLERANCE {
+        failures.push(format!(
+            "{label}: FPR diverged {exact_fpr:.4} (exact) vs {fast_fpr:.4} (fast), \
+             tolerance {FPR_TOLERANCE}"
+        ));
+    }
+}
+
+fn rates(cell: &SweepCell) -> (f64, f64) {
+    (cell.confusion.tpr(), cell.confusion.fpr())
+}
+
+fn chaos_rates(cell: &ChaosCell) -> (f64, f64) {
+    (cell.confusion.tpr(), cell.confusion.fpr())
+}
+
+fn main() -> ExitCode {
+    let options = HarnessOptions::from_args();
+    print_header(&options, "fast-tier statistical equivalence (ICES_FAST)");
+    let scale = &options.scale;
+
+    // Each cell is a self-contained deterministic simulation; the only
+    // variable between the two runs of a pair is the numeric tier.
+    let per_tier = |fast: bool| {
+        ices_par::with_fast(fast, || {
+            (
+                vivaldi_cell(scale, 0.2, 0.05),
+                nps_cell(scale, 0.2, 0.05),
+                chaos_cell(scale, 0.10, 0.05),
+            )
+        })
+    };
+    let (viv_exact, nps_exact, chaos_exact) = per_tier(false);
+    let (viv_fast, nps_fast, chaos_fast) = per_tier(true);
+
+    let mut failures = Vec::new();
+    check_rates("vivaldi", rates(&viv_exact), rates(&viv_fast), &mut failures);
+    check_rates("nps", rates(&nps_exact), rates(&nps_fast), &mut failures);
+    check_rates(
+        "chaos",
+        chaos_rates(&chaos_exact),
+        chaos_rates(&chaos_fast),
+        &mut failures,
+    );
+    match (chaos_exact.accuracy_median, chaos_fast.accuracy_median) {
+        (Some(exact), Some(fast)) => {
+            println!("{:>14}  median err {exact:.4} → {fast:.4}", "chaos acc");
+            // Guard the ratio against a degenerate zero-error run.
+            let base = exact.abs().max(1e-9);
+            if ((fast - exact) / base).abs() > ACCURACY_TOLERANCE {
+                failures.push(format!(
+                    "chaos: honest median error diverged {exact:.4} (exact) vs \
+                     {fast:.4} (fast), relative tolerance {ACCURACY_TOLERANCE}"
+                ));
+            }
+        }
+        (exact, fast) => failures.push(format!(
+            "chaos: accuracy median missing (exact {exact:?}, fast {fast:?})"
+        )),
+    }
+    // A gate that compares two identical runs gates nothing: require
+    // the cells to have actually classified steps on both tiers.
+    for (label, cell) in [("vivaldi", &viv_exact), ("nps", &nps_exact)] {
+        if cell.confusion.total() == 0 {
+            failures.push(format!("{label}: exact cell classified zero steps"));
+        }
+    }
+
+    if failures.is_empty() {
+        println!();
+        println!("fast_equiv ok: tiers statistically equivalent on all smoke cells");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("fast_equiv FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

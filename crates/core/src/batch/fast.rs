@@ -1,0 +1,180 @@
+//! Fast-tier evaluation sweep (`ICES_FAST=1`).
+//!
+//! Everything in this module is allowed to reorder or refactor f64
+//! arithmetic relative to the exact scalar recursions — that is the
+//! point of the tier, and the FAST01 audit rule confines such code to
+//! `fast` modules. The reassociations here:
+//!
+//! * the threshold test runs in **squared form**: `η² ≥ v_η · q²`
+//!   instead of `|η| ≥ √v_η · q`, trading the per-slot `sqrt` on the
+//!   comparison path for one multiply (the reported `threshold` is
+//!   recovered as `(v_η · q²).sqrt()` — a *fused normalize* whose low
+//!   bits can differ from the exact tier's `√v_η · q`);
+//! * the sweep is chunked into 4-wide lanes so the compiler can keep
+//!   four independent comparisons in flight.
+//!
+//! Outputs are deterministic for a given tier (same inputs → same
+//! bits, at any `ICES_THREADS`), but are **not** bit-identical to the
+//! exact tier. Fast-tier results carry their own golden fingerprints,
+//! and tier-2 runs a statistical equivalence gate over the chaos and
+//! adversary sweeps (see DESIGN.md §14).
+
+use super::DetectorBank;
+use crate::detector::Verdict;
+
+const LANES: usize = 4;
+
+/// Columnized threshold test on the fast tier. Same observable
+/// contract as the exact sweep in [`DetectorBank::evaluate_all`]
+/// (verdict per active slot, no state change, panics on non-finite
+/// active observations) but with reassociated arithmetic.
+pub(super) fn evaluate_sweep(
+    bank: &DetectorBank,
+    observations: &[f64],
+    active: &[bool],
+) -> Vec<Option<Verdict>> {
+    let n = bank.len();
+    let mut out = Vec::with_capacity(n);
+    let mut lane = |i: usize| {
+        if !active[i] {
+            out.push(None);
+            return;
+        }
+        debug_assert!(!bank.dirty[i], "slot {i} touched since predict_all");
+        let observation = observations[i];
+        assert!(
+            observation.is_finite(),
+            "observation must be finite, got {observation}"
+        );
+        let innovation = observation - bank.predicted[i];
+        let q = bank.q_half_alpha[i];
+        // Squared-form comparison; sqrt only to surface the threshold.
+        let threshold_sq = bank.innov_var[i] * (q * q);
+        out.push(Some(Verdict {
+            suspicious: innovation * innovation >= threshold_sq,
+            innovation,
+            threshold: threshold_sq.sqrt(),
+            predicted: bank.predicted[i],
+            innovation_variance: bank.innov_var[i],
+        }));
+    };
+    let full = n - n % LANES;
+    let mut i = 0;
+    while i < full {
+        lane(i);
+        lane(i + 1);
+        lane(i + 2);
+        lane(i + 3);
+        i += LANES;
+    }
+    while i < n {
+        lane(i);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::batch::DetectorBank;
+    use crate::detector::Detector;
+    use crate::model::StateSpaceParams;
+    use ices_stats::rng::stream_rng;
+
+    fn params() -> StateSpaceParams {
+        StateSpaceParams {
+            beta: 0.85,
+            v_w: 0.003,
+            v_u: 0.002,
+            w_bar: 0.015,
+            w0: 0.3,
+            p0: 0.02,
+        }
+    }
+
+    fn driven_banks(n: usize, steps: usize) -> (DetectorBank, DetectorBank, Vec<f64>) {
+        let p = params();
+        let mut rng = stream_rng(41, 0);
+        let mut det = Detector::new(p, 0.05);
+        for obs in p.simulate(steps, &mut rng) {
+            det.assess(obs);
+        }
+        let mut exact = DetectorBank::with_tier(false);
+        let mut fast = DetectorBank::with_tier(true);
+        for _ in 0..n {
+            exact.push(&det);
+            fast.push(&det);
+        }
+        exact.predict_all();
+        fast.predict_all();
+        let obs: Vec<f64> = (0..n).map(|i| 0.2 + 0.01 * i as f64).collect();
+        (exact, fast, obs)
+    }
+
+    /// The fast sweep must agree with the exact tier on everything but
+    /// the low bits of the threshold — and must be deterministic.
+    #[test]
+    fn fast_sweep_tracks_exact_tier_closely() {
+        let (exact, fast, obs) = driven_banks(11, 30);
+        let active = vec![true; 11];
+        let ve = exact.evaluate_all(&obs, &active);
+        let vf = fast.evaluate_all(&obs, &active);
+        for (e, f) in ve.iter().zip(vf.iter()) {
+            let (e, f) = (e.expect("active"), f.expect("active"));
+            // Innovation and prediction are untouched by the fast tier.
+            assert_eq!(e.innovation.to_bits(), f.innovation.to_bits());
+            assert_eq!(e.predicted.to_bits(), f.predicted.to_bits());
+            assert_eq!(
+                e.innovation_variance.to_bits(),
+                f.innovation_variance.to_bits()
+            );
+            // Threshold agrees to ulp-scale relative error.
+            let rel = ((e.threshold - f.threshold) / e.threshold).abs();
+            assert!(rel < 1e-12, "threshold drifted: {} vs {}", e.threshold, f.threshold);
+        }
+        // Deterministic per tier.
+        let vf2 = fast.evaluate_all(&obs, &active);
+        for (a, b) in vf.iter().zip(vf2.iter()) {
+            let (a, b) = (a.expect("active"), b.expect("active"));
+            assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+            assert_eq!(a.suspicious, b.suspicious);
+        }
+    }
+
+    /// Golden fingerprint of the fast-tier threshold bits: the fast
+    /// tier is allowed to differ from exact, but must never drift
+    /// silently from itself.
+    #[test]
+    fn fast_threshold_fingerprint_is_stable() {
+        let (_, fast, obs) = driven_banks(5, 30);
+        let active = vec![true; 5];
+        let verdicts = fast.evaluate_all(&obs, &active);
+        let fingerprint = verdicts
+            .iter()
+            .map(|v| v.expect("active").threshold.to_bits())
+            .fold(0u64, |acc, bits| {
+                acc.rotate_left(13) ^ bits.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            });
+        assert_eq!(
+            fingerprint, 0x052b_f751_a0eb_b7b2,
+            "fast-tier threshold fingerprint changed: got {fingerprint:#018x}; \
+             if the reassociation deliberately changed, re-record this constant"
+        );
+    }
+
+    #[test]
+    fn remainder_lanes_and_inactive_slots_are_handled() {
+        let (exact, fast, obs) = driven_banks(7, 12);
+        let mut active = vec![true; 7];
+        active[2] = false;
+        active[6] = false;
+        let ve = exact.evaluate_all(&obs, &active);
+        let vf = fast.evaluate_all(&obs, &active);
+        for i in 0..7 {
+            assert_eq!(ve[i].is_some(), vf[i].is_some(), "slot {i}");
+            if let (Some(e), Some(f)) = (ve[i], vf[i]) {
+                assert_eq!(e.suspicious, f.suspicious, "slot {i}");
+            }
+        }
+    }
+}

@@ -69,6 +69,20 @@ pub struct Verdict {
     pub innovation_variance: f64,
 }
 
+/// The detector's current outlook: the prediction the *next* observation
+/// will be judged against, plus the threshold the test would apply at
+/// the configured `α`. Returned by [`Detector::prediction`] so
+/// diagnostics never have to fabricate a dummy observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outlook {
+    /// The predicted relative error `Δ̂_{n|n−1}`.
+    pub predicted: f64,
+    /// The innovation variance `v_η,n`.
+    pub innovation_variance: f64,
+    /// The threshold `t_n = √v_η,n · Q⁻¹(α/2)` at the configured `α`.
+    pub threshold: f64,
+}
+
 /// Consecutive measurement-free steps (lost/timed-out probes absorbed
 /// via [`Detector::coast`]) after which the detector reports sample
 /// starvation: the coasted filter has drifted to its stationary prior
@@ -118,6 +132,32 @@ impl Detector {
     /// The underlying filter (read access for diagnostics).
     pub fn filter(&self) -> &KalmanFilter {
         &self.filter
+    }
+
+    /// Mutable filter access for the batched kernel's scatter phase.
+    /// Crate-private: only `crate::batch` writes filter state directly.
+    pub(crate) fn filter_mut(&mut self) -> &mut KalmanFilter {
+        &mut self.filter
+    }
+
+    /// Overwrite the starvation streak from the batched kernel's scatter
+    /// phase. Crate-private for the same reason as
+    /// [`Detector::filter_mut`].
+    pub(crate) fn set_starvation_streak(&mut self, streak: u32) {
+        self.starvation_streak = streak;
+    }
+
+    /// The current prediction state and the threshold the next
+    /// observation will face — side-effect-free, for diagnostics that
+    /// previously called `evaluate(0.0)` just to read `predicted` and
+    /// `threshold` out of the verdict.
+    pub fn prediction(&self) -> Outlook {
+        let pred = self.filter.predict();
+        Outlook {
+            predicted: pred.predicted,
+            innovation_variance: pred.innovation_variance,
+            threshold: pred.innovation_variance.sqrt() * q_inverse(self.alpha / 2.0),
+        }
     }
 
     /// The threshold `t_n` for an arbitrary significance level given the
@@ -339,12 +379,32 @@ mod tests {
     fn smaller_alpha_is_more_lenient() {
         let d1 = Detector::new(params(), 0.01);
         let d5 = Detector::new(params(), 0.05);
-        let t1 = d1.evaluate(0.0).threshold;
-        let t5 = d5.evaluate(0.0).threshold;
+        let t1 = d1.prediction().threshold;
+        let t5 = d5.prediction().threshold;
         assert!(
             t1 > t5,
             "a stricter significance level has a larger threshold: {t1} vs {t5}"
         );
+    }
+
+    #[test]
+    fn prediction_matches_evaluate_without_an_observation() {
+        let p = params();
+        let mut d = Detector::new(p, 0.05);
+        for obs in [0.35, 0.28, 0.41] {
+            d.accept(obs);
+        }
+        let before = d.filter().clone();
+        let outlook = d.prediction();
+        assert_eq!(d.filter(), &before, "prediction must be side-effect-free");
+        // Bit-for-bit the same numbers evaluate() folds into its verdict.
+        let v = d.evaluate(0.0);
+        assert_eq!(outlook.predicted.to_bits(), v.predicted.to_bits());
+        assert_eq!(
+            outlook.innovation_variance.to_bits(),
+            v.innovation_variance.to_bits()
+        );
+        assert_eq!(outlook.threshold.to_bits(), v.threshold.to_bits());
     }
 
     #[test]

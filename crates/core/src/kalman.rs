@@ -29,8 +29,9 @@ use serde::{Deserialize, Serialize};
 pub const RECALIBRATION_STREAK: u32 = 10;
 
 /// Width of the recalibration confidence interval in standard deviations
-/// (±2√v_η ≈ the 95% band).
-const RECALIBRATION_BAND: f64 = 2.0;
+/// (±2√v_η ≈ the 95% band). `pub(crate)` so the batched kernel
+/// (`crate::batch`) applies the identical band.
+pub(crate) const RECALIBRATION_BAND: f64 = 2.0;
 
 /// A one-step-ahead prediction: the predicted relative error and the
 /// innovation variance an observation would be compared under.
@@ -100,6 +101,31 @@ impl KalmanFilter {
     /// Observations incorporated so far.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Raw mutable state for the batched kernel's gather phase:
+    /// `(estimate, variance, updates, outside_streak)`. Crate-private:
+    /// only `crate::batch` flattens filters into SoA columns.
+    pub(crate) fn raw_state(&self) -> (f64, f64, u64, u32) {
+        (self.estimate, self.variance, self.updates, self.outside_streak)
+    }
+
+    /// Scatter the batched kernel's column back into this filter. The
+    /// bank runs the exact update/time-update recursions, so the values
+    /// written here are bit-for-bit what the scalar path would have
+    /// produced. Crate-private for the same reason as
+    /// [`KalmanFilter::raw_state`].
+    pub(crate) fn set_raw_state(
+        &mut self,
+        estimate: f64,
+        variance: f64,
+        updates: u64,
+        outside_streak: u32,
+    ) {
+        self.estimate = estimate;
+        self.variance = variance;
+        self.updates = updates;
+        self.outside_streak = outside_streak;
     }
 
     /// One-step-ahead prediction for the next observation.

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod certify;
 pub mod detector;
 pub mod em;
@@ -41,10 +42,13 @@ pub mod model;
 pub mod protocol;
 pub mod surveyor;
 
+pub use batch::DetectorBank;
 pub use certify::{Certifier, CertificateError, CoordinateCertificate};
-pub use detector::{Detector, DetectorError, Verdict, SAMPLE_STARVATION_LIMIT};
+pub use detector::{Detector, DetectorError, Outlook, Verdict, SAMPLE_STARVATION_LIMIT};
 pub use em::{calibrate, CalibrationOutcome, EmConfig};
 pub use kalman::KalmanFilter;
 pub use model::{ModelError, StateSpaceParams};
-pub use protocol::{ConfigError, SecureNode, SecureStep, SecurityConfig};
+pub use protocol::{
+    vet_sequences, vet_single, ConfigError, SecureNode, SecureStep, SecurityConfig, VetEvent,
+};
 pub use surveyor::{SurveyorInfo, SurveyorRegistry};

@@ -18,6 +18,7 @@
 //!   the Surveyor infrastructure for fresh ones ([`SecureStep`] callers
 //!   observe this through [`SecureNode::end_round`]).
 
+use crate::batch::DetectorBank;
 use crate::detector::{Detector, Verdict};
 use crate::model::StateSpaceParams;
 use ices_coord::{Embedding, PeerSample, StepOutcome};
@@ -320,6 +321,191 @@ impl<E: Embedding> SecureNode<E> {
     }
 }
 
+/// One detection event for the batched vetting sweep: what a single
+/// `SecureNode` would have seen at one embedding step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VetEvent {
+    /// A measured sample to vet — the batched [`SecureNode::step`].
+    Sample(PeerSample),
+    /// A lost or timed-out probe — the batched
+    /// [`SecureNode::step_missing`].
+    Missing,
+}
+
+/// Reusable per-column buffers for the vetting sweeps.
+#[derive(Debug, Default)]
+struct ColumnScratch {
+    obs: Vec<f64>,
+    active: Vec<bool>,
+    accept: Vec<bool>,
+    coast: Vec<bool>,
+}
+
+impl ColumnScratch {
+    fn reset(&mut self, n: usize) {
+        self.obs.clear();
+        self.obs.resize(n, 0.0);
+        self.active.clear();
+        self.active.resize(n, false);
+        self.accept.clear();
+        self.accept.resize(n, false);
+        self.coast.clear();
+        self.coast.resize(n, false);
+    }
+}
+
+/// Run one column of events (at most one per node) through the bank:
+/// gather observations, one flat predict/evaluate sweep, per-node
+/// protocol decisions, then the accept/coast sweeps.
+///
+/// The decision body deliberately DUPLICATES [`SecureNode::step`] — the
+/// bank owns the detector state mid-sweep, so the scalar method cannot
+/// be called — and must stay in lockstep with it. The
+/// `vet_single_is_bit_identical_to_scalar_steps` test (and the sim
+/// crate's golden fingerprints) enforce the equivalence.
+fn vet_column<'e, E: Embedding>(
+    bank: &mut DetectorBank,
+    nodes: &mut [&mut SecureNode<E>],
+    event_of: impl Fn(usize) -> Option<&'e VetEvent>,
+    scratch: &mut ColumnScratch,
+    mut sink: impl FnMut(usize, SecureStep),
+) {
+    let n = nodes.len();
+    scratch.reset(n);
+    for (i, node) in nodes.iter_mut().enumerate() {
+        match event_of(i) {
+            Some(VetEvent::Sample(sample)) => {
+                scratch.obs[i] = node.inner.probe(sample);
+                scratch.active[i] = true;
+            }
+            Some(VetEvent::Missing) => scratch.coast[i] = true,
+            None => {}
+        }
+    }
+    bank.predict_all();
+    let verdicts = bank.evaluate_all(&scratch.obs, &scratch.active);
+    for i in 0..n {
+        let Some(VetEvent::Sample(sample)) = event_of(i) else {
+            continue;
+        };
+        #[allow(clippy::expect_used)] // same contract as the audit:allow below
+        // audit:allow(PANIC01): evaluate_all's contract gives every active slot a verdict; a None here is a bank bug that must fail loudly
+        let verdict = verdicts[i].expect("active slot has a verdict");
+        let node = &mut *nodes[i];
+        node.round_peers.insert(sample.peer);
+        let first_time = node.seen_peers.insert(sample.peer);
+        if !verdict.suspicious {
+            scratch.accept[i] = true;
+            let outcome = node.inner.apply_step(sample);
+            node.accepted += 1;
+            sink(i, SecureStep::Accepted { outcome, verdict });
+            continue;
+        }
+        if node.config.reprieve_enabled && first_time {
+            let el = node.inner.local_error().clamp(1e-6, 1.0);
+            let alpha2 = (el * node.config.alpha).clamp(1e-9, 1.0 - 1e-9);
+            let reprieve_threshold = bank.threshold_at(i, alpha2);
+            if verdict.innovation.abs() < reprieve_threshold {
+                node.reprieved += 1;
+                sink(
+                    i,
+                    SecureStep::Reprieved {
+                        verdict,
+                        reprieve_threshold,
+                    },
+                );
+                continue;
+            }
+        }
+        node.round_rejections.insert(sample.peer);
+        node.rejected += 1;
+        sink(i, SecureStep::Rejected { verdict });
+    }
+    bank.accept_all(&scratch.obs, &scratch.accept);
+    bank.coast_all(&scratch.coast);
+}
+
+/// Vet one event per node in a single batched sweep (the Vivaldi tick
+/// shape: every participating node tests exactly one peer sample — or
+/// coasts — per tick).
+///
+/// On the exact tier this is **bit-for-bit** the same as calling
+/// [`SecureNode::step`] / [`SecureNode::step_missing`] on each node in
+/// order: the bank runs the identical per-slot f64 recursions (with the
+/// `Q⁻¹(α/2)` factor cached — a pure function, so the product is
+/// unchanged) and scatters the state back before returning. The `bank`
+/// is caller-owned so its allocations and quantile memo persist across
+/// ticks; it is cleared and refilled here.
+///
+/// Returns one entry per node: `Some(step)` for a `Sample` event,
+/// `None` for `Missing` (which, as in the scalar path, produces no
+/// step outcome).
+pub fn vet_single<E: Embedding>(
+    bank: &mut DetectorBank,
+    nodes: &mut [&mut SecureNode<E>],
+    events: &[VetEvent],
+) -> Vec<Option<SecureStep>> {
+    assert_eq!(
+        nodes.len(),
+        events.len(),
+        "one event per node: {} nodes vs {} events",
+        nodes.len(),
+        events.len()
+    );
+    bank.clear();
+    for node in nodes.iter() {
+        bank.push(&node.detector);
+    }
+    let mut out = vec![None; nodes.len()];
+    let mut scratch = ColumnScratch::default();
+    vet_column(bank, nodes, |i| Some(&events[i]), &mut scratch, |i, step| {
+        out[i] = Some(step);
+    });
+    for (i, node) in nodes.iter_mut().enumerate() {
+        bank.store(i, &mut node.detector);
+    }
+    out
+}
+
+/// Vet a per-node *sequence* of events in batched column sweeps (the
+/// NPS round shape: each node tests its reference points in order).
+/// Column `k` processes event `k` of every node that has one, so a
+/// node's events run in sequence — bit-for-bit the scalar order — while
+/// the sweep across nodes stays flat.
+///
+/// Returns, per node, one entry per event (`None` for `Missing`).
+pub fn vet_sequences<E: Embedding>(
+    bank: &mut DetectorBank,
+    nodes: &mut [&mut SecureNode<E>],
+    events: &[Vec<VetEvent>],
+) -> Vec<Vec<Option<SecureStep>>> {
+    assert_eq!(
+        nodes.len(),
+        events.len(),
+        "one event sequence per node: {} nodes vs {} sequences",
+        nodes.len(),
+        events.len()
+    );
+    bank.clear();
+    for node in nodes.iter() {
+        bank.push(&node.detector);
+    }
+    let mut out: Vec<Vec<Option<SecureStep>>> =
+        events.iter().map(|seq| vec![None; seq.len()]).collect();
+    let columns = events.iter().map(Vec::len).max().unwrap_or(0);
+    let mut scratch = ColumnScratch::default();
+    #[allow(clippy::needless_range_loop)] // k cursors jagged per-node sequences, not one slice
+    for k in 0..columns {
+        vet_column(bank, nodes, |i| events[i].get(k), &mut scratch, |i, step| {
+            out[i][k] = Some(step);
+        });
+    }
+    for (i, node) in nodes.iter_mut().enumerate() {
+        bank.store(i, &mut node.detector);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,13 +608,13 @@ mod tests {
         // secondary threshold at e_l·α is much wider.
         let mut node = secure(0.01);
         // Suspicious at α = 5% but inside the (e_l·α)-threshold.
-        let primary_t = node.detector().evaluate(0.0).threshold;
+        let primary_t = node.detector().prediction().threshold;
         let secondary_t = node.detector().threshold_at(0.01 * 0.05);
         assert!(secondary_t > primary_t);
         // Find a deviation between the two thresholds: innovation is
         // (d − predicted); predicted starts at w0-ish. Use d = predicted
         // + 1.5·primary_t.
-        let predicted = node.detector().evaluate(0.0).predicted;
+        let predicted = node.detector().prediction().predicted;
         let d = predicted + (primary_t + secondary_t) / 2.0;
         let step = node.step(&sample_with_error(7, d));
         match step {
@@ -442,10 +628,9 @@ mod tests {
     #[test]
     fn reprieve_only_granted_once_per_peer() {
         let mut node = secure(0.01);
-        let predicted = node.detector().evaluate(0.0).predicted;
-        let primary_t = node.detector().evaluate(0.0).threshold;
+        let outlook = node.detector().prediction();
         let secondary_t = node.detector().threshold_at(0.01 * 0.05);
-        let d = predicted + (primary_t + secondary_t) / 2.0;
+        let d = outlook.predicted + (outlook.threshold + secondary_t) / 2.0;
         let first = node.step(&sample_with_error(7, d));
         assert!(matches!(first, SecureStep::Reprieved { .. }));
         let second = node.step(&sample_with_error(7, d));
@@ -460,9 +645,8 @@ mod tests {
         // With e_l = 1 the secondary test equals the primary test, so a
         // step that failed the primary also fails the reprieve.
         let mut node = secure(1.0);
-        let predicted = node.detector().evaluate(0.0).predicted;
-        let primary_t = node.detector().evaluate(0.0).threshold;
-        let d = predicted + primary_t * 1.5;
+        let outlook = node.detector().prediction();
+        let d = outlook.predicted + outlook.threshold * 1.5;
         let step = node.step(&sample_with_error(3, d));
         assert!(step.replace_peer(), "e_l = 1 leaves no reprieve headroom");
     }
@@ -479,10 +663,9 @@ mod tests {
         let mut config = SecurityConfig::paper_default();
         config.reprieve_enabled = false;
         let mut node = SecureNode::new(StubEmbedding::new(0.01), params(), 0, config);
-        let predicted = node.detector().evaluate(0.0).predicted;
-        let primary_t = node.detector().evaluate(0.0).threshold;
+        let outlook = node.detector().prediction();
         let secondary_t = node.detector().threshold_at(0.01 * 0.05);
-        let d = predicted + (primary_t + secondary_t) / 2.0;
+        let d = outlook.predicted + (outlook.threshold + secondary_t) / 2.0;
         let step = node.step(&sample_with_error(7, d));
         assert!(step.replace_peer(), "no reprieve when disabled");
     }
@@ -553,11 +736,11 @@ mod tests {
     fn missing_samples_coast_without_touching_round_state() {
         let mut node = secure(0.1);
         node.step(&sample_with_error(1, 0.1));
-        let threshold_before = node.detector().evaluate(0.0).threshold;
+        let threshold_before = node.detector().prediction().threshold;
         for _ in 0..10 {
             node.step_missing();
         }
-        let threshold_after = node.detector().evaluate(0.0).threshold;
+        let threshold_after = node.detector().prediction().threshold;
         assert!(
             threshold_after > threshold_before,
             "coasting widens the test band"
@@ -602,5 +785,118 @@ mod tests {
         }
         let rate = accepted as f64 / trace.len() as f64;
         assert!(rate > 0.9, "acceptance rate {rate}");
+    }
+
+    /// One mixed event per node per tick: the batched sweep must leave
+    /// every node — detector state, counters, applied steps, round
+    /// bookkeeping — exactly where the scalar calls leave it, and
+    /// return the same step outcomes.
+    #[test]
+    fn vet_single_is_bit_identical_to_scalar_steps() {
+        let n = 6;
+        let mut scalar: Vec<SecureNode<StubEmbedding>> =
+            (0..n).map(|i| secure(0.01 + 0.15 * i as f64)).collect();
+        let mut batched = scalar.clone();
+        let mut bank = DetectorBank::with_tier(false);
+        for tick in 0..30 {
+            let events: Vec<VetEvent> = (0..n)
+                .map(|i| match (tick + i) % 7 {
+                    0 => VetEvent::Missing,
+                    // A blatant lie from a never-seen peer (reject even
+                    // with the reprieve check engaged).
+                    1 => VetEvent::Sample(sample_with_error(100 + tick, 50.0)),
+                    // A moderate deviation from a fresh peer (reprieve
+                    // candidate on confident nodes).
+                    2 => VetEvent::Sample(sample_with_error(200 + tick, 0.6)),
+                    _ => VetEvent::Sample(sample_with_error(i, 0.1)),
+                })
+                .collect();
+            let scalar_steps: Vec<Option<SecureStep>> = scalar
+                .iter_mut()
+                .zip(&events)
+                .map(|(node, event)| match event {
+                    VetEvent::Sample(s) => Some(node.step(s)),
+                    VetEvent::Missing => {
+                        node.step_missing();
+                        None
+                    }
+                })
+                .collect();
+            let mut refs: Vec<&mut SecureNode<StubEmbedding>> = batched.iter_mut().collect();
+            let batched_steps = vet_single(&mut bank, &mut refs, &events);
+            assert_eq!(scalar_steps, batched_steps, "tick {tick}");
+        }
+        for (i, (s, b)) in scalar.iter_mut().zip(batched.iter_mut()).enumerate() {
+            assert_eq!(s.detector(), b.detector(), "node {i} detector state");
+            assert_eq!(s.counts(), b.counts(), "node {i} counters");
+            assert_eq!(s.inner().applied, b.inner().applied, "node {i} applied");
+            assert_eq!(s.end_round(), b.end_round(), "node {i} round action");
+        }
+    }
+
+    /// The NPS shape: per-node event sequences of different lengths,
+    /// vetted column-by-column — same bit-identity requirement.
+    #[test]
+    fn vet_sequences_is_bit_identical_to_scalar_steps() {
+        let n = 5;
+        let mut scalar: Vec<SecureNode<StubEmbedding>> =
+            (0..n).map(|i| secure(0.02 + 0.2 * i as f64)).collect();
+        let mut batched = scalar.clone();
+        let mut bank = DetectorBank::with_tier(false);
+        for round in 0..12 {
+            let events: Vec<Vec<VetEvent>> = (0..n)
+                .map(|i| {
+                    (0..(i % 3) + 2)
+                        .map(|k| match (round + i + k) % 5 {
+                            0 => VetEvent::Missing,
+                            1 => VetEvent::Sample(sample_with_error(300 + round * 8 + k, 50.0)),
+                            _ => VetEvent::Sample(sample_with_error(k, 0.12)),
+                        })
+                        .collect()
+                })
+                .collect();
+            let scalar_steps: Vec<Vec<Option<SecureStep>>> = scalar
+                .iter_mut()
+                .zip(&events)
+                .map(|(node, seq)| {
+                    seq.iter()
+                        .map(|event| match event {
+                            VetEvent::Sample(s) => Some(node.step(s)),
+                            VetEvent::Missing => {
+                                node.step_missing();
+                                None
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut refs: Vec<&mut SecureNode<StubEmbedding>> = batched.iter_mut().collect();
+            let batched_steps = vet_sequences(&mut bank, &mut refs, &events);
+            assert_eq!(scalar_steps, batched_steps, "round {round}");
+            for (i, (s, b)) in scalar.iter_mut().zip(batched.iter_mut()).enumerate() {
+                assert_eq!(s.end_round(), b.end_round(), "round {round} node {i}");
+            }
+        }
+        for (i, (s, b)) in scalar.iter().zip(batched.iter()).enumerate() {
+            assert_eq!(s.detector(), b.detector(), "node {i} detector state");
+            assert_eq!(s.counts(), b.counts(), "node {i} counters");
+        }
+    }
+
+    #[test]
+    fn vet_single_handles_empty_node_sets() {
+        let mut bank = DetectorBank::with_tier(false);
+        let mut refs: Vec<&mut SecureNode<StubEmbedding>> = Vec::new();
+        let out = vet_single(&mut bank, &mut refs, &[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one event per node")]
+    fn vet_single_rejects_misaligned_events() {
+        let mut node = secure(0.1);
+        let mut bank = DetectorBank::with_tier(false);
+        let mut refs = vec![&mut node];
+        let _ = vet_single(&mut bank, &mut refs, &[]);
     }
 }

@@ -1,0 +1,202 @@
+//! Fast-tier GNP objective (`ICES_FAST=1`).
+//!
+//! This module is the only place in the crate allowed to reorder or
+//! refactor the objective's f64 arithmetic (the FAST01 audit rule
+//! confines reassociation-bearing code to `fast` modules). Relative to
+//! [`crate::node`]'s exact kernel it changes two things:
+//!
+//! * **fused normalize** — the per-sample relative error multiplies by
+//!   a precomputed reciprocal RTT instead of dividing
+//!   (`(est − rtt) · rtt⁻¹` vs `(est − rtt) / rtt`), which differs in
+//!   the low bits but lets the loop pipeline without the divider;
+//! * **4-lane reassociated reduction** — the final sum accumulates four
+//!   independent partial sums and folds them pairwise, instead of the
+//!   exact kernel's strict left-to-right sum.
+//!
+//! Outputs are deterministic for the tier (same inputs → same bits, at
+//! any `ICES_THREADS` — the kernel is still called from one thread per
+//! node and carries no cross-sample ordering dependence), but are NOT
+//! bit-identical to the exact tier. The fast tier has its own golden
+//! fingerprint below, and tier-2 gates it on statistical equivalence
+//! (see DESIGN.md §14).
+
+const LANES: usize = 4;
+
+/// The GNP objective with reassociated arithmetic. Same signature as
+/// the exact kernel plus the precomputed `inv_rtts` column (filled by
+/// `solve()` only on the fast tier).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // the exact kernel's columns plus the precomputed reciprocal column
+pub(crate) fn flat_objective_fast(
+    x: &[f64],
+    rp_soa: &[f64],
+    stride: usize,
+    inv_rtts: &[f64],
+    rp_heights: &[f64],
+    rtts: &[f64],
+    sq: &mut [f64],
+    terms: &mut [f64],
+) -> f64 {
+    debug_assert!(!x.is_empty(), "candidate point must have dimensions");
+    debug_assert_eq!(inv_rtts.len(), rtts.len());
+    // The squared-distance accumulation is unchanged from the exact
+    // kernel: it is lane-independent per sample, so there is nothing to
+    // reassociate.
+    let mut rows = x.iter().zip(rp_soa.chunks_exact(stride));
+    if let Some((&xd, row)) = rows.next() {
+        for (q, &p) in sq.iter_mut().zip(row) {
+            let diff = xd - p;
+            *q = diff * diff;
+        }
+    }
+    for (&xd, row) in rows {
+        for (q, &p) in sq.iter_mut().zip(row) {
+            let diff = xd - p;
+            *q += diff * diff;
+        }
+    }
+    for ((((t, &q), &height), &rtt), &inv_rtt) in terms
+        .iter_mut()
+        .zip(sq.iter())
+        .zip(rp_heights)
+        .zip(rtts)
+        .zip(inv_rtts)
+    {
+        debug_assert!(
+            rtt > 0.0,
+            "non-positive RTT {rtt} reached the objective kernel"
+        );
+        let est = q.sqrt() + height;
+        let rel = (est - rtt) * inv_rtt;
+        *t = rel * rel;
+    }
+    // 4-lane reassociated reduction of the per-sample terms.
+    let mut lanes = [0.0f64; LANES];
+    let chunks = terms.chunks_exact(LANES);
+    let remainder = chunks.remainder();
+    for c in chunks {
+        for (lane, &term) in lanes.iter_mut().zip(c) {
+            *lane += term;
+        }
+    }
+    let [l0, l1, l2, l3] = lanes;
+    let mut total = (l0 + l1) + (l2 + l3);
+    for &t in remainder {
+        total += t;
+    }
+    total
+}
+
+/// Fill the reciprocal-RTT column the fast kernel multiplies by.
+pub(crate) fn fill_inv_rtts(rtts: &[f64], inv_rtts: &mut Vec<f64>) {
+    inv_rtts.clear();
+    inv_rtts.extend(rtts.iter().map(|&rtt| 1.0 / rtt));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::flat_objective;
+
+    /// A deterministic reference set: `n` samples in `dims` dimensions
+    /// with irrational-ish values so low-bit differences surface.
+    fn fixture(n: usize, dims: usize) -> (Vec<f64>, usize, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let stride = (n + 7) & !7;
+        let mut rp_soa = vec![0.0; dims * stride];
+        for d in 0..dims {
+            for s in 0..n {
+                rp_soa[d * stride + s] =
+                    ((d * 31 + s * 17) as f64).sin() * 90.0 + 0.137 * s as f64;
+            }
+        }
+        let rp_heights: Vec<f64> = (0..n).map(|s| 0.05 * (s % 5) as f64).collect();
+        let rtts: Vec<f64> = (0..n)
+            .map(|s| 35.0 + ((s * 13) as f64).cos().abs() * 120.0)
+            .collect();
+        let x: Vec<f64> = (0..dims).map(|d| 10.0 + 3.7 * d as f64).collect();
+        (rp_soa, stride, rp_heights, rtts, x)
+    }
+
+    #[test]
+    fn fast_objective_tracks_exact_within_tolerance() {
+        for n in [1, 3, 4, 7, 8, 19, 64] {
+            let (rp_soa, stride, rp_heights, rtts, x) = fixture(n, 8);
+            let mut inv_rtts = Vec::new();
+            fill_inv_rtts(&rtts, &mut inv_rtts);
+            let mut sq = vec![0.0; n];
+            let mut terms = vec![0.0; n];
+            let exact = flat_objective(&x, &rp_soa, stride, &rp_heights, &rtts, &mut sq, &mut terms);
+            let mut sq_f = vec![0.0; n];
+            let mut terms_f = vec![0.0; n];
+            let fast = flat_objective_fast(
+                &x,
+                &rp_soa,
+                stride,
+                &inv_rtts,
+                &rp_heights,
+                &rtts,
+                &mut sq_f,
+                &mut terms_f,
+            );
+            let rel = ((fast - exact) / exact).abs();
+            assert!(
+                rel < 1e-12,
+                "n={n}: fast {fast} vs exact {exact} (rel {rel})"
+            );
+        }
+    }
+
+    /// Golden fingerprint of the fast-tier objective bits: the tier may
+    /// differ from exact, but must never drift silently from itself.
+    #[test]
+    fn fast_objective_fingerprint_is_stable() {
+        let mut fingerprint = 0u64;
+        for n in [5, 16, 33] {
+            let (rp_soa, stride, rp_heights, rtts, x) = fixture(n, 8);
+            let mut inv_rtts = Vec::new();
+            fill_inv_rtts(&rtts, &mut inv_rtts);
+            let mut sq = vec![0.0; n];
+            let mut terms = vec![0.0; n];
+            let value = flat_objective_fast(
+                &x,
+                &rp_soa,
+                stride,
+                &inv_rtts,
+                &rp_heights,
+                &rtts,
+                &mut sq,
+                &mut terms,
+            );
+            fingerprint =
+                fingerprint.rotate_left(13) ^ value.to_bits().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        assert_eq!(
+            fingerprint, 0xe824_2dfa_dd8a_071b,
+            "fast-tier objective fingerprint changed: got {fingerprint:#018x}; \
+             if the reassociation deliberately changed, re-record this constant"
+        );
+    }
+
+    #[test]
+    fn fast_solver_path_is_deterministic_per_tier() {
+        let (rp_soa, stride, rp_heights, rtts, x) = fixture(23, 8);
+        let mut inv_rtts = Vec::new();
+        fill_inv_rtts(&rtts, &mut inv_rtts);
+        let eval = || {
+            let mut sq = vec![0.0; 23];
+            let mut terms = vec![0.0; 23];
+            flat_objective_fast(
+                &x,
+                &rp_soa,
+                stride,
+                &inv_rtts,
+                &rp_heights,
+                &rtts,
+                &mut sq,
+                &mut terms,
+            )
+            .to_bits()
+        };
+        assert_eq!(eval(), eval());
+    }
+}

@@ -30,8 +30,8 @@ use ices_obs::Journal;
 use ices_attack::Adversary;
 use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_core::{
-    calibrate, EmConfig, SecureNode, SecurityConfig, StateSpaceParams, SurveyorInfo,
-    SurveyorRegistry,
+    calibrate, vet_sequences, DetectorBank, EmConfig, SecureNode, SecureStep, SecurityConfig,
+    StateSpaceParams, SurveyorInfo, SurveyorRegistry, VetEvent,
 };
 use ices_netsim::{FaultPlan, Network, ProbeOutcome};
 use ices_nps::{Hierarchy, NpsConfig, NpsNode, Role};
@@ -122,6 +122,11 @@ struct RoundEffect {
     lied_steps: u64,
     /// Tampered samples whose deflated RTT the intake clamp raised.
     clamped_rtts: u64,
+    /// Detector events a secured node deferred to the merge-phase
+    /// batched sweep, in probe order: `(event, label_malicious)`, with
+    /// `VetEvent::Missing` (label unused) holding a coast's position so
+    /// the per-node op order matches the scalar interleaving exactly.
+    pending: Vec<(VetEvent, bool)>,
 }
 
 /// The NPS system simulation.
@@ -155,6 +160,11 @@ pub struct NpsSimulation {
     /// Nodes whose [`NpsSimulation::arm_detection`] found no live
     /// Surveyor candidate (total outage); retried each round.
     pending_arms: BTreeSet<usize>,
+    /// Reusable SoA execution engine for the merge-phase detection
+    /// sweep. Transient per layer round: state is gathered from and
+    /// scattered back to each node's scalar [`ices_core::Detector`],
+    /// which stays the source of truth.
+    bank: DetectorBank,
 }
 
 /// The probe nonce for `node`'s `k`-th reference-point probe in `round`
@@ -332,6 +342,7 @@ impl NpsSimulation {
             snapshot: CoordSnapshot::new(),
             probe_failures: vec![BTreeMap::new(); n],
             pending_arms: BTreeSet::new(),
+            bank: DetectorBank::new(),
         }
     }
 
@@ -409,8 +420,8 @@ impl NpsSimulation {
     pub fn detector_state(&self, node: usize) -> (f64, f64) {
         match &self.participants[node] {
             Participant::Secured(s) => {
-                let v = s.detector().evaluate(0.0);
-                (v.predicted, v.threshold)
+                let outlook = s.detector().prediction();
+                (outlook.predicted, outlook.threshold)
             }
             Participant::Plain(_) => (f64::NAN, f64::NAN),
         }
@@ -564,9 +575,11 @@ impl NpsSimulation {
                             // Missing sample: a secured node's detector
                             // coasts so its innovation statistics widen
                             // honestly; positioning just sees one fewer
-                            // reference point this round.
-                            if let Participant::Secured(s) = participant {
-                                s.step_missing();
+                            // reference point this round. The coast runs
+                            // in the merge-phase batched sweep, holding
+                            // its probe-order position.
+                            if let Participant::Secured(_) = participant {
+                                effect.pending.push((VetEvent::Missing, false));
                                 effect.coasted_steps += 1;
                             }
                             continue;
@@ -613,54 +626,140 @@ impl NpsSimulation {
                         let out = n.apply_step(&sample);
                         effect.recorded.push(out.relative_error);
                     }
-                    Participant::Secured(s) => {
-                        let step = s.step(&sample);
-                        effect.vetted.push((label_malicious, !step.accepted()));
-                        match &step {
-                            ices_core::SecureStep::Accepted { outcome, .. } => {
-                                effect.recorded.push(outcome.relative_error);
-                            }
-                            ices_core::SecureStep::Reprieved { .. } => {
-                                effect.reprieves += 1;
-                            }
-                            ices_core::SecureStep::Rejected { .. } => {
-                                effect.rejected_rps.push(rp);
-                            }
-                        }
+                    Participant::Secured(_) => {
+                        // Defer the innovation test (and the buffer-on-
+                        // accept) to the merge phase: the whole layer's
+                        // samples are classified in one DetectorBank
+                        // sweep, column by column, which replays this
+                        // node's probe-order op sequence exactly.
+                        effect.pending.push((VetEvent::Sample(sample), label_malicious));
                     }
                 }
             }
-            // Reposition from whatever was accepted.
-            match participant {
-                Participant::Plain(n) => {
-                    n.finish_round();
-                }
-                Participant::Secured(s) => {
-                    s.inner_mut().finish_round();
-                    let coord = s.inner().coordinate().clone();
-                    if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
-                        // Only Surveyors that are up right now qualify;
-                        // with every Surveyor down the node keeps its
-                        // stale-but-bounded calibration. (On a clean
-                        // network `node_up` is always true, so this is
-                        // exactly the unconditional lookup.)
-                        match registry.closest_available_by_coordinate(&coord, |info| {
-                            network.node_up(info.id, round)
-                        }) {
-                            Some(info) => {
-                                let (params, id) = (info.params, info.id);
-                                s.refresh_filter(params, id);
-                                effect.refreshed_filter = true;
-                            }
-                            None => {
-                                effect.stale_fallback = true;
-                            }
-                        }
-                    }
-                }
+            // Reposition from whatever was accepted. Secured nodes defer
+            // their round boundary too — their accepted steps have not
+            // been applied yet.
+            if let Participant::Plain(n) = participant {
+                n.finish_round();
             }
             effect
         });
+
+        // Batched detection sweep: replay every deferred detector event
+        // through one DetectorBank pass, bit-identical to the scalar
+        // per-node calls it replaces (asserted by
+        // `ices_core::protocol`'s equivalence suite). Results are
+        // written back into each member's RoundEffect before the
+        // ordinary merge loop below consumes them.
+        let mut effects = effects;
+        {
+            let mut vet_nodes = Vec::new();
+            let mut vet_slots = Vec::new();
+            let mut node_events = Vec::new();
+            let mut node_labels = Vec::new();
+            for (slot, (&node, effect)) in members.iter().zip(effects.iter_mut()).enumerate() {
+                if effect.pending.is_empty() {
+                    continue;
+                }
+                let (events, labels): (Vec<VetEvent>, Vec<bool>) =
+                    effect.pending.drain(..).unzip();
+                vet_nodes.push(node);
+                vet_slots.push(slot);
+                node_events.push(events);
+                node_labels.push(labels);
+            }
+            if !vet_nodes.is_empty() {
+                let mut secured: Vec<&mut SecureNode<NpsNode>> =
+                    ices_par::select_disjoint_mut(&mut self.participants, &vet_nodes)
+                        .into_iter()
+                        .map(|p| match p {
+                            Participant::Secured(s) => &mut **s,
+                            Participant::Plain(_) => {
+                                panic!("only secured nodes defer detector work")
+                            }
+                        })
+                        .collect();
+                let all_steps = vet_sequences(&mut self.bank, &mut secured, &node_events);
+                for (i, steps) in all_steps.into_iter().enumerate() {
+                    let effect = &mut effects[vet_slots[i]];
+                    for (k, step) in steps.into_iter().enumerate() {
+                        let Some(step) = step else { continue };
+                        effect.vetted.push((node_labels[i][k], !step.accepted()));
+                        match &step {
+                            SecureStep::Accepted { outcome, .. } => {
+                                effect.recorded.push(outcome.relative_error);
+                            }
+                            SecureStep::Reprieved { .. } => {
+                                effect.reprieves += 1;
+                            }
+                            SecureStep::Rejected { .. } => {
+                                if let VetEvent::Sample(sample) = &node_events[i][k] {
+                                    effect.rejected_rps.push(sample.peer);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Deferred round boundary for secured members, now that the
+        // batched sweep has applied their accepted steps: reposition,
+        // settle the detector round, and refresh starved filters.
+        {
+            let mut finish_nodes = Vec::new();
+            let mut finish_slots = Vec::new();
+            for (slot, (&node, effect)) in members.iter().zip(effects.iter()).enumerate() {
+                if effect.self_down {
+                    continue;
+                }
+                if matches!(self.participants[node], Participant::Secured(_)) {
+                    finish_nodes.push(node);
+                    finish_slots.push(slot);
+                }
+            }
+            if !finish_nodes.is_empty() {
+                let boundary = ices_par::par_for_indices(
+                    &mut self.participants,
+                    &finish_nodes,
+                    |_, participant| {
+                        let Participant::Secured(s) = participant else {
+                            panic!("only secured nodes reach the deferred round boundary")
+                        };
+                        s.inner_mut().finish_round();
+                        let coord = s.inner().coordinate().clone();
+                        let mut refreshed = false;
+                        let mut stale = false;
+                        if s.end_round() == ices_core::protocol::RoundAction::RefreshFilter {
+                            // Only Surveyors that are up right now
+                            // qualify; with every Surveyor down the node
+                            // keeps its stale-but-bounded calibration.
+                            // (On a clean network `node_up` is always
+                            // true, so this is exactly the unconditional
+                            // lookup.)
+                            match registry.closest_available_by_coordinate(&coord, |info| {
+                                network.node_up(info.id, round)
+                            }) {
+                                Some(info) => {
+                                    let (params, id) = (info.params, info.id);
+                                    s.refresh_filter(params, id);
+                                    refreshed = true;
+                                }
+                                None => {
+                                    stale = true;
+                                }
+                            }
+                        }
+                        (refreshed, stale)
+                    },
+                );
+                for (i, (refreshed, stale)) in boundary.into_iter().enumerate() {
+                    let effect = &mut effects[finish_slots[i]];
+                    effect.refreshed_filter = refreshed;
+                    effect.stale_fallback = stale;
+                }
+            }
+        }
 
         let journaled = self.obs.journal_enabled();
         for (&node, effect) in members.iter().zip(effects) {

@@ -35,8 +35,8 @@ use ices_attack::defense::witness_votes_against;
 use ices_attack::{Adversary, DefenseConfig};
 use ices_coord::{Coordinate, Embedding, PeerSample};
 use ices_core::{
-    calibrate, CalibrationOutcome, EmConfig, SecureNode, SecurityConfig, StateSpaceParams,
-    SurveyorInfo, SurveyorRegistry,
+    calibrate, vet_single, CalibrationOutcome, DetectorBank, EmConfig, SecureNode, SecureStep,
+    SecurityConfig, StateSpaceParams, SurveyorInfo, SurveyorRegistry, VetEvent,
 };
 use ices_netsim::{EclipsePlan, FaultPlan, Network, ProbeOutcome};
 use ices_stats::kmeans::kmeans;
@@ -109,6 +109,23 @@ enum ProbeFate {
     PeerDown,
 }
 
+/// A secured node's detector work for this tick, deferred out of the
+/// parallel update phase so the merge phase can classify the whole
+/// snapshot of peer samples in one [`DetectorBank`] sweep. The sweep
+/// replays the exact per-node f64 op order of the scalar
+/// [`SecureNode::step`] / [`SecureNode::step_missing`] calls it
+/// replaces, so every fingerprint and determinism suite is unchanged.
+enum PendingVet {
+    /// Run the innovation test on this sample (the scalar `step` path).
+    Test {
+        sample: PeerSample,
+        label_malicious: bool,
+    },
+    /// Coast the detector: missing sample or defense rejection (the
+    /// scalar `step_missing` path).
+    Coast,
+}
+
 /// What one node's embedding step asks the driver to apply globally.
 /// Collected from the parallel update phase and merged in node order.
 #[derive(Default)]
@@ -140,6 +157,9 @@ struct StepEffect {
     cross_checks: u64,
     /// The defense rejected the sample before the innovation test.
     defense_rejected: bool,
+    /// Detector work this node deferred to the merge-phase batched
+    /// sweep (`None` for plain nodes and idle slots).
+    pending: Option<PendingVet>,
 }
 
 /// The Vivaldi system simulation.
@@ -181,6 +201,11 @@ pub struct VivaldiSimulation {
     eclipse: EclipsePlan,
     /// Monotone nonce for eclipse-steered replacement draws.
     replacement_draws: u64,
+    /// Reusable SoA execution engine for the merge-phase detection
+    /// sweep. Transient per tick: state is gathered from and scattered
+    /// back to each node's scalar [`ices_core::Detector`], which stays
+    /// the source of truth.
+    bank: DetectorBank,
 }
 
 /// The probe nonce for `node`'s embedding step in tick `tick` — a pure
@@ -338,6 +363,7 @@ impl VivaldiSimulation {
             defense: DefenseConfig::off(),
             eclipse: EclipsePlan::none(),
             replacement_draws: 0,
+            bank: DetectorBank::new(),
         }
     }
 
@@ -591,9 +617,10 @@ impl VivaldiSimulation {
                         // Missing sample: a secured node's detector
                         // coasts (time-update only) so its innovation
                         // statistics widen honestly; the embedding is
-                        // untouched either way.
-                        if let Participant::Secured(s) = participant {
-                            s.step_missing();
+                        // untouched either way. The coast itself runs in
+                        // the merge-phase batched sweep.
+                        if let Participant::Secured(_) = participant {
+                            effect.pending = Some(PendingVet::Coast);
                             effect.coasted = true;
                         }
                         return effect;
@@ -648,7 +675,7 @@ impl VivaldiSimulation {
             // of (tick, node, peer, witness), preserving thread-count
             // invariance.
             if defense.enabled {
-                if let Participant::Secured(s) = participant {
+                if let Participant::Secured(_) = participant {
                     let witnesses = defense.draw_witnesses(tick, node, peer, population);
                     let mut against = 0usize;
                     for &w in &witnesses {
@@ -674,8 +701,9 @@ impl VivaldiSimulation {
                     }
                     if against >= defense.quorum {
                         // The detector never sees the sample: coast the
-                        // filter honestly and swap the peer out.
-                        s.step_missing();
+                        // filter honestly (in the merge-phase batched
+                        // sweep) and swap the peer out.
+                        effect.pending = Some(PendingVet::Coast);
                         effect.vetted = Some((label_malicious, true));
                         effect.rejected_peer = Some(peer);
                         effect.defense_rejected = true;
@@ -689,24 +717,84 @@ impl VivaldiSimulation {
                     let out = v.apply_step(&sample);
                     effect.recorded = Some(out.relative_error);
                 }
-                Participant::Secured(s) => {
-                    let step = s.step(&sample);
-                    effect.vetted = Some((label_malicious, !step.accepted()));
-                    match &step {
-                        ices_core::SecureStep::Accepted { outcome, .. } => {
-                            effect.recorded = Some(outcome.relative_error);
-                        }
-                        ices_core::SecureStep::Reprieved { .. } => {
-                            effect.reprieved = true;
-                        }
-                        ices_core::SecureStep::Rejected { .. } => {
-                            effect.rejected_peer = Some(peer);
-                        }
-                    }
+                Participant::Secured(_) => {
+                    // Defer the innovation test (and the apply-on-accept)
+                    // to the merge phase, where the whole tick's samples
+                    // are classified in one DetectorBank sweep. Nothing
+                    // after this point in the closure reads the node's
+                    // post-step state, so the move is order-preserving.
+                    effect.pending = Some(PendingVet::Test {
+                        sample,
+                        label_malicious,
+                    });
                 }
             }
             effect
         });
+
+        // Batched detection sweep: replay every deferred detector event
+        // through one DetectorBank pass, bit-identical to the scalar
+        // per-node calls it replaces (asserted by
+        // `ices_core::protocol`'s equivalence suite). Results are
+        // written back into each node's StepEffect before the ordinary
+        // merge loop below consumes them.
+        let mut effects = effects;
+        {
+            let mut vet_nodes = Vec::new();
+            let mut events = Vec::new();
+            let mut labels = Vec::new();
+            for (node, effect) in effects.iter_mut().enumerate() {
+                if let Some(pending) = effect.pending.take() {
+                    vet_nodes.push(node);
+                    match pending {
+                        PendingVet::Test {
+                            sample,
+                            label_malicious,
+                        } => {
+                            labels.push(label_malicious);
+                            events.push(VetEvent::Sample(sample));
+                        }
+                        PendingVet::Coast => {
+                            // Placeholder label; a Missing event yields
+                            // no step, so it is never read.
+                            labels.push(false);
+                            events.push(VetEvent::Missing);
+                        }
+                    }
+                }
+            }
+            if !vet_nodes.is_empty() {
+                let mut secured: Vec<&mut SecureNode<VivaldiNode>> =
+                    ices_par::select_disjoint_mut(&mut self.participants, &vet_nodes)
+                        .into_iter()
+                        .map(|p| match p {
+                            Participant::Secured(s) => &mut **s,
+                            Participant::Plain(_) => {
+                                panic!("only secured nodes defer detector work")
+                            }
+                        })
+                        .collect();
+                let steps = vet_single(&mut self.bank, &mut secured, &events);
+                for (k, step) in steps.into_iter().enumerate() {
+                    let Some(step) = step else { continue };
+                    let effect = &mut effects[vet_nodes[k]];
+                    effect.vetted = Some((labels[k], !step.accepted()));
+                    match &step {
+                        SecureStep::Accepted { outcome, .. } => {
+                            effect.recorded = Some(outcome.relative_error);
+                        }
+                        SecureStep::Reprieved { .. } => {
+                            effect.reprieved = true;
+                        }
+                        SecureStep::Rejected { .. } => {
+                            if let VetEvent::Sample(sample) = &events[k] {
+                                effect.rejected_peer = Some(sample.peer);
+                            }
+                        }
+                    }
+                }
+            }
+        }
 
         let journaled = self.obs.journal_enabled();
         for (node, effect) in effects.into_iter().enumerate() {

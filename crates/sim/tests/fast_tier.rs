@@ -1,0 +1,134 @@
+//! Fast-tier (`ICES_FAST=1`) guarantees at the system level.
+//!
+//! The fast tier gives up bit-identity *with the exact tier* (its
+//! reassociated kernels differ in the low bits) but keeps every other
+//! contract: results are deterministic per tier, thread-count
+//! invariant, and journal-labelled. This suite drives the full Vivaldi
+//! pipeline — faults, churn, armed detection running the batched
+//! `DetectorBank` sweep, cross-verification, and a Sybil swarm — under
+//! `ices_par::with_fast(true)` and proves those properties hold.
+//! Statistical equivalence between the tiers (FPR/TPR and accuracy
+//! deltas) is the tier-2 `fast_equiv` gate's job, not tier-1's.
+
+use ices_attack::{DefenseConfig, SybilSwarmAttack};
+use ices_core::EmConfig;
+use ices_coord::Coordinate;
+use ices_netsim::{ChurnModel, FaultPlan};
+use ices_sim::metrics::DetectionReport;
+use ices_sim::scenario::{ScenarioConfig, SurveyorPlacement, TopologyKind};
+use ices_sim::trace::TraceRing;
+use ices_sim::VivaldiSimulation;
+
+fn scenario(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        topology: TopologyKind::small_planetlab(70),
+        surveyors: SurveyorPlacement::Random { fraction: 0.1 },
+        malicious_fraction: 0.2,
+        alpha: 0.05,
+        detection: true,
+        clean_cycles: 6,
+        attack_cycles: 3,
+        embed_against_surveyors_only: false,
+    }
+}
+
+/// Everything a run exposes, captured for comparison.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    coordinates: Vec<Coordinate>,
+    traces: Vec<TraceRing>,
+    report: DetectionReport,
+}
+
+/// Faulty clean convergence, calibration, armed detection (the batched
+/// bank path), cross-verification on, then a Sybil swarm.
+fn sybil_fingerprint(seed: u64) -> Fingerprint {
+    let mut sim = VivaldiSimulation::new(scenario(seed));
+    sim.set_fault_plan(FaultPlan::lossy(0.1, 0.05).with_churn(ChurnModel::new(16, 0.1)));
+    sim.run_clean(6);
+    sim.calibrate_surveyors(&EmConfig::default());
+    sim.arm_detection();
+    sim.set_defense(DefenseConfig::cross_verification(seed ^ 0xDEF3));
+    let attack = SybilSwarmAttack::new(
+        sim.malicious().iter().copied(),
+        800.0,
+        10.0,
+        sim.coordinate(0).dims(),
+        seed ^ 0x5B11,
+    );
+    sim.run(3, &attack, true);
+    Fingerprint {
+        coordinates: (0..sim.len()).map(|i| sim.coordinate(i).clone()).collect(),
+        traces: sim.traces().to_vec(),
+        report: sim.report().clone(),
+    }
+}
+
+/// The fast tier must be thread-count invariant too: its reassociations
+/// live inside per-node kernels, never across the worker partition, and
+/// the `with_fast` pin must reach pooled workers. Four workers against
+/// the sequential path, with the detection bank, faults, the defense,
+/// and the Sybil swarm all active.
+#[test]
+fn fast_tier_sybil_under_faults_is_thread_count_invariant() {
+    let sequential = ices_par::with_fast(true, || ices_par::with_threads(1, || sybil_fingerprint(83)));
+    let parallel = ices_par::with_fast(true, || ices_par::with_threads(4, || sybil_fingerprint(83)));
+    assert!(
+        sequential.report.faults.total_failed_probes() > 0,
+        "the fault plan must actually fire for this test to mean anything"
+    );
+    assert!(
+        sequential.report.adversary.active_lies > 0,
+        "the adversary must actually lie"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "fast tier: 4-thread run diverged from the sequential path"
+    );
+}
+
+/// Fast runs must reproduce fast runs exactly (determinism per tier) —
+/// reassociation changes which bits come out, not whether they repeat.
+#[test]
+fn fast_tier_is_deterministic_per_tier() {
+    let once = ices_par::with_fast(true, || ices_par::with_threads(2, || sybil_fingerprint(29)));
+    let twice = ices_par::with_fast(true, || ices_par::with_threads(2, || sybil_fingerprint(29)));
+    assert_eq!(once, twice, "two fast-tier runs of the same seed diverged");
+}
+
+/// The journal must carry the tier identity: a `tier` line right after
+/// `meta` on the fast tier, and — so historical exact-tier journals
+/// remain byte-comparable — no such line on the exact tier.
+#[test]
+fn journal_records_tier_identity_only_on_fast() {
+    let journal_bytes = |fast: bool| {
+        ices_par::with_fast(fast, || {
+            ices_par::with_threads(1, || {
+                let mut sim = VivaldiSimulation::new(scenario(11));
+                sim.enable_journal(ices_obs::Journal::in_memory());
+                sim.run_clean(1);
+                sim.finish_journal().expect("in-memory journal returns bytes")
+            })
+        })
+    };
+    let fast_text = String::from_utf8(journal_bytes(true)).expect("journal is utf-8");
+    let (fast_run, errors) = ices_obs::report::parse(&fast_text);
+    assert!(errors.is_empty(), "fast journal must stay schema-clean: {errors:?}");
+    assert_eq!(
+        fast_run.tier.as_deref(),
+        Some("fast"),
+        "fast-tier journal must declare its tier"
+    );
+    let exact_text = String::from_utf8(journal_bytes(false)).expect("journal is utf-8");
+    let (exact_run, errors) = ices_obs::report::parse(&exact_text);
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(
+        exact_run.tier, None,
+        "exact-tier journals must not grow a tier line"
+    );
+    assert!(
+        !exact_text.contains("\"ev\":\"tier\""),
+        "exact-tier journal bytes must be unchanged"
+    );
+}

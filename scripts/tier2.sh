@@ -52,6 +52,14 @@ cargo run -q --release -p ices-bench --bin obs_report -- --check target/obs_smok
 # negative result).
 cargo run -q --release -p ices-bench --bin adversary_sweep -- --smoke
 
+# Fast-tier equivalence: the ICES_FAST reassociated tier must stay
+# statistically indistinguishable from the exact tier (TPR/FPR deltas
+# and the chaos-cell median-error band — see crates/bench/src/bin/
+# fast_equiv.rs). Exits nonzero on any breach. Harness scale so the
+# reassociated reductions actually engage (test-scale arrays fall
+# through to the scalar tail and compare bit-identical).
+cargo run -q --release -p ices-bench --bin fast_equiv -- --scale harness --no-json
+
 # Tier 2: time the two-phase tick engine sequentially and at host
 # parallelism, plus one faulty-network configuration per driver
 # (10% probe loss + churn), the streamed-topology scale sweep
