@@ -7,12 +7,19 @@
 //!   loop over one silently breaks bit-for-bit reproducibility. Use
 //!   `BTreeMap`/`BTreeSet`.
 //! * **DET02** — no wall-clock or OS-entropy sources (`Instant::now`,
-//!   `SystemTime`, `thread_rng`, `from_entropy`) outside `crates/bench`:
-//!   every random draw must come from a named seeded nonce stream.
+//!   `SystemTime`, `thread_rng`, `from_entropy`) outside `crates/bench`
+//!   and `crates/svc`: every random draw must come from a named seeded
+//!   nonce stream. Sockets (`UdpSocket`, `TcpListener`, `TcpStream`)
+//!   are DET02 hazards too, and for them **only** `crates/svc` is
+//!   sanctioned — the service daemon is the one place real network I/O
+//!   may exist; even `crates/bench` must drive it through `ices-svc`.
 //! * **DET03** — no raw `thread::spawn`/`thread::scope`/`thread::Builder`
-//!   outside `crates/par`: all parallelism goes through `ices-par`, whose
-//!   entry points are order-preserving by construction (the persistent
-//!   worker pool included — its named `Builder` spawns live in par).
+//!   outside `crates/par` and `crates/svc`: simulation parallelism goes
+//!   through `ices-par`, whose entry points are order-preserving by
+//!   construction (the persistent worker pool included — its named
+//!   `Builder` spawns live in par). The svc daemon's socket loop and
+//!   the loadgen's client workers are real concurrency by design and
+//!   never touch simulation state.
 //! * **PANIC01** — no `.unwrap()`/`.expect(` in non-test library code
 //!   (tests, examples, and binaries are exempt): probe/detector paths
 //!   must degrade through `Result`s, not abort a simulation.
@@ -690,8 +697,13 @@ pub fn audit_source(ctx: &FileContext, src: &str) -> FileReport {
     let (mut allows, mut findings) = parse_allows(ctx, &lexed.comments);
 
     let critical = DETERMINISM_CRITICAL.contains(&ctx.crate_name.as_str());
-    let det02_applies = ctx.crate_name != "bench";
-    let det03_applies = ctx.crate_name != "par";
+    // `crates/svc` is the sanctioned home for real time, real threads
+    // and real sockets (ISSUE 10); `crates/bench` keeps its historical
+    // wall-clock license but NOT a socket one — benches drive the
+    // daemon through ices-svc rather than opening sockets of their own.
+    let det02_applies = !matches!(ctx.crate_name.as_str(), "bench" | "svc");
+    let det03_applies = !matches!(ctx.crate_name.as_str(), "par" | "svc");
+    let sockets_apply = ctx.crate_name != "svc";
     let panic01_applies = ctx.kind == FileKind::Lib;
     // FAST01: `crates/par` owns the tier knob, and modules *named*
     // `fast` are exactly where reassociated kernels are supposed to
@@ -817,6 +829,30 @@ pub fn audit_source(ctx: &FileContext, src: &str) -> FileReport {
                         "`Instant::now` is a wall-clock source; only `crates/bench` \
                          may time things"
                             .into(),
+                        &mut findings,
+                    );
+                }
+            }
+            "UdpSocket" | "TcpListener" | "TcpStream" if sockets_apply => {
+                if obs01 {
+                    push(
+                        "OBS01",
+                        line,
+                        format!(
+                            "`{word}` in ices-obs; observability never does \
+                             network I/O — sockets live in `crates/svc` only"
+                        ),
+                        &mut findings,
+                    );
+                } else {
+                    push(
+                        "DET02",
+                        line,
+                        format!(
+                            "`{word}` is real network I/O; only `crates/svc` \
+                             may open sockets — simulations talk through \
+                             `ices-netsim`, benches through `ices-svc`"
+                        ),
                         &mut findings,
                     );
                 }
@@ -1116,6 +1152,49 @@ mod tests {
     }
 
     #[test]
+    fn det02_exempts_svc_wallclock_but_not_sim_crates() {
+        let src = "let t = Instant::now();\nlet s = SystemTime::now();\n";
+        let mut svc = lib_ctx();
+        svc.crate_name = "svc".into();
+        assert!(audit_source(&svc, src).findings.is_empty());
+        assert_eq!(
+            rules_of(&audit_source(&lib_ctx(), src)),
+            [("DET02", 1, false), ("DET02", 2, false)]
+        );
+    }
+
+    #[test]
+    fn sockets_are_det02_everywhere_but_svc() {
+        let src = "let sock = std::net::UdpSocket::bind(addr);\nlet l = TcpListener::bind(addr);\nlet c = TcpStream::connect(addr);\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(
+            rules_of(&r),
+            [("DET02", 1, false), ("DET02", 2, false), ("DET02", 3, false)]
+        );
+        assert!(r.findings.iter().all(|f| f.message.contains("crates/svc")));
+        // bench keeps its wall-clock license but gets no socket license.
+        let mut bench = lib_ctx();
+        bench.crate_name = "bench".into();
+        assert_eq!(
+            rules_of(&audit_source(&bench, src)),
+            [("DET02", 1, false), ("DET02", 2, false), ("DET02", 3, false)]
+        );
+        let mut svc = lib_ctx();
+        svc.crate_name = "svc".into();
+        assert!(audit_source(&svc, src).findings.is_empty());
+    }
+
+    #[test]
+    fn sockets_in_obs_report_as_obs01() {
+        let src = "let sock = UdpSocket::bind(addr);\n";
+        let mut obs = lib_ctx();
+        obs.crate_name = "obs".into();
+        let r = audit_source(&obs, src);
+        assert_eq!(rules_of(&r), [("OBS01", 1, false)]);
+        assert!(r.findings.iter().all(|f| f.message.contains("network I/O")));
+    }
+
+    #[test]
     fn det03_exempts_par() {
         let src = "std::thread::scope(|s| { s.spawn(|| {}); });\n";
         let r = audit_source(&lib_ctx(), src);
@@ -1123,6 +1202,16 @@ mod tests {
         let mut par = lib_ctx();
         par.crate_name = "par".into();
         assert!(audit_source(&par, src).findings.is_empty());
+    }
+
+    #[test]
+    fn det03_exempts_svc() {
+        let src = "std::thread::spawn(|| {});\nthread::Builder::new();\n";
+        let r = audit_source(&lib_ctx(), src);
+        assert_eq!(rules_of(&r), [("DET03", 1, false), ("DET03", 2, false)]);
+        let mut svc = lib_ctx();
+        svc.crate_name = "svc".into();
+        assert!(audit_source(&svc, src).findings.is_empty());
     }
 
     #[test]

@@ -88,6 +88,50 @@ fn rtt_source_wallclock_fixture_fires_det02_under_netsim() {
 }
 
 #[test]
+fn det02_socket_fixture_fires_everywhere_but_svc() {
+    // Default (strictest) context: a socket is a DET02 hazard.
+    assert_single_finding("det02_socket.rs", "DET02", 6);
+    // Simulation and bench contexts keep the rule armed — bench has a
+    // wall-clock license, not a socket one.
+    for context in ["netsim", "sim", "bench"] {
+        let targets = adhoc_targets_as(&[fixture("det02_socket.rs")], context);
+        let report = audit_targets(&targets);
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "socket under the {context} context: {:?}",
+            report.findings
+        );
+        let f = &report.findings[0];
+        assert_eq!((f.rule.as_str(), f.line), ("DET02", 6), "{context}: {f:?}");
+        assert!(f.message.contains("crates/svc"), "{context}: {f:?}");
+        assert!(report.is_dirty());
+    }
+    // The daemon crate is the one sanctioned socket home.
+    let targets = adhoc_targets_as(&[fixture("det02_socket.rs")], "svc");
+    let report = audit_targets(&targets);
+    assert!(
+        report.findings.is_empty(),
+        "sockets are svc's to open: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn svc_context_licenses_wallclock_and_spawns_but_not_hashmaps() {
+    // The daemon's clock reads and worker spawns are by design...
+    for name in ["det02_clock.rs", "det03_spawn.rs", "det03_builder.rs"] {
+        let targets = adhoc_targets_as(&[fixture(name)], "svc");
+        let report = audit_targets(&targets);
+        assert!(
+            report.findings.is_empty(),
+            "{name} must be clean under the svc context: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
 fn panic01_unwrap_fixture() {
     assert_single_finding("panic01_unwrap.rs", "PANIC01", 4);
 }
@@ -191,6 +235,7 @@ fn binary_exits_nonzero_on_each_bad_fixture() {
         "det01_hashmap.rs",
         "det02_clock.rs",
         "det02_rtt_source.rs",
+        "det02_socket.rs",
         "det03_spawn.rs",
         "det03_builder.rs",
         "panic01_unwrap.rs",

@@ -1,0 +1,7 @@
+//! DET02 fixture: real network I/O in library code. Sockets are the
+//! service daemon's (`crates/svc`) alone — a simulation or bench crate
+//! opening one bypasses `ices-netsim`'s deterministic RTT synthesis.
+
+pub fn leak_a_socket() -> bool {
+    std::net::UdpSocket::bind("127.0.0.1:0").is_ok()
+}

@@ -5,163 +5,18 @@
 //! bench_check <baseline.json> <current.json>
 //! ```
 //!
-//! Compares every matching tick-engine configuration (driver × threads
-//! × faults × journal × adversary × tier — fast-tier rows only ever
-//! compare against fast-tier baselines), the detector-bank
-//! microbenchmark (both paths on the 20% budget, and the batched sweep
-//! must beat the scalar loop within the current report), the
-//! streamed-topology scale-sweep rows (with a
-//! wider 30% budget at ≥50k nodes, where run-to-run variance grows with
-//! the constant-factor work per probe), and the NPS solver
-//! microbenchmark; a configuration whose throughput dropped more than
-//! its budget gets a loudly printed warning, a journaled configuration
-//! running more than 5% below its unjournaled twin *in the current
-//! report* violates the obs layer's overhead budget, and the Sybil
-//! adversarial configuration running more than 10% below its
-//! honest-world twin violates the intercept path's budget.
-//!
-//! When the two reports disagree on `host_parallelism`, only the
-//! `threads == 1` configurations are compared: multi-thread rows (and
-//! the recorded speedups, which may legitimately be `null` on
-//! single-core hosts) are functions of the machine, not of the code,
-//! so cross-host comparison of them is noise presented as signal.
+//! A thin shell over [`ices_bench::check::compare`], which owns the
+//! comparison rules, the per-section budgets, and the schema-evolution
+//! policy (fields an old baseline predates are defaulted, with a
+//! printed migration note — see the module docs of
+//! `crates/bench/src/check.rs`).
 //!
 //! Always exits 0 on a completed comparison — timings on shared
 //! hardware are advisory, the warning is the signal — and exits 2 only
 //! on usage or parse errors.
 
+use ices_bench::check::{compare, TOLERANCE};
 use serde::Value;
-
-/// Fractional throughput drop that triggers a warning.
-const TOLERANCE: f64 = 0.20;
-
-/// Wider budget for scale-sweep rows at or above this population: big
-/// streamed runs are single-rep and allocator/page-cache sensitive.
-const SWEEP_BIG_NODES: u64 = 50_000;
-const SWEEP_BIG_TOLERANCE: f64 = 0.30;
-
-/// Budgeted journaling overhead: a journaled run must stay within 5% of
-/// the matching unjournaled configuration.
-const JOURNAL_BUDGET: f64 = 0.05;
-
-/// Budgeted intercept-path overhead: the Sybil-swarm configuration must
-/// stay within 10% of its honest-world twin (same driver, same
-/// attack-phase plumbing, the adversary the only variable).
-const ADVERSARY_BUDGET: f64 = 0.10;
-
-fn field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
-    match v {
-        Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
-        _ => None,
-    }
-}
-
-fn number(v: &Value) -> Option<f64> {
-    match v {
-        Value::F64(x) => Some(*x),
-        Value::U64(n) => Some(*n as f64),
-        Value::I64(n) => Some(*n as f64),
-        _ => None,
-    }
-}
-
-/// One tick-engine row's identity plus its throughput.
-struct Row {
-    driver: String,
-    threads: u64,
-    faults: bool,
-    journal: bool,
-    adversary: String,
-    /// Numeric tier (`"exact"`/`"fast"`). Reports recorded before the
-    /// fast tier carry no `tier` field; those rows default `"exact"`,
-    /// which is what they were — and fast rows only ever compare
-    /// against fast baselines, never across tiers.
-    tier: String,
-    sps: f64,
-}
-
-/// Per-run-entry rows. Reports recorded before the obs layer carry no
-/// `journal` field (defaults `false`), reports recorded before the
-/// adversary rows carry no `adversary` field (defaults `"none"`), and
-/// pre-tier reports carry no `tier` field (defaults `"exact"`) — old
-/// baselines stay comparable in every case.
-fn runs(report: &Value) -> Vec<Row> {
-    let mut out = Vec::new();
-    if let Some(Value::Seq(entries)) = field(report, "runs") {
-        for run in entries {
-            let driver = match field(run, "driver") {
-                Some(Value::Str(s)) => s.clone(),
-                _ => continue,
-            };
-            let threads = match field(run, "threads").and_then(number) {
-                Some(t) => t as u64,
-                None => continue,
-            };
-            let faults = matches!(field(run, "faults"), Some(Value::Bool(true)));
-            let journal = matches!(field(run, "journal"), Some(Value::Bool(true)));
-            let adversary = match field(run, "adversary") {
-                Some(Value::Str(s)) => s.clone(),
-                _ => "none".to_string(),
-            };
-            let tier = match field(run, "tier") {
-                Some(Value::Str(s)) => s.clone(),
-                _ => "exact".to_string(),
-            };
-            let sps = match field(run, "steps_per_sec").and_then(number) {
-                Some(s) => s,
-                None => continue,
-            };
-            out.push(Row {
-                driver,
-                threads,
-                faults,
-                journal,
-                adversary,
-                tier,
-                sps,
-            });
-        }
-    }
-    out
-}
-
-/// `(scalar, batched)` sweeps/sec of the detector-bank microbenchmark,
-/// absent on reports recorded before the bank existed.
-fn detector_bank_rates(report: &Value) -> Option<(f64, f64)> {
-    let bank = field(report, "detector_bank")?;
-    Some((
-        field(bank, "scalar_sweeps_per_sec").and_then(number)?,
-        field(bank, "batched_sweeps_per_sec").and_then(number)?,
-    ))
-}
-
-/// `(nodes, threads) → steps_per_sec` per scale-sweep row. Reports
-/// recorded before the streamed sweep carry no `scale_sweep` field;
-/// those yield no rows and the comparison is skipped.
-fn sweep_rows(report: &Value) -> Vec<(u64, u64, f64)> {
-    let mut out = Vec::new();
-    if let Some(Value::Seq(entries)) = field(report, "scale_sweep") {
-        for row in entries {
-            let (Some(nodes), Some(threads), Some(sps)) = (
-                field(row, "nodes").and_then(number),
-                field(row, "threads").and_then(number),
-                field(row, "steps_per_sec").and_then(number),
-            ) else {
-                continue;
-            };
-            out.push((nodes as u64, threads as u64, sps));
-        }
-    }
-    out
-}
-
-fn host_parallelism(report: &Value) -> Option<u64> {
-    field(report, "host_parallelism").and_then(number).map(|n| n as u64)
-}
-
-fn solver_rate(report: &Value) -> Option<f64> {
-    field(report, "nps_solver").and_then(|s| field(s, "solves_per_sec").and_then(number))
-}
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -190,204 +45,25 @@ fn main() {
         }
     };
 
-    let mut warnings = 0usize;
-    let mut compared = 0usize;
-    // Differently-sized hosts make every multi-thread row (and any
-    // recorded speedup) incomparable; restrict to the sequential rows.
-    let same_host = match (host_parallelism(&baseline), host_parallelism(&current)) {
-        (Some(b), Some(c)) => b == c,
-        _ => true, // a pre-sweep report: keep the old permissive behavior
-    };
-    if !same_host {
+    let report = compare(&baseline, &current);
+    for note in &report.notes {
+        println!("bench_check: note — {note}");
+    }
+    for warning in &report.warnings {
+        println!("PERF WARNING: {warning}");
+    }
+    if report.warnings.is_empty() {
         println!(
-            "bench_check: host_parallelism differs between reports — \
-             comparing threads=1 configurations only"
+            "bench_check: {} configurations within {:.0}% of baseline",
+            report.compared,
+            100.0 * TOLERANCE
         );
-    }
-    let old_runs = runs(&baseline);
-    let new_runs = runs(&current);
-    for row in &new_runs {
-        if !same_host && row.threads != 1 {
-            continue;
-        }
-        // Tier is part of the row's identity: a fast row never compares
-        // against an exact baseline (or vice versa).
-        let Some(old) = old_runs.iter().find(|o| {
-            o.driver == row.driver
-                && o.threads == row.threads
-                && o.faults == row.faults
-                && o.journal == row.journal
-                && o.adversary == row.adversary
-                && o.tier == row.tier
-        }) else {
-            continue;
-        };
-        compared += 1;
-        if row.sps < old.sps * (1.0 - TOLERANCE) {
-            warnings += 1;
-            println!(
-                "PERF WARNING: {} (threads={}, faults={}, journal={}, \
-                 adversary={}, tier={}) regressed {:.0}% — \
-                 {:.0} → {:.0} steps/sec",
-                row.driver,
-                row.threads,
-                row.faults,
-                row.journal,
-                row.adversary,
-                row.tier,
-                100.0 * (1.0 - row.sps / old.sps),
-                old.sps,
-                row.sps
-            );
-        }
-    }
-    // The obs overhead budget is checked within the current report:
-    // journaled vs unjournaled twins share the hardware and the moment,
-    // so the ratio is meaningful even when absolute timings are noisy.
-    for row in &new_runs {
-        if !row.journal {
-            continue;
-        }
-        let Some(clean) = new_runs.iter().find(|o| {
-            o.driver == row.driver
-                && o.threads == row.threads
-                && o.faults == row.faults
-                && !o.journal
-                && o.adversary == row.adversary
-                && o.tier == row.tier
-        }) else {
-            continue;
-        };
-        compared += 1;
-        if row.sps < clean.sps * (1.0 - JOURNAL_BUDGET) {
-            warnings += 1;
-            println!(
-                "PERF WARNING: {} (threads={}) journaling overhead {:.1}% \
-                 exceeds the {:.0}% budget — {:.0} → {:.0} steps/sec",
-                row.driver,
-                row.threads,
-                100.0 * (1.0 - row.sps / clean.sps),
-                100.0 * JOURNAL_BUDGET,
-                clean.sps,
-                row.sps
-            );
-        }
-    }
-    // The intercept-path budget is likewise checked within the current
-    // report: the Sybil row against its honest-world twin, same driver,
-    // same moment, same hardware.
-    for row in &new_runs {
-        if row.adversary != "sybil" {
-            continue;
-        }
-        let Some(twin) = new_runs.iter().find(|o| {
-            o.driver == row.driver
-                && o.threads == row.threads
-                && o.faults == row.faults
-                && o.journal == row.journal
-                && o.adversary == "honest_twin"
-                && o.tier == row.tier
-        }) else {
-            continue;
-        };
-        compared += 1;
-        if row.sps < twin.sps * (1.0 - ADVERSARY_BUDGET) {
-            warnings += 1;
-            println!(
-                "PERF WARNING: {} (threads={}) intercept-path overhead {:.1}% \
-                 exceeds the {:.0}% budget — {:.0} → {:.0} steps/sec vs honest twin",
-                row.driver,
-                row.threads,
-                100.0 * (1.0 - row.sps / twin.sps),
-                100.0 * ADVERSARY_BUDGET,
-                twin.sps,
-                row.sps
-            );
-        }
-    }
-    // Scale-sweep rows: per-scale budgets (big streamed runs get 30%).
-    let old_sweep = sweep_rows(&baseline);
-    for (nodes, threads, new_sps) in sweep_rows(&current) {
-        if !same_host && threads != 1 {
-            continue;
-        }
-        let Some((_, _, old_sps)) = old_sweep
-            .iter()
-            .find(|(n, t, _)| *n == nodes && *t == threads)
-        else {
-            continue;
-        };
-        compared += 1;
-        let budget = if nodes >= SWEEP_BIG_NODES {
-            SWEEP_BIG_TOLERANCE
-        } else {
-            TOLERANCE
-        };
-        if new_sps < old_sps * (1.0 - budget) {
-            warnings += 1;
-            println!(
-                "PERF WARNING: streamed sweep n={nodes} (threads={threads}) regressed \
-                 {:.0}% (budget {:.0}%) — {:.0} → {:.0} steps/sec",
-                100.0 * (1.0 - new_sps / old_sps),
-                100.0 * budget,
-                old_sps,
-                new_sps
-            );
-        }
-    }
-    // Detector-bank microbenchmark rows: the regular 20% budget on each
-    // path's absolute rate against the baseline, and — within the
-    // current report — the bank must actually beat the scalar loop it
-    // exists to replace.
-    if let (Some((old_scalar, old_batched)), Some((new_scalar, new_batched))) =
-        (detector_bank_rates(&baseline), detector_bank_rates(&current))
-    {
-        for (name, old, new) in [
-            ("scalar", old_scalar, new_scalar),
-            ("batched", old_batched, new_batched),
-        ] {
-            compared += 1;
-            if new < old * (1.0 - TOLERANCE) {
-                warnings += 1;
-                println!(
-                    "PERF WARNING: detector_bank {name} sweep regressed {:.0}% — \
-                     {:.0} → {:.0} sweeps/sec",
-                    100.0 * (1.0 - new / old),
-                    old,
-                    new
-                );
-            }
-        }
-    }
-    if let Some((scalar, batched)) = detector_bank_rates(&current) {
-        compared += 1;
-        if batched <= scalar {
-            warnings += 1;
-            println!(
-                "PERF WARNING: detector_bank batched sweep ({batched:.0}/s) is not \
-                 faster than the scalar loop ({scalar:.0}/s)"
-            );
-        }
-    }
-    if let (Some(old), Some(new)) = (solver_rate(&baseline), solver_rate(&current)) {
-        compared += 1;
-        if new < old * (1.0 - TOLERANCE) {
-            warnings += 1;
-            println!(
-                "PERF WARNING: nps_solver regressed {:.0}% — {:.1} → {:.1} solves/sec",
-                100.0 * (1.0 - new / old),
-                old,
-                new
-            );
-        }
-    }
-
-    if warnings == 0 {
-        println!("bench_check: {compared} configurations within {:.0}% of baseline", 100.0 * TOLERANCE);
     } else {
         println!(
-            "bench_check: {warnings}/{compared} configurations regressed >{:.0}% (non-fatal; \
+            "bench_check: {}/{} configurations regressed >{:.0}% (non-fatal; \
              investigate or re-record BENCH_sim.json with rationale)",
+            report.warnings.len(),
+            report.compared,
             100.0 * TOLERANCE
         );
     }

@@ -41,6 +41,7 @@ pub mod kalman;
 pub mod model;
 pub mod protocol;
 pub mod surveyor;
+pub mod wire;
 
 pub use batch::DetectorBank;
 pub use certify::{Certifier, CertificateError, CoordinateCertificate};
@@ -52,3 +53,4 @@ pub use protocol::{
     vet_sequences, vet_single, ConfigError, SecureNode, SecureStep, SecurityConfig, VetEvent,
 };
 pub use surveyor::{SurveyorInfo, SurveyorRegistry};
+pub use wire::{Disposition, Message, WireError, MAX_DATAGRAM, WIRE_VERSION};

@@ -100,11 +100,35 @@ impl SynthRtt {
     /// `samples` streamed pair draws (pure function of the seed; mirrors
     /// [`RttMatrix::median`]'s `total_cmp`-sort-and-middle convention).
     ///
+    /// Degenerate shapes short-circuit instead of sampling: with fewer
+    /// than two nodes there are no pairs and the median is 0 (matching
+    /// [`RttMatrix::median`] on an empty triangle, and avoiding the
+    /// modulo-by-zero / draw-forever loop rejection sampling would hit);
+    /// with no more pairs than requested samples the full upper triangle
+    /// is enumerated and the median is **exact** — rejection-sampling a
+    /// population the size of the sample budget would just be a noisy,
+    /// slower spelling of the same set.
+    ///
     /// # Panics
     /// Panics if `samples` is 0.
     pub fn sampled_median(&self, samples: usize) -> f64 {
         assert!(samples > 0, "need at least one sample");
-        let n = self.placement.len() as u64;
+        let n = self.placement.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let pairs = n * (n - 1) / 2;
+        if pairs <= samples {
+            let mut all = Vec::with_capacity(pairs);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    all.push(self.base_rtt(a, b));
+                }
+            }
+            all.sort_by(f64::total_cmp);
+            return all[all.len() / 2];
+        }
+        let n = n as u64;
         let mut rng = stream_rng(self.seed, streams::MEDI); // "MEDI"
         let mut drawn = Vec::with_capacity(samples);
         while drawn.len() < samples {
@@ -269,6 +293,58 @@ mod tests {
         assert!(
             (estimate - exact).abs() / exact < 0.25,
             "estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    /// Below the sample budget the estimate must *be* the exact dense
+    /// median — the degenerate-network guard enumerates the triangle
+    /// instead of rejection-sampling it.
+    #[test]
+    fn tiny_networks_get_the_exact_median() {
+        for nodes in [2usize, 3, 8, 40] {
+            let config = KingConfig::small(nodes);
+            let topo = config.clone().generate(13);
+            let synth = SynthRtt::new(config, 13);
+            let pairs = nodes * (nodes - 1) / 2;
+            assert!(pairs <= MEDIAN_SAMPLES, "test premise broken for n={nodes}");
+            assert_eq!(
+                synth.sampled_median(MEDIAN_SAMPLES).to_bits(),
+                topo.matrix.median().to_bits(),
+                "n={nodes} did not take the exact path"
+            );
+        }
+    }
+
+    /// The two-node network is the smallest constructible topology: one
+    /// pair, whose RTT is its own median — and the old rejection loop's
+    /// worst case (a 50% per-draw rejection rate; n=1 would never
+    /// terminate at all).
+    #[test]
+    fn two_node_median_is_the_single_pair() {
+        let synth = SynthRtt::new(KingConfig::small(2), 9);
+        assert_eq!(
+            synth.sampled_median(MEDIAN_SAMPLES).to_bits(),
+            synth.base_rtt(0, 1).to_bits()
+        );
+        // Any sample budget gives the same exact answer down at this size.
+        assert_eq!(
+            synth.sampled_median(1).to_bits(),
+            synth.base_rtt(0, 1).to_bits()
+        );
+    }
+
+    /// Networks with more pairs than the budget keep using the MEDI
+    /// sampling stream, byte-for-byte as before the guard.
+    #[test]
+    fn large_networks_still_sample() {
+        let config = KingConfig::small(120); // 7140 pairs > 4095 samples
+        let topo = config.clone().generate(21);
+        let synth = SynthRtt::new(config, 21);
+        let estimate = synth.sampled_median(MEDIAN_SAMPLES);
+        assert_ne!(
+            estimate.to_bits(),
+            topo.matrix.median().to_bits(),
+            "sampling path expected to differ from the exact median at n=120"
         );
     }
 

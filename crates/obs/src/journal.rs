@@ -263,6 +263,24 @@ impl Journal {
         self.write_line();
     }
 
+    /// Push buffered lines to the file now, without closing the
+    /// journal. The daemon calls this on its shutdown path (and
+    /// periodically between poll cycles) so an abort — `SIGKILL`,
+    /// `process::exit`, a panic with destructors skipped — loses at
+    /// most the lines written since the last flush, never a torn one.
+    /// A no-op for in-memory journals and after a write error.
+    pub fn flush(&mut self) {
+        if self.errored {
+            return;
+        }
+        if let Sink::File(w) = &mut self.sink {
+            if let Err(e) = w.flush() {
+                self.errored = true;
+                eprintln!("ices-obs: journal flush failed, journaling disabled: {e}");
+            }
+        }
+    }
+
     /// Flush and close. Returns the accumulated bytes for an in-memory
     /// journal, `None` for a file journal (whose bytes are on disk).
     pub fn finish(mut self) -> Option<Vec<u8>> {

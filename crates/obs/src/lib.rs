@@ -87,4 +87,25 @@ pub mod names {
     /// Bucket bounds for [`RELATIVE_ERROR`].
     pub const RELATIVE_ERROR_BOUNDS: &[f64] =
         &[0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 5.0];
+
+    /// Service daemon (`ices-svc`) traffic. Names stay within the wire
+    /// codec's 32-byte counter-name cap so a `StatsReply` can carry
+    /// every one of them.
+    pub const SVC_RX: &str = "svc.rx_datagrams";
+    pub const SVC_TX: &str = "svc.tx_datagrams";
+    /// Datagrams the wire codec refused (the loadgen gate pins this
+    /// at zero for well-formed traffic).
+    pub const SVC_DECODE_ERRORS: &str = "svc.decode_errors";
+    pub const SVC_PROBES: &str = "svc.probes";
+    pub const SVC_CALIBRATIONS: &str = "svc.calibrations";
+    pub const SVC_REGISTRATIONS: &str = "svc.registrations";
+    pub const SVC_CLAIMS: &str = "svc.claims";
+    pub const SVC_CLAIMS_ACCEPTED: &str = "svc.claims_accepted";
+    pub const SVC_CLAIMS_REPRIEVED: &str = "svc.claims_reprieved";
+    pub const SVC_CLAIMS_REJECTED: &str = "svc.claims_rejected";
+    pub const SVC_CERTS_ISSUED: &str = "svc.certs_issued";
+    /// Claims carrying a certificate that failed verification.
+    pub const SVC_BAD_CERTS: &str = "svc.bad_certs";
+    /// Claims refused because no Surveyor has armed the filter yet.
+    pub const SVC_NOT_READY: &str = "svc.not_ready";
 }

@@ -93,6 +93,8 @@ pub const NPSJ: u64 = 0x4E50_534A;
 /// NPS probe-retry nonces; attempt 0 reuses the primary nonce
 /// (`sim::nps_driver`).
 pub const NPSR: u64 = 0x4E50_5352;
+/// Load-generator simulated-client claim draws (`svc::client`).
+pub const LGEN: u64 = 0x4C47_454E;
 
 /// Every registered tag, in declaration order, for inventory tests and
 /// the audit's cross-crate table.
@@ -128,6 +130,7 @@ pub const ALL: &[(&str, u64)] = &[
     ("NPSP", NPSP),
     ("NPSJ", NPSJ),
     ("NPSR", NPSR),
+    ("LGEN", LGEN),
 ];
 
 #[cfg(test)]

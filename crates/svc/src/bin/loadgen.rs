@@ -1,0 +1,427 @@
+//! `loadgen` — drive N simulated clients against a coordinate daemon.
+//!
+//! Each client performs one certified probe and one coordinate claim
+//! (two UDP round-trips), with every claim drawn deterministically from
+//! the `LGEN` RNG substream (see `ices_svc::client`). Reports exact
+//! p50/p99 round-trip latency, probes/sec, and the daemon's own
+//! reject/defense counters fetched over the wire.
+//!
+//! ```text
+//! loadgen [--clients N] [--workers W] [--liar-permille L] [--seed S]
+//!         [--addr HOST:PORT] [--token T] [--journal PATH]
+//!         [--merge-bench BENCH_sim.json] [--gate]
+//! ```
+//!
+//! Without `--addr` an in-process daemon is spawned on a loopback
+//! ephemeral port (the tier-2 smoke path). `--gate` exits non-zero on
+//! any decode error, timeout, or an empty run — the hard acceptance
+//! gate scripts rely on.
+
+use ices_core::wire::{decode, encode, Disposition, Message, MAX_DATAGRAM};
+use ices_core::StateSpaceParams;
+use ices_coord::Coordinate;
+use ices_obs::Journal;
+use ices_svc::{client_claim, ClientPlan, Daemon, ServiceConfig};
+use std::net::UdpSocket;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: u64,
+    workers: usize,
+    liar_permille: u32,
+    seed: u64,
+    addr: Option<String>,
+    token: u64,
+    journal: Option<String>,
+    merge_bench: Option<String>,
+    gate: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 10_000,
+        workers: 8,
+        liar_permille: 100,
+        seed: 61,
+        addr: None,
+        token: 0x10AD_0CE5,
+        journal: None,
+        merge_bench: None,
+        gate: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = parse(value("--clients")?, "--clients")?,
+            "--workers" => args.workers = parse(value("--workers")?, "--workers")?,
+            "--liar-permille" => {
+                args.liar_permille = parse(value("--liar-permille")?, "--liar-permille")?;
+            }
+            "--seed" => args.seed = parse(value("--seed")?, "--seed")?,
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--token" => args.token = parse(value("--token")?, "--token")?,
+            "--journal" => args.journal = Some(value("--journal")?),
+            "--merge-bench" => args.merge_bench = Some(value("--merge-bench")?),
+            "--gate" => args.gate = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.workers == 0 {
+        return Err("--workers must be positive".to_string());
+    }
+    if args.liar_permille > 1000 {
+        return Err("--liar-permille must be 0..=1000".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(raw: String, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse().map_err(|e| format!("{name}: {e}"))
+}
+
+/// The calibration parameters the surveyor distributes — the same
+/// vector the workspace's simulations calibrate to (`w̄ = 0.02`,
+/// honest measurement noise well under the 10% client deltas).
+fn surveyor_params() -> StateSpaceParams {
+    StateSpaceParams {
+        beta: 0.8,
+        v_w: 0.001,
+        v_u: 0.001,
+        w_bar: 0.02,
+        w0: 0.1,
+        p0: 0.01,
+    }
+}
+
+/// One blocking request/reply round-trip on `sock`.
+fn rpc(sock: &UdpSocket, addr: &str, msg: &Message) -> Result<Message, String> {
+    let bytes = encode(msg).map_err(|e| format!("encode: {e}"))?;
+    sock.send_to(&bytes, addr).map_err(|e| format!("send: {e}"))?;
+    let mut buf = [0u8; MAX_DATAGRAM + 1];
+    let (len, _) = sock.recv_from(&mut buf).map_err(|e| format!("recv: {e}"))?;
+    decode(&buf[..len]).map_err(|e| format!("decode: {e}"))
+}
+
+#[derive(Default)]
+struct WorkerReport {
+    latencies_us: Vec<u64>,
+    ops: u64,
+    timeouts: u64,
+    decode_errors: u64,
+    accepted: u64,
+    reprieved: u64,
+    rejected: u64,
+    bad_certs: u64,
+    not_ready: u64,
+    mismatches: u64,
+}
+
+/// Drive clients `w, w+stride, w+2·stride, …` through probe + claim,
+/// window of one outstanding request per worker.
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    w: u64,
+    stride: u64,
+    clients: u64,
+    seed: u64,
+    liar_permille: u32,
+    daemon_coord: Coordinate,
+    addr: String,
+) -> WorkerReport {
+    let mut report = WorkerReport::default();
+    let Ok(sock) = UdpSocket::bind("127.0.0.1:0") else {
+        report.timeouts += 1; // a worker with no socket times everything out
+        return report;
+    };
+    if sock.set_read_timeout(Some(Duration::from_secs(2))).is_err() {
+        report.timeouts += 1;
+        return report;
+    }
+    let mut buf = [0u8; MAX_DATAGRAM + 1];
+    let mut id = w;
+    while id < clients {
+        let plan = ClientPlan::derive(seed, id, liar_permille, &daemon_coord);
+        let requests = [
+            Message::ProbeRequest { nonce: id * 2 },
+            client_claim(&plan, id * 2 + 1),
+        ];
+        for msg in &requests {
+            let Ok(bytes) = encode(msg) else {
+                report.decode_errors += 1;
+                continue;
+            };
+            let begin = Instant::now();
+            if sock.send_to(&bytes, &addr).is_err() {
+                report.timeouts += 1;
+                continue;
+            }
+            let len = match sock.recv_from(&mut buf) {
+                Ok((len, _)) => len,
+                Err(_) => {
+                    report.timeouts += 1;
+                    continue;
+                }
+            };
+            let elapsed = u64::try_from(begin.elapsed().as_micros()).unwrap_or(u64::MAX);
+            match decode(&buf[..len]) {
+                Ok(Message::ProbeReply { nonce, .. }) if nonce == id * 2 => {}
+                Ok(Message::UpdateVerdict {
+                    nonce, disposition, ..
+                }) if nonce == id * 2 + 1 => {
+                    match disposition {
+                        Disposition::Accepted => report.accepted += 1,
+                        Disposition::Reprieved => report.reprieved += 1,
+                        Disposition::Rejected => report.rejected += 1,
+                        Disposition::BadCertificate => report.bad_certs += 1,
+                        Disposition::NotReady => report.not_ready += 1,
+                    }
+                    // A liar slipping straight through (not even a
+                    // reprieve) or an honest client hard-rejected is a
+                    // detector mismatch worth reporting.
+                    let surprising = if plan.liar {
+                        disposition == Disposition::Accepted
+                    } else {
+                        disposition == Disposition::Rejected
+                    };
+                    if surprising {
+                        report.mismatches += 1;
+                    }
+                }
+                Ok(_) => report.decode_errors += 1, // wrong reply type/nonce
+                Err(_) => report.decode_errors += 1,
+            }
+            report.ops += 1;
+            report.latencies_us.push(elapsed);
+        }
+        id += stride;
+    }
+    report
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Set `key` to `value` at the top level of the JSON file (creating the
+/// file as `{}` if absent), preserving every other key.
+fn merge_bench(path: &str, key: &str, value: serde::Value) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|_| "{}".to_string());
+    let parsed: serde::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e:?}"))?;
+    let serde::Value::Map(mut entries) = parsed else {
+        return Err(format!("{path}: top level is not an object"));
+    };
+    match entries.iter_mut().find(|(k, _)| k == key) {
+        Some((_, slot)) => *slot = value,
+        None => entries.push((key.to_string(), value)),
+    }
+    let rendered = serde_json::to_string_pretty(&serde::Value::Map(entries))
+        .map_err(|e| format!("render: {e:?}"))?;
+    std::fs::write(path, rendered + "\n").map_err(|e| format!("write {path}: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    // Spawn the in-process daemon unless aimed at an external one.
+    let mut daemon_thread = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let config = ServiceConfig {
+                shutdown_token: args.token,
+                ..ServiceConfig::default()
+            };
+            let mut daemon =
+                Daemon::bind("127.0.0.1:0", config).map_err(|e| format!("bind: {e}"))?;
+            if let Some(path) = &args.journal {
+                let journal = Journal::to_file(path).map_err(|e| format!("journal: {e}"))?;
+                daemon = daemon.with_journal(journal);
+            }
+            let addr = daemon
+                .local_addr()
+                .map_err(|e| format!("local_addr: {e}"))?
+                .to_string();
+            daemon_thread = Some(std::thread::spawn(move || daemon.run()));
+            addr
+        }
+    };
+
+    // Control plane: register the surveyor, learn the daemon coordinate.
+    let control = UdpSocket::bind("127.0.0.1:0").map_err(|e| format!("control bind: {e}"))?;
+    control
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| format!("control timeout: {e}"))?;
+    let ack = rpc(
+        &control,
+        &addr,
+        &Message::SurveyorRegister {
+            surveyor: 0,
+            coordinate: Coordinate::new(vec![0.0, 0.0], 0.5),
+            params: surveyor_params(),
+        },
+    )?;
+    if !matches!(ack, Message::RegisterAck { registered: true, .. }) {
+        return Err(format!("surveyor registration refused: {ack:?}"));
+    }
+    let probe = rpc(&control, &addr, &Message::ProbeRequest { nonce: 0 })?;
+    let Message::ProbeReply {
+        coordinate: daemon_coord,
+        certificate,
+        ..
+    } = probe
+    else {
+        return Err(format!("unexpected probe reply: {probe:?}"));
+    };
+    if certificate.is_none() {
+        return Err("daemon served no coordinate certificate after registration".to_string());
+    }
+
+    // Fan the client population across the workers.
+    let begin = Instant::now();
+    let stride = args.workers as u64;
+    let handles: Vec<_> = (0..stride)
+        .map(|w| {
+            let coord = daemon_coord.clone();
+            let addr = addr.clone();
+            let (clients, seed, permille) = (args.clients, args.seed, args.liar_permille);
+            std::thread::spawn(move || worker(w, stride, clients, seed, permille, coord, addr))
+        })
+        .collect();
+    let mut total = WorkerReport::default();
+    for handle in handles {
+        let r = handle.join().map_err(|_| "worker panicked".to_string())?;
+        total.latencies_us.extend(r.latencies_us);
+        total.ops += r.ops;
+        total.timeouts += r.timeouts;
+        total.decode_errors += r.decode_errors;
+        total.accepted += r.accepted;
+        total.reprieved += r.reprieved;
+        total.rejected += r.rejected;
+        total.bad_certs += r.bad_certs;
+        total.not_ready += r.not_ready;
+        total.mismatches += r.mismatches;
+    }
+    let elapsed = begin.elapsed().as_secs_f64();
+
+    // Daemon-side counters, then shutdown (stops the in-process thread).
+    let stats = rpc(&control, &addr, &Message::StatsRequest)?;
+    let Message::StatsReply { counters } = stats else {
+        return Err(format!("unexpected stats reply: {stats:?}"));
+    };
+    let shutdown = rpc(&control, &addr, &Message::Shutdown { token: args.token });
+    if args.addr.is_none() {
+        match shutdown {
+            Ok(Message::StatsReply { .. }) => {}
+            other => return Err(format!("shutdown not acknowledged: {other:?}")),
+        }
+        if let Some(handle) = daemon_thread.take() {
+            handle
+                .join()
+                .map_err(|_| "daemon panicked".to_string())?
+                .map_err(|e| format!("daemon: {e}"))?;
+        }
+    }
+
+    total.latencies_us.sort_unstable();
+    let p50 = percentile(&total.latencies_us, 0.50);
+    let p99 = percentile(&total.latencies_us, 0.99);
+    let probes_per_sec = if elapsed > 0.0 {
+        total.ops as f64 / elapsed
+    } else {
+        0.0
+    };
+
+    println!(
+        "loadgen: {} clients x2 ops via {} workers in {elapsed:.3}s",
+        args.clients, args.workers
+    );
+    println!("loadgen: p50 {p50} us, p99 {p99} us, {probes_per_sec:.0} probes/sec");
+    println!(
+        "loadgen: accepted {} reprieved {} rejected {} bad_certs {} not_ready {} mismatches {}",
+        total.accepted,
+        total.reprieved,
+        total.rejected,
+        total.bad_certs,
+        total.not_ready,
+        total.mismatches
+    );
+    println!(
+        "loadgen: decode_errors {} timeouts {}",
+        total.decode_errors, total.timeouts
+    );
+    for (name, v) in &counters {
+        println!("daemon: {name} {v}");
+    }
+
+    if let Some(path) = &args.merge_bench {
+        let entry = serde::Value::Map(vec![
+            ("clients".to_string(), serde::Value::U64(args.clients)),
+            (
+                "workers".to_string(),
+                serde::Value::U64(args.workers as u64),
+            ),
+            (
+                "liar_permille".to_string(),
+                serde::Value::U64(u64::from(args.liar_permille)),
+            ),
+            ("seed".to_string(), serde::Value::U64(args.seed)),
+            ("ops".to_string(), serde::Value::U64(total.ops)),
+            (
+                "probes_per_sec".to_string(),
+                serde::Value::F64(probes_per_sec),
+            ),
+            ("p50_us".to_string(), serde::Value::U64(p50)),
+            ("p99_us".to_string(), serde::Value::U64(p99)),
+            (
+                "decode_errors".to_string(),
+                serde::Value::U64(total.decode_errors),
+            ),
+            ("timeouts".to_string(), serde::Value::U64(total.timeouts)),
+            ("accepted".to_string(), serde::Value::U64(total.accepted)),
+            ("reprieved".to_string(), serde::Value::U64(total.reprieved)),
+            ("rejected".to_string(), serde::Value::U64(total.rejected)),
+            (
+                "mismatches".to_string(),
+                serde::Value::U64(total.mismatches),
+            ),
+        ]);
+        merge_bench(path, "loadgen", entry)?;
+        println!("loadgen: merged results into {path}");
+    }
+
+    if args.gate {
+        let expected_ops = args.clients * 2;
+        if total.decode_errors > 0 || total.timeouts > 0 || total.ops < expected_ops {
+            eprintln!(
+                "loadgen: GATE FAILED — ops {}/{expected_ops}, decode_errors {}, timeouts {}",
+                total.ops, total.decode_errors, total.timeouts
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("loadgen: gate passed ({expected_ops} ops clean)");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

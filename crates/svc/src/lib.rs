@@ -1,0 +1,43 @@
+//! `ices-svc` — the coordinate service daemon and its load generator.
+//!
+//! ROADMAP item 2: the paper's detector only matters if it can run
+//! inside a *live* coordinate service. This crate wraps the existing
+//! detection/certification core in a compact binary UDP protocol
+//! (`ices_core::wire`):
+//!
+//! * **Probe** — request/reply carrying the daemon's coordinate and,
+//!   once a Surveyor has registered, a coordinate certificate over it;
+//! * **Surveyor endpoint** — registrar (`SurveyorRegister`) plus
+//!   calibration-parameter distribution (`CalibrationRequest`), the
+//!   paper's §3.3 infrastructure as a service;
+//! * **Secured-update intake** — every inbound `UpdateClaim` runs
+//!   through the `DetectorBank`/`vet_sequences` path exactly as a
+//!   simulation step would, and the claimant gets a typed
+//!   `UpdateVerdict` back (accepted / reprieved / rejected, with the
+//!   innovation and threshold that decided it).
+//!
+//! # The audit boundary
+//!
+//! This crate is the workspace's **one sanctioned home for real I/O**:
+//! sockets (`UdpSocket` is a DET02 finding in every other crate),
+//! wall-clock reads, and raw thread spawns. The boundary is kept
+//! honest two ways: structurally, [`ServiceCore`] — all protocol and
+//! security logic — is socket-free and clock-free (time arrives as a
+//! `u64` read from an [`ices_obs::Clock`]), with the OS touched only in
+//! [`Daemon`], [`ServiceClock`] and the binaries; and mechanically, by
+//! `ices-audit` (DET02/DET03 carve-outs for `svc`, sockets banned
+//! everywhere else — see `crates/audit/src/rules.rs`).
+//!
+//! Nothing here feeds simulation state: the daemon's detector vets live
+//! traffic, and determinism claims stay with the sim crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod clock;
+pub mod daemon;
+
+pub use client::{claim_delta, client_claim, ClientPlan};
+pub use clock::ServiceClock;
+pub use daemon::{Daemon, ServiceConfig, ServiceCore};

@@ -16,6 +16,12 @@ if [[ -f BENCH_sim.json ]]; then
   cp BENCH_sim.json "$baseline"
 fi
 
-# Re-record BENCH_sim.json, then compare it with the saved baseline.
+# Re-record BENCH_sim.json, then merge the service loadgen row into it
+# (10k simulated clients against an in-process loopback daemon; --gate
+# makes any decode error, timeout, or short run fatal — service
+# correctness is a hard gate even though timings stay advisory),
+# then compare everything with the saved baseline.
 cargo run --release -p ices-bench --bin bench_tick -- "$@"
+cargo run --release -p ices-svc --bin loadgen -- \
+  --clients 10000 --gate --merge-bench BENCH_sim.json
 cargo run --release -p ices-bench --bin bench_check -- "$baseline" BENCH_sim.json

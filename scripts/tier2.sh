@@ -60,6 +60,16 @@ cargo run -q --release -p ices-bench --bin adversary_sweep -- --smoke
 # through to the scalar tail and compare bit-identical).
 cargo run -q --release -p ices-bench --bin fast_equiv -- --scale harness --no-json
 
+# Service loopback smoke: an in-process coordinate daemon plus 10k
+# simulated clients driven by loadgen over 127.0.0.1 (two UDP
+# round-trips each: certified probe + detector-vetted claim; ~10%
+# liars must be rejected on the wire). --gate exits nonzero on any
+# decode error, timeout, or short run; the grep additionally gates
+# that the p50/p99 latency percentiles were measured and reported.
+cargo run -q --release -p ices-svc --bin loadgen -- --clients 10000 --gate \
+  | tee target/loadgen_smoke.txt
+grep -Eq 'p50 [0-9]+ us, p99 [0-9]+ us' target/loadgen_smoke.txt
+
 # Tier 2: time the two-phase tick engine sequentially and at host
 # parallelism, plus one faulty-network configuration per driver
 # (10% probe loss + churn), the streamed-topology scale sweep
